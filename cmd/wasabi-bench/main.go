@@ -1,0 +1,66 @@
+// Command wasabi-bench regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records a paper-vs-measured comparison.
+//
+// Usage:
+//
+//	wasabi-bench -experiment table4|rq2|table5|fig8|mono|fig9|all [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wasabi/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "table4 | rq2 | table5 | fig8 | mono | fig9 | all")
+	full := flag.Bool("full", false, "paper-scale binary sizes (9.6 MB / 39.5 MB; slow)")
+	polyN := flag.Int("n", 0, "override PolyBench problem size")
+	reps := flag.Int("reps", 0, "override timing repetitions")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *full {
+		cfg = experiments.PaperScale()
+	}
+	if *polyN > 0 {
+		cfg.PolyN = int32(*polyN)
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "wasabi-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	w := os.Stdout
+	all := *exp == "all"
+	if all || *exp == "table4" {
+		run("table4", func() error { return experiments.Table4(w) })
+	}
+	if all || *exp == "rq2" {
+		run("rq2", func() error { return experiments.RQ2(w, cfg) })
+	}
+	if all || *exp == "table5" {
+		run("table5", func() error { return experiments.Table5(w, cfg) })
+	}
+	if all || *exp == "fig8" {
+		run("fig8", func() error { return experiments.Fig8(w, cfg) })
+	}
+	if all || *exp == "mono" {
+		run("mono", func() error { return experiments.Mono(w, cfg) })
+	}
+	if all || *exp == "fig9" {
+		run("fig9", func() error { return experiments.Fig9(w, cfg, nil) })
+	}
+}

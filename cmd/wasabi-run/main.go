@@ -1,0 +1,131 @@
+// Command wasabi-run executes a WebAssembly module on the bundled
+// interpreter under one of the bundled dynamic analyses, then prints the
+// analysis report. It is the "browser plus analysis script" of the paper's
+// workflow collapsed into one binary.
+//
+// Usage:
+//
+//	wasabi-run [-analysis name] [-invoke func] [-arg N] module.wasm
+//	wasabi-run -workload gemm -analysis instruction-mix     (built-in workloads)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wasabi"
+	"wasabi/internal/analyses"
+	"wasabi/internal/binary"
+	"wasabi/internal/interp"
+	"wasabi/internal/polybench"
+	"wasabi/internal/synthapp"
+	"wasabi/internal/wasm"
+)
+
+// reporter is implemented by all bundled analyses that can print results.
+type reporter interface{ Report(w io.Writer) }
+
+func main() {
+	analysisName := flag.String("analysis", "instruction-mix", "analysis to run (see -list)")
+	invoke := flag.String("invoke", "", "exported function to invoke (default: kernel or main)")
+	arg := flag.Int("arg", 32, "i32 argument for the invoked function (if it takes one)")
+	workload := flag.String("workload", "", "built-in workload: a PolyBench kernel name or \"synthapp\"")
+	n := flag.Int("n", 16, "problem size for built-in workloads")
+	list := flag.Bool("list", false, "list bundled analyses and workloads")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("analyses:")
+		for _, name := range analyses.Names() {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Println("workloads: synthapp,")
+		for _, k := range polybench.Kernels() {
+			fmt.Printf("  %s\n", k.Name)
+		}
+		return
+	}
+
+	var m *wasm.Module
+	entry := *invoke
+	switch {
+	case *workload == "synthapp":
+		m = synthapp.Generate(synthapp.Config{TargetBytes: 100_000, Seed: 1})
+		if entry == "" {
+			entry = "main"
+		}
+	case *workload != "":
+		k, ok := polybench.ByName(*workload)
+		if !ok {
+			fatal("unknown workload %q", *workload)
+		}
+		m = k.Module(int32(*n))
+		if entry == "" {
+			entry = "kernel"
+		}
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		m, err = binary.Decode(data)
+		if err != nil {
+			fatal("decode: %v", err)
+		}
+		if entry == "" {
+			entry = "main"
+		}
+	default:
+		fatal("need a module file or -workload (try -list)")
+	}
+
+	a, err := analyses.New(*analysisName)
+	if err != nil {
+		fatal("%v", err)
+	}
+	sess, err := wasabi.Analyze(m, a)
+	if err != nil {
+		fatal("instrument: %v", err)
+	}
+	inst, err := sess.Instantiate(polybench.HostImports(nil))
+	if err != nil {
+		fatal("instantiate: %v", err)
+	}
+
+	ft, err := funcSig(m, entry)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var args []interp.Value
+	if len(ft.Params) == 1 && ft.Params[0] == wasm.I32 {
+		args = append(args, interp.I32(int32(*arg)))
+	}
+	res, err := inst.Invoke(entry, args...)
+	if err != nil {
+		fatal("invoke %s: %v", entry, err)
+	}
+	if len(res) > 0 {
+		fmt.Printf("%s returned %v values; raw: %v\n", entry, len(res), res)
+	}
+	fmt.Printf("--- %s report ---\n", *analysisName)
+	if r, ok := a.(reporter); ok {
+		r.Report(os.Stdout)
+	} else {
+		fmt.Println("(analysis has no report)")
+	}
+}
+
+func funcSig(m *wasm.Module, name string) (wasm.FuncType, error) {
+	idx, ok := m.ExportedFunc(name)
+	if !ok {
+		return wasm.FuncType{}, fmt.Errorf("no exported function %q", name)
+	}
+	return m.FuncType(idx)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wasabi-run: "+format+"\n", args...)
+	os.Exit(1)
+}

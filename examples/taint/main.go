@@ -1,0 +1,86 @@
+// Taint analysis with memory shadowing (paper §2.3 and Table 4): values
+// returned by a "source" function are tainted; the analysis tracks them
+// through locals, arithmetic, and linear memory, and reports when one
+// reaches a "sink" function.
+//
+// The example builds a module where a secret flows source → arithmetic →
+// memory → load → sink, while an independent clean value also reaches the
+// sink; only the tainted flow is reported. Run with:
+//
+//	go run ./examples/taint
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"wasabi"
+	"wasabi/internal/analyses"
+	"wasabi/internal/builder"
+	"wasabi/internal/interp"
+	"wasabi/internal/wasm"
+)
+
+func main() {
+	b := builder.New()
+	b.Memory(1)
+	source := b.ImportFunc("env", "read_secret", builder.Sig(nil, builder.V(wasm.I32)))
+	sink := b.ImportFunc("env", "send", builder.Sig(builder.V(wasm.I32), nil))
+
+	f := b.Func("main", nil, builder.V(wasm.I32))
+	secret := f.Local(wasm.I32)
+	clean := f.Local(wasm.I32)
+	// secret = read_secret() * 3 + 1   (taint through arithmetic)
+	f.Call(source).I32(3).Op(wasm.OpI32Mul).I32(1).Op(wasm.OpI32Add).Set(secret)
+	// memory round-trip: mem[64] = secret; secret' = mem[64]
+	f.I32(64).Get(secret).Store(wasm.OpI32Store, 0)
+	f.I32(64).Load(wasm.OpI32Load, 0).Set(secret)
+	// clean = 42 * 2
+	f.I32(42).I32(2).Op(wasm.OpI32Mul).Set(clean)
+	// send(clean); send(secret')  — only the second is a flow.
+	f.Get(clean).Call(sink)
+	f.Get(secret).Call(sink)
+	f.Get(secret)
+	f.Done()
+	m := b.Build()
+
+	taint := analyses.NewTaint()
+	taint.Sources[int(source)] = true
+	taint.Sinks[int(sink)] = true
+
+	sess, err := wasabi.Analyze(m, taint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := sess.Instantiate(interp.Imports{
+		"env": {
+			"read_secret": &interp.HostFunc{
+				Type: builder.Sig(nil, builder.V(wasm.I32)),
+				Fn: func(*interp.Instance, []interp.Value) ([]interp.Value, error) {
+					return []interp.Value{interp.I32(1337)}, nil
+				},
+			},
+			"send": &interp.HostFunc{
+				Type: builder.Sig(builder.V(wasm.I32), nil),
+				Fn: func(_ *interp.Instance, args []interp.Value) ([]interp.Value, error) {
+					fmt.Printf("send(%d)\n", interp.AsI32(args[0]))
+					return nil, nil
+				},
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := inst.Invoke("main"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- taint report ---")
+	taint.Report(os.Stdout)
+	if len(taint.Flows) != 1 {
+		log.Fatalf("expected exactly 1 flow (the secret), got %d", len(taint.Flows))
+	}
+	fmt.Println("exactly the secret flow detected; the clean value passed silently")
+}

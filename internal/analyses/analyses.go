@@ -1,0 +1,70 @@
+// Package analyses bundles the eight dynamic analyses of Table 4 in the
+// paper, implemented against the high-level hook API. Each analysis lives in
+// its own file; the sources are embedded so the Table 4 harness can report
+// lines of code per analysis.
+package analyses
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed *.go
+var sources embed.FS
+
+// Registry maps analysis names to constructors, for the CLI and harnesses.
+var Registry = map[string]func() any{
+	"instruction-mix":      func() any { return NewInstructionMix() },
+	"block-profile":        func() any { return NewBlockProfile() },
+	"instruction-coverage": func() any { return NewInstructionCoverage() },
+	"branch-coverage":      func() any { return NewBranchCoverage() },
+	"call-graph":           func() any { return NewCallGraph() },
+	"taint":                func() any { return NewTaint() },
+	"cryptominer":          func() any { return NewCryptominer() },
+	"memory-trace":         func() any { return NewMemoryTrace() },
+	"empty":                func() any { return &Empty{} },
+}
+
+// Names returns the registered analysis names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for n := range Registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New constructs a registered analysis by name.
+func New(name string) (any, error) {
+	ctor, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("analyses: unknown analysis %q (have: %s)", name, strings.Join(Names(), ", "))
+	}
+	return ctor(), nil
+}
+
+// Empty is the empty analysis: it implements every hook with a no-op body.
+// The paper's runtime-overhead measurements (RQ5, Figure 9) use it to
+// isolate the instrumentation cost from analysis work.
+type Empty struct{ full }
+
+// LinesOfCode counts the non-blank, non-comment lines of one analysis
+// source file, reproducing the LOC column of Table 4.
+func LinesOfCode(file string) (int, error) {
+	data, err := sources.ReadFile(file)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		n++
+	}
+	return n, nil
+}

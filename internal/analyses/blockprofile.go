@@ -1,0 +1,64 @@
+package analyses
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"wasabi/internal/analysis"
+)
+
+// BlockProfile counts how often each function, block, and loop is executed —
+// classic basic-block profiling, useful for finding hot code (Table 4 row 2).
+// It implements only the begin hook, so selective instrumentation keeps the
+// overhead to block entries.
+type BlockProfile struct {
+	Counts map[analysis.Location]uint64
+	Kinds  map[analysis.Location]analysis.BlockKind
+}
+
+// NewBlockProfile returns an empty basic-block profiler.
+func NewBlockProfile() *BlockProfile {
+	return &BlockProfile{
+		Counts: make(map[analysis.Location]uint64),
+		Kinds:  make(map[analysis.Location]analysis.BlockKind),
+	}
+}
+
+// Begin counts one entry of the block at loc.
+func (a *BlockProfile) Begin(loc analysis.Location, kind analysis.BlockKind) {
+	a.Counts[loc]++
+	a.Kinds[loc] = kind
+}
+
+// Hottest returns the n most executed blocks.
+func (a *BlockProfile) Hottest(n int) []analysis.Location {
+	locs := make([]analysis.Location, 0, len(a.Counts))
+	for loc := range a.Counts {
+		locs = append(locs, loc)
+	}
+	sort.Slice(locs, func(i, j int) bool {
+		if a.Counts[locs[i]] != a.Counts[locs[j]] {
+			return a.Counts[locs[i]] > a.Counts[locs[j]]
+		}
+		return less(locs[i], locs[j])
+	})
+	if n < len(locs) {
+		locs = locs[:n]
+	}
+	return locs
+}
+
+// Report writes the hottest blocks.
+func (a *BlockProfile) Report(w io.Writer) {
+	for _, loc := range a.Hottest(20) {
+		fmt.Fprintf(w, "%12d  %-8s at %s\n", a.Counts[loc], a.Kinds[loc], loc)
+	}
+}
+
+func less(a, b analysis.Location) bool {
+	if a.Func != b.Func {
+		return a.Func < b.Func
+	}
+	return a.Instr < b.Instr
+}

@@ -1,0 +1,52 @@
+package analyses
+
+import (
+	"fmt"
+	"io"
+
+	"wasabi/internal/analysis"
+)
+
+// Cryptominer reproduces the profiling part of the SEISMIC cryptomining
+// detector from Figure 1 of the paper: it gathers a signature from the
+// execution frequency of the binary instructions characteristic of mining
+// kernels. It implements only the binary hook.
+type Cryptominer struct {
+	Signature map[string]uint64
+	Other     uint64
+}
+
+// NewCryptominer returns an empty miner-detection analysis.
+func NewCryptominer() *Cryptominer {
+	return &Cryptominer{Signature: make(map[string]uint64)}
+}
+
+// Binary accumulates the instruction signature (cf. Figure 1).
+func (a *Cryptominer) Binary(_ analysis.Location, op string, _, _, _ analysis.Value) {
+	switch op {
+	case "i32.add", "i32.and", "i32.shl", "i32.shr_u", "i32.xor":
+		a.Signature[op]++
+	default:
+		a.Other++
+	}
+}
+
+// Suspicious applies the hash-kernel heuristic: mining workloads show a high
+// proportion of integer bit operations (xor/shift/and) among all binary
+// instructions.
+func (a *Cryptominer) Suspicious() bool {
+	bitops := a.Signature["i32.xor"] + a.Signature["i32.shl"] + a.Signature["i32.shr_u"] + a.Signature["i32.and"]
+	total := a.Other
+	for _, n := range a.Signature {
+		total += n
+	}
+	return total > 10000 && bitops*2 > total
+}
+
+// Report writes the signature and the verdict.
+func (a *Cryptominer) Report(w io.Writer) {
+	for _, op := range []string{"i32.add", "i32.and", "i32.shl", "i32.shr_u", "i32.xor"} {
+		fmt.Fprintf(w, "%12d  %s\n", a.Signature[op], op)
+	}
+	fmt.Fprintf(w, "suspicious: %v\n", a.Suspicious())
+}

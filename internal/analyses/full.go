@@ -1,0 +1,32 @@
+package analyses
+
+import "wasabi/internal/analysis"
+
+// full is an embeddable no-op implementation of every hook interface.
+// Analyses that need "all" hooks (instruction mix, coverage, taint) embed it
+// and override what they use; Empty embeds it unchanged.
+type full struct{}
+
+func (full) Nop(analysis.Location)                                                             {}
+func (full) Unreachable(analysis.Location)                                                     {}
+func (full) If(analysis.Location, bool)                                                        {}
+func (full) Br(analysis.Location, analysis.BranchTarget)                                       {}
+func (full) BrIf(analysis.Location, analysis.BranchTarget, bool)                               {}
+func (full) BrTable(analysis.Location, []analysis.BranchTarget, analysis.BranchTarget, uint32) {}
+func (full) Begin(analysis.Location, analysis.BlockKind)                                       {}
+func (full) End(analysis.Location, analysis.BlockKind, analysis.Location)                      {}
+func (full) Const(analysis.Location, analysis.Value)                                           {}
+func (full) Drop(analysis.Location, analysis.Value)                                            {}
+func (full) Select(analysis.Location, bool, analysis.Value, analysis.Value)                    {}
+func (full) Unary(analysis.Location, string, analysis.Value, analysis.Value)                   {}
+func (full) Binary(analysis.Location, string, analysis.Value, analysis.Value, analysis.Value)  {}
+func (full) Local(analysis.Location, string, uint32, analysis.Value)                           {}
+func (full) Global(analysis.Location, string, uint32, analysis.Value)                          {}
+func (full) Load(analysis.Location, string, analysis.MemArg, analysis.Value)                   {}
+func (full) Store(analysis.Location, string, analysis.MemArg, analysis.Value)                  {}
+func (full) MemorySize(analysis.Location, uint32)                                              {}
+func (full) MemoryGrow(analysis.Location, uint32, uint32)                                      {}
+func (full) CallPre(analysis.Location, int, []analysis.Value, int64)                           {}
+func (full) CallPost(analysis.Location, []analysis.Value)                                      {}
+func (full) Return(analysis.Location, []analysis.Value)                                        {}
+func (full) Start(analysis.Location)                                                           {}

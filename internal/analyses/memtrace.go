@@ -1,0 +1,82 @@
+package analyses
+
+import (
+	"fmt"
+	"io"
+
+	"wasabi/internal/analysis"
+)
+
+// MemoryTrace records every memory access for later off-line analysis, e.g.
+// detecting cache-unfriendly access patterns (Table 4 row 8). It implements
+// the load and store hooks only.
+type MemoryTrace struct {
+	Accesses []MemAccess
+	// Cap bounds the stored trace (0 = unbounded); further accesses are
+	// counted in Dropped so summaries stay correct for long runs.
+	Cap     int
+	Dropped uint64
+}
+
+// MemAccess is one recorded load or store.
+type MemAccess struct {
+	Loc   analysis.Location
+	Op    string
+	Addr  uint64 // effective address
+	Store bool
+}
+
+// NewMemoryTrace returns an unbounded memory tracer.
+func NewMemoryTrace() *MemoryTrace { return &MemoryTrace{} }
+
+func (a *MemoryTrace) record(acc MemAccess) {
+	if a.Cap > 0 && len(a.Accesses) >= a.Cap {
+		a.Dropped++
+		return
+	}
+	a.Accesses = append(a.Accesses, acc)
+}
+
+// Load records one memory read.
+func (a *MemoryTrace) Load(loc analysis.Location, op string, m analysis.MemArg, _ analysis.Value) {
+	a.record(MemAccess{Loc: loc, Op: op, Addr: m.EffAddr()})
+}
+
+// Store records one memory write.
+func (a *MemoryTrace) Store(loc analysis.Location, op string, m analysis.MemArg, _ analysis.Value) {
+	a.record(MemAccess{Loc: loc, Op: op, Addr: m.EffAddr(), Store: true})
+}
+
+// Strided estimates the fraction of accesses whose address is within stride
+// bytes of the previous access — a simple locality metric an off-line cache
+// analysis would start from.
+func (a *MemoryTrace) Strided(stride uint64) float64 {
+	if len(a.Accesses) < 2 {
+		return 1
+	}
+	near := 0
+	for i := 1; i < len(a.Accesses); i++ {
+		d := int64(a.Accesses[i].Addr) - int64(a.Accesses[i-1].Addr)
+		if d < 0 {
+			d = -d
+		}
+		if uint64(d) <= stride {
+			near++
+		}
+	}
+	return float64(near) / float64(len(a.Accesses)-1)
+}
+
+// Report summarizes the trace.
+func (a *MemoryTrace) Report(w io.Writer) {
+	loads, stores := 0, 0
+	for _, acc := range a.Accesses {
+		if acc.Store {
+			stores++
+		} else {
+			loads++
+		}
+	}
+	fmt.Fprintf(w, "loads: %d, stores: %d, dropped: %d, locality(64B): %.2f\n",
+		loads, stores, a.Dropped, a.Strided(64))
+}

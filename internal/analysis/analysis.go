@@ -1,0 +1,248 @@
+// Package analysis defines the high-level Wasabi analysis API (paper §2.3,
+// Table 2). An analysis is any Go value implementing a subset of the hook
+// interfaces below; the instrumenter inspects which interfaces are
+// implemented and selectively instruments only the matching instruction
+// classes (paper §2.4.2).
+//
+// The API preserves the paper's design properties: full instruction
+// coverage, grouping of related instructions into 23 hooks, pre-computed
+// information (resolved branch targets, resolved indirect-call targets), and
+// faithful type mappings (i64 values cross the host boundary as two i32
+// halves and are re-joined into Go int64, playing the role of long.js).
+package analysis
+
+import (
+	"fmt"
+
+	"wasabi/internal/wasm"
+)
+
+// Location identifies an instruction: the function index (in the original,
+// uninstrumented index space) and the instruction index within that
+// function's body. Instr is -1 for function-level locations (the implicit
+// function block).
+type Location struct {
+	Func  int `json:"func"`
+	Instr int `json:"instr"`
+}
+
+func (l Location) String() string { return fmt.Sprintf("%d:%d", l.Func, l.Instr) }
+
+// Value is a typed WebAssembly value as seen by an analysis.
+type Value struct {
+	Type wasm.ValType
+	Bits uint64 // raw representation: i32 zero-extended, floats as IEEE bits
+}
+
+// I32V constructs an i32 Value.
+func I32V(v int32) Value { return Value{Type: wasm.I32, Bits: uint64(uint32(v))} }
+
+// I64V constructs an i64 Value.
+func I64V(v int64) Value { return Value{Type: wasm.I64, Bits: uint64(v)} }
+
+// I32 extracts the i32 payload.
+func (v Value) I32() int32 { return int32(uint32(v.Bits)) }
+
+// I64 extracts the i64 payload.
+func (v Value) I64() int64 { return int64(v.Bits) }
+
+// F32 extracts the f32 payload.
+func (v Value) F32() float32 { return f32frombits(uint32(v.Bits)) }
+
+// F64 extracts the f64 payload.
+func (v Value) F64() float64 { return f64frombits(v.Bits) }
+
+// Float returns the value as float64 regardless of type (useful for generic
+// numeric analyses; integers convert exactly up to 2^53).
+func (v Value) Float() float64 {
+	switch v.Type {
+	case wasm.I32:
+		return float64(v.I32())
+	case wasm.I64:
+		return float64(v.I64())
+	case wasm.F32:
+		return float64(v.F32())
+	default:
+		return v.F64()
+	}
+}
+
+func (v Value) String() string {
+	switch v.Type {
+	case wasm.I32:
+		return fmt.Sprintf("%d:i32", v.I32())
+	case wasm.I64:
+		return fmt.Sprintf("%d:i64", v.I64())
+	case wasm.F32:
+		return fmt.Sprintf("%v:f32", v.F32())
+	default:
+		return fmt.Sprintf("%v:f64", v.F64())
+	}
+}
+
+// MemArg describes one memory access: the dynamic address operand and the
+// static offset immediate (effective address = Addr + Offset).
+type MemArg struct {
+	Addr   uint32
+	Offset uint32
+}
+
+// EffAddr returns the effective address of the access.
+func (m MemArg) EffAddr() uint64 { return uint64(m.Addr) + uint64(m.Offset) }
+
+// BranchTarget pairs the raw relative label of a branch with the statically
+// resolved absolute location of the next instruction executed if the branch
+// is taken (paper §2.4.4).
+type BranchTarget struct {
+	Label    uint32
+	Location Location
+}
+
+// BlockKind names the five kinds of blocks observed by begin/end hooks.
+type BlockKind string
+
+const (
+	BlockFunction BlockKind = "function"
+	BlockBlock    BlockKind = "block"
+	BlockLoop     BlockKind = "loop"
+	BlockIf       BlockKind = "if"
+	BlockElse     BlockKind = "else"
+)
+
+// ModuleInfo gives analyses static information about the analyzed module
+// (the paper's Wasabi.module.info).
+type ModuleInfo struct {
+	FuncTypes        []wasm.FuncType
+	FuncNames        []string
+	NumImportedFuncs int
+	NumGlobals       int
+	Exports          map[string]uint32 // exported function name → index
+	Start            int               // start function index, -1 if none
+}
+
+// FuncName returns the name of function idx, or a numeric placeholder.
+func (mi *ModuleInfo) FuncName(idx int) string {
+	if idx >= 0 && idx < len(mi.FuncNames) && mi.FuncNames[idx] != "" {
+		return mi.FuncNames[idx]
+	}
+	return fmt.Sprintf("func%d", idx)
+}
+
+// The hook interfaces. An analysis implements any subset; each corresponds
+// to one high-level hook of Table 2 in the paper.
+
+// ModuleInfoReceiver is implemented by analyses that want static module
+// information before execution starts.
+type ModuleInfoReceiver interface {
+	SetModuleInfo(info *ModuleInfo)
+}
+
+// NopHooker observes nop instructions.
+type NopHooker interface{ Nop(loc Location) }
+
+// UnreachableHooker observes unreachable instructions (before the trap).
+type UnreachableHooker interface{ Unreachable(loc Location) }
+
+// IfHooker observes the condition of if instructions.
+type IfHooker interface{ If(loc Location, cond bool) }
+
+// BrHooker observes unconditional branches.
+type BrHooker interface {
+	Br(loc Location, target BranchTarget)
+}
+
+// BrIfHooker observes conditional branches (taken or not).
+type BrIfHooker interface {
+	BrIf(loc Location, target BranchTarget, cond bool)
+}
+
+// BrTableHooker observes multi-way branches. table lists the resolved
+// targets, deflt is the default target, and idx is the runtime index.
+type BrTableHooker interface {
+	BrTable(loc Location, table []BranchTarget, deflt BranchTarget, idx uint32)
+}
+
+// BeginHooker observes block entries (function, block, loop, if, else). For
+// loops it fires once per iteration.
+type BeginHooker interface {
+	Begin(loc Location, kind BlockKind)
+}
+
+// EndHooker observes block exits, including blocks "traversed" by branches
+// and returns (paper §2.4.5).
+type EndHooker interface {
+	End(loc Location, kind BlockKind, begin Location)
+}
+
+// ConstHooker observes constant instructions and their produced value.
+type ConstHooker interface{ Const(loc Location, v Value) }
+
+// DropHooker observes drop and the value removed.
+type DropHooker interface{ Drop(loc Location, v Value) }
+
+// SelectHooker observes select: the condition and both candidate values.
+type SelectHooker interface {
+	Select(loc Location, cond bool, first, second Value)
+}
+
+// UnaryHooker observes unary numeric operations; op is the instruction name
+// (e.g. "f32.abs").
+type UnaryHooker interface {
+	Unary(loc Location, op string, input, result Value)
+}
+
+// BinaryHooker observes binary numeric operations; op is the instruction
+// name (e.g. "i32.add").
+type BinaryHooker interface {
+	Binary(loc Location, op string, first, second, result Value)
+}
+
+// LocalHooker observes local.get/set/tee; op is the instruction name.
+type LocalHooker interface {
+	Local(loc Location, op string, index uint32, v Value)
+}
+
+// GlobalHooker observes global.get/set; op is the instruction name.
+type GlobalHooker interface {
+	Global(loc Location, op string, index uint32, v Value)
+}
+
+// LoadHooker observes memory loads; op is the instruction name.
+type LoadHooker interface {
+	Load(loc Location, op string, mem MemArg, v Value)
+}
+
+// StoreHooker observes memory stores; op is the instruction name.
+type StoreHooker interface {
+	Store(loc Location, op string, mem MemArg, v Value)
+}
+
+// MemorySizeHooker observes memory.size and its result.
+type MemorySizeHooker interface {
+	MemorySize(loc Location, pages uint32)
+}
+
+// MemoryGrowHooker observes memory.grow.
+type MemoryGrowHooker interface {
+	MemoryGrow(loc Location, delta, previousSize uint32)
+}
+
+// CallPreHooker observes calls before the callee runs. target is the callee
+// function index (for indirect calls, resolved from the runtime table
+// index); tableIdx is -1 for direct calls.
+type CallPreHooker interface {
+	CallPre(loc Location, target int, args []Value, tableIdx int64)
+}
+
+// CallPostHooker observes call returns and the result values.
+type CallPostHooker interface {
+	CallPost(loc Location, results []Value)
+}
+
+// ReturnHooker observes function returns (explicit and implicit).
+type ReturnHooker interface {
+	Return(loc Location, results []Value)
+}
+
+// StartHooker observes execution of the module's start function.
+type StartHooker interface{ Start(loc Location) }

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wasabi/internal/wasm"
+)
+
+func TestValueAccessors(t *testing.T) {
+	if v := I32V(-5); v.I32() != -5 || v.Type != wasm.I32 {
+		t.Errorf("I32V: %v", v)
+	}
+	if v := I64V(math.MinInt64); v.I64() != math.MinInt64 {
+		t.Errorf("I64V: %v", v)
+	}
+	f32v := Value{Type: wasm.F32, Bits: uint64(math.Float32bits(2.5))}
+	if f32v.F32() != 2.5 {
+		t.Errorf("F32: %v", f32v.F32())
+	}
+	f64v := Value{Type: wasm.F64, Bits: math.Float64bits(-1.25)}
+	if f64v.F64() != -1.25 {
+		t.Errorf("F64: %v", f64v.F64())
+	}
+	if f64v.Float() != -1.25 || I32V(3).Float() != 3 {
+		t.Error("Float() conversion wrong")
+	}
+	if I32V(7).String() != "7:i32" {
+		t.Errorf("String: %s", I32V(7))
+	}
+}
+
+func TestQuickValueRoundTrip(t *testing.T) {
+	if err := quick.Check(func(x int64) bool {
+		return I64V(x).I64() == x
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(x int32) bool {
+		return I32V(x).I32() == x
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemArg(t *testing.T) {
+	m := MemArg{Addr: math.MaxUint32, Offset: math.MaxUint32}
+	if m.EffAddr() != 2*uint64(math.MaxUint32) {
+		t.Errorf("EffAddr must not wrap: %d", m.EffAddr())
+	}
+}
+
+func TestHookSetOps(t *testing.T) {
+	s := Set(KindLoad, KindStore)
+	if !s.Has(KindLoad) || !s.Has(KindStore) || s.Has(KindCall) {
+		t.Error("Has wrong")
+	}
+	if s.String() != "load,store" {
+		t.Errorf("String: %s", s)
+	}
+	if AllHooks.String() != "all" {
+		t.Errorf("AllHooks String: %s", AllHooks)
+	}
+	if got := len(AllHooks.Kinds()); got != NumKinds {
+		t.Errorf("AllHooks has %d kinds, want %d", got, NumKinds)
+	}
+	if HookSet(0).String() != "" || !HookSet(0).IsEmpty() {
+		t.Error("empty set wrong")
+	}
+}
+
+func TestParseHookSet(t *testing.T) {
+	s, ok := ParseHookSet("load, store,br_if")
+	if !ok || s != Set(KindLoad, KindStore, KindBrIf) {
+		t.Errorf("parse: %v %v", s, ok)
+	}
+	if s, ok := ParseHookSet("all"); !ok || s != AllHooks {
+		t.Errorf("all: %v %v", s, ok)
+	}
+	if _, ok := ParseHookSet("bogus"); ok {
+		t.Error("bogus should fail")
+	}
+	// Round trip every kind name.
+	for k := HookKind(0); int(k) < NumKinds; k++ {
+		got, ok := KindFromName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromName(%s) = %v, %v", k, got, ok)
+		}
+	}
+}
+
+type loadOnly struct{}
+
+func (loadOnly) Load(Location, string, MemArg, Value) {}
+
+type loadStoreCall struct{ loadOnly }
+
+func (loadStoreCall) Store(Location, string, MemArg, Value) {}
+func (loadStoreCall) CallPost(Location, []Value)            {}
+
+func TestHooksOf(t *testing.T) {
+	if got := HooksOf(loadOnly{}); got != Set(KindLoad) {
+		t.Errorf("loadOnly: %s", got)
+	}
+	// call_post alone still selects the call kind (pre and post are always
+	// instrumented together).
+	if got := HooksOf(loadStoreCall{}); got != Set(KindLoad, KindStore, KindCall) {
+		t.Errorf("loadStoreCall: %s", got)
+	}
+	if got := HooksOf(struct{}{}); !got.IsEmpty() {
+		t.Errorf("empty analysis: %s", got)
+	}
+}
+
+func TestModuleInfoFuncName(t *testing.T) {
+	mi := &ModuleInfo{FuncNames: []string{"a", ""}}
+	if mi.FuncName(0) != "a" || mi.FuncName(1) != "func1" || mi.FuncName(7) != "func7" {
+		t.Error("FuncName fallback wrong")
+	}
+}

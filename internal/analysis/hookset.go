@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+)
+
+func f32frombits(b uint32) float32 { return math.Float32frombits(b) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// HookKind identifies one selectively-instrumentable class of instructions.
+// The kinds correspond to the x-axis of Figures 8 and 9 in the paper (plus
+// start, which the figures omit). KindCall covers both call_pre and
+// call_post, which are always instrumented together.
+type HookKind uint8
+
+const (
+	KindNop HookKind = iota
+	KindUnreachable
+	KindMemorySize
+	KindMemoryGrow
+	KindSelect
+	KindDrop
+	KindLoad
+	KindStore
+	KindCall
+	KindReturn
+	KindConst
+	KindUnary
+	KindBinary
+	KindGlobal
+	KindLocal
+	KindBegin
+	KindEnd
+	KindIf
+	KindBr
+	KindBrIf
+	KindBrTable
+	KindStart
+	numKinds
+)
+
+var kindNames = [...]string{
+	"nop", "unreachable", "memory_size", "memory_grow", "select", "drop",
+	"load", "store", "call", "return", "const", "unary", "binary", "global",
+	"local", "begin", "end", "if", "br", "br_if", "br_table", "start",
+}
+
+func (k HookKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "hookkind(?)"
+}
+
+// KindFromName parses a hook-kind name as printed by String.
+func KindFromName(name string) (HookKind, bool) {
+	for i, n := range kindNames {
+		if n == name {
+			return HookKind(i), true
+		}
+	}
+	return 0, false
+}
+
+// NumKinds is the number of distinct hook kinds.
+const NumKinds = int(numKinds)
+
+// HookSet is a set of hook kinds, used to drive selective instrumentation.
+type HookSet uint32
+
+// AllHooks selects every hook kind (full instrumentation).
+const AllHooks = HookSet(1<<numKinds - 1)
+
+// With returns s with kind k added.
+func (s HookSet) With(k HookKind) HookSet { return s | 1<<k }
+
+// Has reports whether kind k is in the set.
+func (s HookSet) Has(k HookKind) bool { return s&(1<<k) != 0 }
+
+// IsEmpty reports whether no kinds are selected.
+func (s HookSet) IsEmpty() bool { return s == 0 }
+
+// Kinds returns the selected kinds in declaration order.
+func (s HookSet) Kinds() []HookKind {
+	var ks []HookKind
+	for k := HookKind(0); k < numKinds; k++ {
+		if s.Has(k) {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+func (s HookSet) String() string {
+	if s == AllHooks {
+		return "all"
+	}
+	var names []string
+	for _, k := range s.Kinds() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, ",")
+}
+
+// Set constructs a HookSet from kinds.
+func Set(kinds ...HookKind) HookSet {
+	var s HookSet
+	for _, k := range kinds {
+		s = s.With(k)
+	}
+	return s
+}
+
+// ParseHookSet parses a comma-separated list of hook names, or "all".
+func ParseHookSet(s string) (HookSet, bool) {
+	if s == "all" || s == "" {
+		return AllHooks, true
+	}
+	var set HookSet
+	for _, name := range strings.Split(s, ",") {
+		k, ok := KindFromName(strings.TrimSpace(name))
+		if !ok {
+			return 0, false
+		}
+		set = set.With(k)
+	}
+	return set, true
+}
+
+// HooksOf inspects which hook interfaces the analysis implements and returns
+// the matching hook set. This is how Wasabi decides what to instrument for a
+// given analysis (selective instrumentation, paper §2.4.2).
+func HooksOf(a any) HookSet {
+	var s HookSet
+	if _, ok := a.(NopHooker); ok {
+		s = s.With(KindNop)
+	}
+	if _, ok := a.(UnreachableHooker); ok {
+		s = s.With(KindUnreachable)
+	}
+	if _, ok := a.(MemorySizeHooker); ok {
+		s = s.With(KindMemorySize)
+	}
+	if _, ok := a.(MemoryGrowHooker); ok {
+		s = s.With(KindMemoryGrow)
+	}
+	if _, ok := a.(SelectHooker); ok {
+		s = s.With(KindSelect)
+	}
+	if _, ok := a.(DropHooker); ok {
+		s = s.With(KindDrop)
+	}
+	if _, ok := a.(LoadHooker); ok {
+		s = s.With(KindLoad)
+	}
+	if _, ok := a.(StoreHooker); ok {
+		s = s.With(KindStore)
+	}
+	if _, ok := a.(CallPreHooker); ok {
+		s = s.With(KindCall)
+	}
+	if _, ok := a.(CallPostHooker); ok {
+		s = s.With(KindCall)
+	}
+	if _, ok := a.(ReturnHooker); ok {
+		s = s.With(KindReturn)
+	}
+	if _, ok := a.(ConstHooker); ok {
+		s = s.With(KindConst)
+	}
+	if _, ok := a.(UnaryHooker); ok {
+		s = s.With(KindUnary)
+	}
+	if _, ok := a.(BinaryHooker); ok {
+		s = s.With(KindBinary)
+	}
+	if _, ok := a.(GlobalHooker); ok {
+		s = s.With(KindGlobal)
+	}
+	if _, ok := a.(LocalHooker); ok {
+		s = s.With(KindLocal)
+	}
+	if _, ok := a.(BeginHooker); ok {
+		s = s.With(KindBegin)
+	}
+	if _, ok := a.(EndHooker); ok {
+		s = s.With(KindEnd)
+	}
+	if _, ok := a.(IfHooker); ok {
+		s = s.With(KindIf)
+	}
+	if _, ok := a.(BrHooker); ok {
+		s = s.With(KindBr)
+	}
+	if _, ok := a.(BrIfHooker); ok {
+		s = s.With(KindBrIf)
+	}
+	if _, ok := a.(BrTableHooker); ok {
+		s = s.With(KindBrTable)
+	}
+	if _, ok := a.(StartHooker); ok {
+		s = s.With(KindStart)
+	}
+	return s
+}

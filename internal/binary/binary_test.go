@@ -1,0 +1,202 @@
+package binary
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"wasabi/internal/wasm"
+)
+
+// buildRichModule covers every section and every immediate encoding.
+func buildRichModule() *wasm.Module {
+	start := uint32(2)
+	return &wasm.Module{
+		Types: []wasm.FuncType{
+			{},
+			{Params: []wasm.ValType{wasm.I32, wasm.I64, wasm.F32, wasm.F64}, Results: []wasm.ValType{wasm.I64}},
+			{Params: []wasm.ValType{wasm.I32}},
+		},
+		Imports: []wasm.Import{
+			{Module: "env", Name: "f", Kind: wasm.ExternFunc, TypeIdx: 2},
+			{Module: "env", Name: "mem", Kind: wasm.ExternMemory, Mem: wasm.Limits{Min: 1, Max: 4, HasMax: true}},
+			{Module: "env", Name: "g", Kind: wasm.ExternGlobal, Global: wasm.GlobalType{Type: wasm.F64}},
+		},
+		Funcs: []wasm.Func{
+			{TypeIdx: 0, Body: []wasm.Instr{wasm.End()}},
+			{
+				TypeIdx: 1,
+				Locals:  []wasm.ValType{wasm.I32, wasm.I32, wasm.F64, wasm.I64},
+				Body: []wasm.Instr{
+					wasm.BlockInstr(wasm.BlockType(wasm.I64)),
+					wasm.LoopInstr(wasm.BlockEmpty),
+					wasm.LocalGet(0),
+					wasm.IfInstr(wasm.BlockEmpty),
+					wasm.Br(1),
+					{Op: wasm.OpElse},
+					{Op: wasm.OpBrTable, Table: []uint32{0, 1, 2}, Idx: 3},
+					wasm.End(),
+					wasm.End(),
+					wasm.LocalGet(1),
+					wasm.I64ConstInstr(math.MinInt64),
+					wasm.Op1(wasm.OpI64Add),
+					wasm.End(),
+					wasm.F32ConstInstr(float32(math.Pi)),
+					wasm.Op1(wasm.OpDrop),
+					wasm.F64ConstInstr(-0.0),
+					wasm.Op1(wasm.OpDrop),
+					wasm.I32Const(-123456),
+					{Op: wasm.OpI64Load, Mem: wasm.MemArg{Align: 3, Offset: 1 << 16}},
+					wasm.Op1(wasm.OpDrop),
+					wasm.I32Const(0),
+					{Op: wasm.OpCallIndirect, Idx: 2},
+					{Op: wasm.OpMemorySize},
+					{Op: wasm.OpMemoryGrow},
+					wasm.Op1(wasm.OpDrop),
+					wasm.Op1(wasm.OpReturn),
+					wasm.End(),
+				},
+			},
+			{TypeIdx: 0, Body: []wasm.Instr{wasm.End()}},
+		},
+		Tables:  []wasm.Limits{{Min: 2}},
+		Globals: []wasm.Global{{Type: wasm.GlobalType{Type: wasm.I32, Mutable: true}, Init: []wasm.Instr{wasm.I32Const(7), wasm.End()}}},
+		Exports: []wasm.Export{
+			{Name: "run", Kind: wasm.ExternFunc, Idx: 1},
+			{Name: "tbl", Kind: wasm.ExternTable, Idx: 0},
+		},
+		Start:     &start,
+		Elems:     []wasm.ElemSegment{{Offset: []wasm.Instr{wasm.I32Const(0), wasm.End()}, Funcs: []uint32{1, 2}}},
+		Datas:     []wasm.DataSegment{{Offset: []wasm.Instr{wasm.I32Const(16), wasm.End()}, Data: []byte{1, 2, 3, 255}}},
+		FuncNames: map[uint32]string{0: "env.f", 1: "empty", 2: "rich"},
+		Customs:   []wasm.CustomSection{{Name: "producers", Data: []byte("wasabi-go")}},
+	}
+}
+
+func TestRoundTripRichModule(t *testing.T) {
+	m := buildRichModule()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	m2, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(m, m2) {
+		t.Errorf("round trip not identical:\n  in: %+v\n out: %+v", m, m2)
+	}
+	// Second encode must be byte-identical (deterministic encoder).
+	data2, err := Encode(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("encoder not deterministic across a round trip")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid, _ := Encode(buildRichModule())
+	cases := map[string][]byte{
+		"empty":         {},
+		"short header":  {0x00, 0x61, 0x73},
+		"bad magic":     {0x01, 0x61, 0x73, 0x6D, 0x01, 0, 0, 0},
+		"bad version":   {0x00, 0x61, 0x73, 0x6D, 0x02, 0, 0, 0},
+		"truncated":     valid[:len(valid)/2],
+		"section order": append(append([]byte{}, valid[:8]...), 0x03, 0x01, 0x00, 0x01, 0x01, 0x00),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDecodeUnknownOpcode(t *testing.T) {
+	// A module with one empty-typed function whose body is an invalid opcode.
+	data := []byte{
+		0x00, 0x61, 0x73, 0x6D, 0x01, 0, 0, 0,
+		0x01, 0x04, 0x01, 0x60, 0x00, 0x00, // type section: [] -> []
+		0x03, 0x02, 0x01, 0x00, // function section
+		0x0A, 0x05, 0x01, 0x03, 0x00, 0xFE, 0x0B, // code: opcode 0xFE
+	}
+	if _, err := Decode(data); err == nil {
+		t.Error("expected unknown-opcode error")
+	}
+}
+
+func TestCodeCountMismatch(t *testing.T) {
+	data := []byte{
+		0x00, 0x61, 0x73, 0x6D, 0x01, 0, 0, 0,
+		0x01, 0x04, 0x01, 0x60, 0x00, 0x00,
+		0x03, 0x02, 0x01, 0x00, // declares 1 function
+		0x0A, 0x01, 0x00, // code section with 0 bodies
+	}
+	if _, err := Decode(data); err == nil {
+		t.Error("expected code/function count mismatch error")
+	}
+}
+
+// Property: i32/i64/f32/f64 const payloads survive the codec bit-for-bit
+// (notably NaN payloads and -0).
+func TestQuickConstRoundTrip(t *testing.T) {
+	mk := func(body []wasm.Instr) *wasm.Module {
+		return &wasm.Module{
+			Types: []wasm.FuncType{{}},
+			Funcs: []wasm.Func{{TypeIdx: 0, Body: append(body, wasm.End())}},
+		}
+	}
+	roundTrip := func(body []wasm.Instr) []wasm.Instr {
+		data, err := Encode(mk(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Funcs[0].Body[:len(m.Funcs[0].Body)-1]
+	}
+	if err := quick.Check(func(v int64, w int32, fbits uint32, dbits uint64) bool {
+		body := []wasm.Instr{
+			wasm.I64ConstInstr(v), wasm.Op1(wasm.OpDrop),
+			wasm.I32Const(w), wasm.Op1(wasm.OpDrop),
+			wasm.F32ConstInstr(math.Float32frombits(fbits)), wasm.Op1(wasm.OpDrop),
+			wasm.F64ConstInstr(math.Float64frombits(dbits)), wasm.Op1(wasm.OpDrop),
+		}
+		got := roundTrip(body)
+		return got[0].I64 == v &&
+			int32(got[2].I64) == w &&
+			math.Float32bits(got[4].F32) == fbits &&
+			math.Float64bits(got[6].F64) == dbits
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalsRunLengthEncoding(t *testing.T) {
+	m := &wasm.Module{
+		Types: []wasm.FuncType{{}},
+		Funcs: []wasm.Func{{
+			TypeIdx: 0,
+			Locals: []wasm.ValType{
+				wasm.I32, wasm.I32, wasm.I32, wasm.F64, wasm.I32, wasm.I64, wasm.I64,
+			},
+			Body: []wasm.Instr{wasm.End()},
+		}},
+	}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Funcs[0].Locals, m2.Funcs[0].Locals) {
+		t.Errorf("locals mangled: %v vs %v", m.Funcs[0].Locals, m2.Funcs[0].Locals)
+	}
+}

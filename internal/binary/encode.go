@@ -1,0 +1,377 @@
+// Package binary encodes and decodes WebAssembly modules in the binary
+// format (version 1). The encoder and decoder round-trip every construct of
+// the MVP, including the "name" custom section, which the instrumenter
+// preserves so analyses can report human-readable function names.
+package binary
+
+import (
+	"fmt"
+	"math"
+
+	"wasabi/internal/leb128"
+	"wasabi/internal/wasm"
+)
+
+// Magic and version header of every wasm binary.
+var header = []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+
+// Section ids.
+const (
+	secCustom   = 0
+	secType     = 1
+	secImport   = 2
+	secFunction = 3
+	secTable    = 4
+	secMemory   = 5
+	secGlobal   = 6
+	secExport   = 7
+	secStart    = 8
+	secElem     = 9
+	secCode     = 10
+	secData     = 11
+)
+
+// Encode serializes a module to the WebAssembly binary format.
+func Encode(m *wasm.Module) ([]byte, error) {
+	out := make([]byte, 0, 4096)
+	out = append(out, header...)
+
+	if len(m.Types) > 0 {
+		out = appendSection(out, secType, encodeTypes(m))
+	}
+	if len(m.Imports) > 0 {
+		b, err := encodeImports(m)
+		if err != nil {
+			return nil, err
+		}
+		out = appendSection(out, secImport, b)
+	}
+	if len(m.Funcs) > 0 {
+		out = appendSection(out, secFunction, encodeFuncDecls(m))
+	}
+	if len(m.Tables) > 0 {
+		out = appendSection(out, secTable, encodeTables(m))
+	}
+	if len(m.Memories) > 0 {
+		out = appendSection(out, secMemory, encodeMemories(m))
+	}
+	if len(m.Globals) > 0 {
+		b, err := encodeGlobals(m)
+		if err != nil {
+			return nil, err
+		}
+		out = appendSection(out, secGlobal, b)
+	}
+	if len(m.Exports) > 0 {
+		out = appendSection(out, secExport, encodeExports(m))
+	}
+	if m.Start != nil {
+		out = appendSection(out, secStart, leb128.AppendU32(nil, *m.Start))
+	}
+	if len(m.Elems) > 0 {
+		b, err := encodeElems(m)
+		if err != nil {
+			return nil, err
+		}
+		out = appendSection(out, secElem, b)
+	}
+	if len(m.Funcs) > 0 {
+		b, err := encodeCode(m)
+		if err != nil {
+			return nil, err
+		}
+		out = appendSection(out, secCode, b)
+	}
+	if len(m.Datas) > 0 {
+		b, err := encodeDatas(m)
+		if err != nil {
+			return nil, err
+		}
+		out = appendSection(out, secData, b)
+	}
+	if len(m.FuncNames) > 0 {
+		out = appendSection(out, secCustom, encodeNameSection(m))
+	}
+	for _, c := range m.Customs {
+		var b []byte
+		b = appendName(b, c.Name)
+		b = append(b, c.Data...)
+		out = appendSection(out, secCustom, b)
+	}
+	return out, nil
+}
+
+func appendSection(out []byte, id byte, body []byte) []byte {
+	out = append(out, id)
+	out = leb128.AppendU32(out, uint32(len(body)))
+	return append(out, body...)
+}
+
+func appendName(b []byte, s string) []byte {
+	b = leb128.AppendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendValTypes(b []byte, ts []wasm.ValType) []byte {
+	b = leb128.AppendU32(b, uint32(len(ts)))
+	for _, t := range ts {
+		b = append(b, byte(t))
+	}
+	return b
+}
+
+func appendLimits(b []byte, l wasm.Limits) []byte {
+	if l.HasMax {
+		b = append(b, 0x01)
+		b = leb128.AppendU32(b, l.Min)
+		b = leb128.AppendU32(b, l.Max)
+	} else {
+		b = append(b, 0x00)
+		b = leb128.AppendU32(b, l.Min)
+	}
+	return b
+}
+
+func appendGlobalType(b []byte, gt wasm.GlobalType) []byte {
+	b = append(b, byte(gt.Type))
+	if gt.Mutable {
+		b = append(b, 0x01)
+	} else {
+		b = append(b, 0x00)
+	}
+	return b
+}
+
+func encodeTypes(m *wasm.Module) []byte {
+	b := leb128.AppendU32(nil, uint32(len(m.Types)))
+	for _, ft := range m.Types {
+		b = append(b, 0x60)
+		b = appendValTypes(b, ft.Params)
+		b = appendValTypes(b, ft.Results)
+	}
+	return b
+}
+
+func encodeImports(m *wasm.Module) ([]byte, error) {
+	b := leb128.AppendU32(nil, uint32(len(m.Imports)))
+	for _, imp := range m.Imports {
+		b = appendName(b, imp.Module)
+		b = appendName(b, imp.Name)
+		b = append(b, byte(imp.Kind))
+		switch imp.Kind {
+		case wasm.ExternFunc:
+			b = leb128.AppendU32(b, imp.TypeIdx)
+		case wasm.ExternTable:
+			b = append(b, 0x70) // funcref
+			b = appendLimits(b, imp.Table)
+		case wasm.ExternMemory:
+			b = appendLimits(b, imp.Mem)
+		case wasm.ExternGlobal:
+			b = appendGlobalType(b, imp.Global)
+		default:
+			return nil, fmt.Errorf("binary: unknown import kind %d", imp.Kind)
+		}
+	}
+	return b, nil
+}
+
+func encodeFuncDecls(m *wasm.Module) []byte {
+	b := leb128.AppendU32(nil, uint32(len(m.Funcs)))
+	for i := range m.Funcs {
+		b = leb128.AppendU32(b, m.Funcs[i].TypeIdx)
+	}
+	return b
+}
+
+func encodeTables(m *wasm.Module) []byte {
+	b := leb128.AppendU32(nil, uint32(len(m.Tables)))
+	for _, t := range m.Tables {
+		b = append(b, 0x70)
+		b = appendLimits(b, t)
+	}
+	return b
+}
+
+func encodeMemories(m *wasm.Module) []byte {
+	b := leb128.AppendU32(nil, uint32(len(m.Memories)))
+	for _, mem := range m.Memories {
+		b = appendLimits(b, mem)
+	}
+	return b
+}
+
+func encodeGlobals(m *wasm.Module) ([]byte, error) {
+	b := leb128.AppendU32(nil, uint32(len(m.Globals)))
+	for _, g := range m.Globals {
+		b = appendGlobalType(b, g.Type)
+		var err error
+		b, err = appendExpr(b, g.Init)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func encodeExports(m *wasm.Module) []byte {
+	b := leb128.AppendU32(nil, uint32(len(m.Exports)))
+	for _, e := range m.Exports {
+		b = appendName(b, e.Name)
+		b = append(b, byte(e.Kind))
+		b = leb128.AppendU32(b, e.Idx)
+	}
+	return b
+}
+
+func encodeElems(m *wasm.Module) ([]byte, error) {
+	b := leb128.AppendU32(nil, uint32(len(m.Elems)))
+	for _, e := range m.Elems {
+		b = leb128.AppendU32(b, e.TableIdx)
+		var err error
+		b, err = appendExpr(b, e.Offset)
+		if err != nil {
+			return nil, err
+		}
+		b = leb128.AppendU32(b, uint32(len(e.Funcs)))
+		for _, f := range e.Funcs {
+			b = leb128.AppendU32(b, f)
+		}
+	}
+	return b, nil
+}
+
+func encodeDatas(m *wasm.Module) ([]byte, error) {
+	b := leb128.AppendU32(nil, uint32(len(m.Datas)))
+	for _, d := range m.Datas {
+		b = leb128.AppendU32(b, d.MemIdx)
+		var err error
+		b, err = appendExpr(b, d.Offset)
+		if err != nil {
+			return nil, err
+		}
+		b = leb128.AppendU32(b, uint32(len(d.Data)))
+		b = append(b, d.Data...)
+	}
+	return b, nil
+}
+
+func encodeCode(m *wasm.Module) ([]byte, error) {
+	b := leb128.AppendU32(nil, uint32(len(m.Funcs)))
+	var body []byte
+	for i := range m.Funcs {
+		f := &m.Funcs[i]
+		body = body[:0]
+		// Locals are run-length encoded by type.
+		var runs [][2]uint32 // (count, type byte)
+		for _, lt := range f.Locals {
+			if len(runs) > 0 && runs[len(runs)-1][1] == uint32(lt) {
+				runs[len(runs)-1][0]++
+			} else {
+				runs = append(runs, [2]uint32{1, uint32(lt)})
+			}
+		}
+		body = leb128.AppendU32(body, uint32(len(runs)))
+		for _, r := range runs {
+			body = leb128.AppendU32(body, r[0])
+			body = append(body, byte(r[1]))
+		}
+		var err error
+		body, err = appendInstrs(body, f.Body)
+		if err != nil {
+			return nil, fmt.Errorf("binary: function %d: %w", i, err)
+		}
+		b = leb128.AppendU32(b, uint32(len(body)))
+		b = append(b, body...)
+	}
+	return b, nil
+}
+
+// appendExpr encodes a constant expression, which must already be terminated
+// by an end instruction.
+func appendExpr(b []byte, expr []wasm.Instr) ([]byte, error) {
+	if len(expr) == 0 || expr[len(expr)-1].Op != wasm.OpEnd {
+		return nil, fmt.Errorf("binary: expression not terminated by end")
+	}
+	return appendInstrs(b, expr)
+}
+
+func appendInstrs(b []byte, instrs []wasm.Instr) ([]byte, error) {
+	for i := range instrs {
+		var err error
+		b, err = appendInstr(b, &instrs[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func appendInstr(b []byte, in *wasm.Instr) ([]byte, error) {
+	op := in.Op
+	if !op.Known() {
+		return nil, fmt.Errorf("binary: unknown opcode 0x%02x", byte(op))
+	}
+	b = append(b, byte(op))
+	switch op {
+	case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+		b = append(b, byte(in.Block))
+	case wasm.OpBr, wasm.OpBrIf, wasm.OpCall,
+		wasm.OpLocalGet, wasm.OpLocalSet, wasm.OpLocalTee,
+		wasm.OpGlobalGet, wasm.OpGlobalSet:
+		b = leb128.AppendU32(b, in.Idx)
+	case wasm.OpBrTable:
+		b = leb128.AppendU32(b, uint32(len(in.Table)))
+		for _, t := range in.Table {
+			b = leb128.AppendU32(b, t)
+		}
+		b = leb128.AppendU32(b, in.Idx) // default target
+	case wasm.OpCallIndirect:
+		b = leb128.AppendU32(b, in.Idx) // type index
+		b = append(b, 0x00)             // reserved table index
+	case wasm.OpMemorySize, wasm.OpMemoryGrow:
+		b = append(b, 0x00) // reserved memory index
+	case wasm.OpI32Const:
+		b = leb128.AppendS32(b, int32(in.I64))
+	case wasm.OpI64Const:
+		b = leb128.AppendS64(b, in.I64)
+	case wasm.OpF32Const:
+		bits := math.Float32bits(in.F32)
+		b = append(b, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
+	case wasm.OpF64Const:
+		bits := math.Float64bits(in.F64)
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(bits>>s))
+		}
+	default:
+		if op.IsLoad() || op.IsStore() {
+			b = leb128.AppendU32(b, in.Mem.Align)
+			b = leb128.AppendU32(b, in.Mem.Offset)
+		}
+	}
+	return b, nil
+}
+
+func encodeNameSection(m *wasm.Module) []byte {
+	b := appendName(nil, "name")
+	// Function names subsection (id 1), sorted by index.
+	idxs := make([]uint32, 0, len(m.FuncNames))
+	for i := range m.FuncNames {
+		idxs = append(idxs, i)
+	}
+	// Insertion sort: name maps are small.
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && idxs[j-1] > idxs[j]; j-- {
+			idxs[j-1], idxs[j] = idxs[j], idxs[j-1]
+		}
+	}
+	var sub []byte
+	sub = leb128.AppendU32(sub, uint32(len(idxs)))
+	for _, i := range idxs {
+		sub = leb128.AppendU32(sub, i)
+		sub = appendName(sub, m.FuncNames[i])
+	}
+	b = append(b, 1)
+	b = leb128.AppendU32(b, uint32(len(sub)))
+	b = append(b, sub...)
+	return b
+}

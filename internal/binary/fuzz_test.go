@@ -1,0 +1,68 @@
+package binary
+
+import (
+	"testing"
+
+	"wasabi/internal/analysis"
+	"wasabi/internal/core"
+	"wasabi/internal/synthapp"
+	"wasabi/internal/validate"
+)
+
+// FuzzDecode checks the decoder never panics on arbitrary input, and that
+// anything it accepts round-trips through the encoder and, if it validates,
+// survives full instrumentation. Run with `go test -fuzz=FuzzDecode`;
+// the seed corpus alone runs as a regular test.
+func FuzzDecode(f *testing.F) {
+	// Seeds: a valid rich module, a valid generated app, truncations, and
+	// a few corrupted variants.
+	rich, err := Encode(buildRichModule())
+	if err != nil {
+		f.Fatal(err)
+	}
+	app, err := Encode(synthapp.Generate(synthapp.Config{TargetBytes: 2000, Seed: 1, Helpers: 3}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rich)
+	f.Add(app)
+	f.Add(rich[:len(rich)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0, 0, 0})
+	corrupt := append([]byte(nil), rich...)
+	for i := 8; i < len(corrupt); i += 7 {
+		corrupt[i] ^= 0xA5
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejected: fine
+		}
+		// Accepted input must re-encode without error.
+		out, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded module failed to encode: %v", err)
+		}
+		// And the re-encoding must decode to something encodable again
+		// (idempotence of the canonical form).
+		m2, err := Decode(out)
+		if err != nil {
+			t.Fatalf("canonical form failed to decode: %v", err)
+		}
+		out2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("canonical form failed to re-encode: %v", err)
+		}
+		if string(out) != string(out2) {
+			t.Fatal("canonical encoding not a fixed point")
+		}
+		// If it validates, the instrumenter must handle it.
+		if validate.Module(m) == nil {
+			if _, _, err := core.Instrument(m, core.Options{Hooks: analysis.AllHooks, SkipValidation: true}); err != nil {
+				t.Fatalf("valid module failed to instrument: %v", err)
+			}
+		}
+	})
+}

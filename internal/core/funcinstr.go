@@ -1,0 +1,740 @@
+package core
+
+import (
+	"fmt"
+
+	"wasabi/internal/analysis"
+	"wasabi/internal/validate"
+	"wasabi/internal/wasm"
+)
+
+// ctrlEntry is one frame of the instrumenter's abstract control stack
+// (paper §2.4.4, Figure 6): the block kind and the locations of the block's
+// begin and matching end instruction in the ORIGINAL body.
+type ctrlEntry struct {
+	kind  analysis.BlockKind
+	begin int // original instruction index; -1 for the function frame
+	end   int
+	live  bool // whether the block entry itself is reachable
+}
+
+// scratchAlloc hands out per-function scratch locals for duplicating stack
+// operands ("freshly generated locals" in Table 3). Locals are reused across
+// instructions but never within one: release() must be called after each
+// original instruction.
+type scratchAlloc struct {
+	base   int // first scratch index = params + original locals
+	types  []wasm.ValType
+	inUse  map[wasm.ValType]int
+	byType map[wasm.ValType][]uint32
+}
+
+func newScratchAlloc(base int) *scratchAlloc {
+	return &scratchAlloc{
+		base:   base,
+		inUse:  make(map[wasm.ValType]int),
+		byType: make(map[wasm.ValType][]uint32),
+	}
+}
+
+func (a *scratchAlloc) take(t wasm.ValType) uint32 {
+	n := a.inUse[t]
+	a.inUse[t] = n + 1
+	pool := a.byType[t]
+	if n < len(pool) {
+		return pool[n]
+	}
+	idx := uint32(a.base + len(a.types))
+	a.types = append(a.types, t)
+	a.byType[t] = append(pool, idx)
+	return idx
+}
+
+func (a *scratchAlloc) release() {
+	for t := range a.inUse {
+		a.inUse[t] = 0
+	}
+}
+
+// funcInstrumenter instruments one function body.
+type funcInstrumenter struct {
+	mod     *wasm.Module
+	hooks   *hookRegistry
+	set     analysis.HookSet
+	funcIdx int // original function index
+	sig     wasm.FuncType
+	body    []wasm.Instr
+
+	tr      *validate.Tracker
+	ctrl    []ctrlEntry
+	scratch *scratchAlloc
+	out     []wasm.Instr
+
+	// hookCache avoids hitting the shared (locked) registry for every
+	// emitted hook call; only first use of a hook name per function goes to
+	// the registry.
+	hookCache map[string]uint32
+
+	isStart     bool
+	brTableBase int
+	brTables    []BrTableInfo
+}
+
+// instrumentFunc rewrites the body of the defined function at definedIdx.
+// It returns the new body, the scratch locals to append, and the br_table
+// metadata records (whose indices start at brTableBase).
+func instrumentFunc(mod *wasm.Module, set analysis.HookSet, hooks *hookRegistry,
+	definedIdx int, isStart bool, brTableBase int) (body []wasm.Instr, extraLocals []wasm.ValType, brTables []BrTableInfo, err error) {
+
+	f := &mod.Funcs[definedIdx]
+	funcIdx := mod.NumImportedFuncs() + definedIdx
+	sig := mod.Types[f.TypeIdx]
+
+	fi := &funcInstrumenter{
+		mod:         mod,
+		hooks:       hooks,
+		set:         set,
+		funcIdx:     funcIdx,
+		sig:         sig,
+		body:        f.Body,
+		tr:          validate.NewTracker(mod, sig, f.Locals),
+		scratch:     newScratchAlloc(len(sig.Params) + len(f.Locals)),
+		out:         make([]wasm.Instr, 0, len(f.Body)*3),
+		hookCache:   make(map[string]uint32, 64),
+		isStart:     isStart,
+		brTableBase: brTableBase,
+	}
+	if err := fi.run(); err != nil {
+		return nil, nil, nil, fmt.Errorf("core: func %d: %w", funcIdx, err)
+	}
+	return fi.out, fi.scratch.types, fi.brTables, nil
+}
+
+func (fi *funcInstrumenter) has(k analysis.HookKind) bool { return fi.set.Has(k) }
+
+func (fi *funcInstrumenter) emit(ins ...wasm.Instr) { fi.out = append(fi.out, ins...) }
+
+// emitLoc pushes the two i32 location arguments every hook receives.
+func (fi *funcInstrumenter) emitLoc(instrIdx int) {
+	fi.emit(wasm.I32Const(int32(fi.funcIdx)), wasm.I32Const(int32(instrIdx)))
+}
+
+// emitHookCall emits a call to the (possibly freshly monomorphized) hook.
+func (fi *funcInstrumenter) emitHookCall(spec HookSpec) {
+	idx, ok := fi.hookCache[spec.Name]
+	if !ok {
+		idx = fi.hooks.get(spec)
+		fi.hookCache[spec.Name] = idx
+	}
+	fi.emit(wasm.Call(idx))
+}
+
+// emitLowerLocal pushes the value held in a local in the host-boundary
+// representation: i64 is split into (lo, hi) i32 halves (paper §2.4.6,
+// Table 3 row 6).
+func (fi *funcInstrumenter) emitLowerLocal(t wasm.ValType, local uint32) {
+	if t != wasm.I64 {
+		fi.emit(wasm.LocalGet(local))
+		return
+	}
+	fi.emit(
+		wasm.LocalGet(local),
+		wasm.Op1(wasm.OpI32WrapI64), // lo
+		wasm.LocalGet(local),
+		wasm.I64ConstInstr(32),
+		wasm.Op1(wasm.OpI64ShrU),
+		wasm.Op1(wasm.OpI32WrapI64), // hi
+	)
+}
+
+// emitLowerGlobal is emitLowerLocal for a global variable.
+func (fi *funcInstrumenter) emitLowerGlobal(t wasm.ValType, global uint32) {
+	if t != wasm.I64 {
+		fi.emit(wasm.GlobalGet(global))
+		return
+	}
+	fi.emit(
+		wasm.GlobalGet(global),
+		wasm.Op1(wasm.OpI32WrapI64),
+		wasm.GlobalGet(global),
+		wasm.I64ConstInstr(32),
+		wasm.Op1(wasm.OpI64ShrU),
+		wasm.Op1(wasm.OpI32WrapI64),
+	)
+}
+
+// emitLowerConst pushes the value of a constant instruction in lowered form;
+// for i64 constants the two halves are emitted directly as i32 constants.
+func (fi *funcInstrumenter) emitLowerConst(in wasm.Instr) {
+	if in.Op == wasm.OpI64Const {
+		v := uint64(in.I64)
+		fi.emit(wasm.I32Const(int32(uint32(v))), wasm.I32Const(int32(uint32(v>>32))))
+		return
+	}
+	fi.emit(in)
+}
+
+// frame returns the control frame n levels from the top (0 = innermost).
+func (fi *funcInstrumenter) frame(n int) *ctrlEntry { return &fi.ctrl[len(fi.ctrl)-1-n] }
+
+// resolveTarget computes the absolute instruction index a branch with the
+// given relative label jumps to (paper §2.4.4): for loops the first
+// instruction of the loop body (a backward jump), otherwise the instruction
+// after the block's matching end (a forward jump).
+func (fi *funcInstrumenter) resolveTarget(label uint32) (int, error) {
+	if int(label) >= len(fi.ctrl) {
+		return 0, fmt.Errorf("branch label %d exceeds control depth %d", label, len(fi.ctrl))
+	}
+	fr := fi.frame(int(label))
+	switch fr.kind {
+	case analysis.BlockLoop:
+		return fr.begin + 1, nil
+	case analysis.BlockFunction:
+		return fr.end, nil // the implicit function end (i.e. return)
+	default:
+		return fr.end + 1, nil
+	}
+}
+
+// endInfos collects the EndInfo records for the blocks traversed by a
+// branch with the given label: every frame from the innermost through the
+// target, both inclusive (paper §2.4.5).
+func (fi *funcInstrumenter) endInfos(label uint32) []EndInfo {
+	infos := make([]EndInfo, 0, label+1)
+	for k := 0; k <= int(label); k++ {
+		fr := fi.frame(k)
+		infos = append(infos, EndInfo{Kind: fr.kind, End: fr.end, Begin: fr.begin})
+	}
+	return infos
+}
+
+// emitEndHooksFor emits inline calls to the end hooks of all traversed
+// blocks for a branch with the given label.
+func (fi *funcInstrumenter) emitEndHooksFor(label uint32) {
+	for _, info := range fi.endInfos(label) {
+		fi.emitEndHook(info)
+	}
+}
+
+func (fi *funcInstrumenter) emitEndHook(info EndInfo) {
+	fi.emitLoc(info.End)
+	fi.emit(wasm.I32Const(int32(info.Begin)))
+	fi.emitHookCall(specEnd(info.Kind))
+}
+
+func (fi *funcInstrumenter) run() error {
+	matchEnd, matchElse, err := controlMatches(fi.body)
+	if err != nil {
+		return err
+	}
+	fi.ctrl = append(fi.ctrl, ctrlEntry{
+		kind: analysis.BlockFunction, begin: -1, end: len(fi.body) - 1, live: true,
+	})
+
+	// Module start function: the start hook fires before anything else.
+	if fi.isStart && fi.has(analysis.KindStart) {
+		fi.emitLoc(-1)
+		fi.emitHookCall(specStart())
+	}
+	if fi.has(analysis.KindBegin) {
+		fi.emitLoc(-1)
+		fi.emitHookCall(specBegin(analysis.BlockFunction))
+	}
+
+	for i, in := range fi.body {
+		reachable := !fi.tr.UnreachableNow()
+		if err := fi.instr(i, in, reachable, matchEnd, matchElse); err != nil {
+			return fmt.Errorf("instr %d (%s): %w", i, in.Op, err)
+		}
+		if err := fi.tr.Step(in); err != nil {
+			return fmt.Errorf("instr %d (%s): type tracking: %w", i, in.Op, err)
+		}
+		fi.scratch.release()
+	}
+	if !fi.tr.Done() {
+		return fmt.Errorf("body ended with %d open blocks", fi.tr.Depth())
+	}
+	return nil
+}
+
+// instr emits the instrumented sequence for the original instruction at
+// index i. The original instruction is always preserved; hook calls and
+// operand duplication are interleaved around it (Table 3 in the paper).
+func (fi *funcInstrumenter) instr(i int, in wasm.Instr, reachable bool, matchEnd, matchElse []int32) error {
+	op := in.Op
+	switch op {
+	case wasm.OpNop:
+		fi.emit(in)
+		if reachable && fi.has(analysis.KindNop) {
+			fi.emitLoc(i)
+			fi.emitHookCall(specNop())
+		}
+
+	case wasm.OpUnreachable:
+		// The hook must run before the trap.
+		if reachable && fi.has(analysis.KindUnreachable) {
+			fi.emitLoc(i)
+			fi.emitHookCall(specUnreachable())
+		}
+		fi.emit(in)
+
+	case wasm.OpBlock, wasm.OpLoop:
+		kind := analysis.BlockBlock
+		if op == wasm.OpLoop {
+			kind = analysis.BlockLoop
+		}
+		fi.ctrl = append(fi.ctrl, ctrlEntry{kind: kind, begin: i, end: int(matchEnd[i]), live: reachable})
+		fi.emit(in)
+		if reachable && fi.has(analysis.KindBegin) {
+			// For loops this call sits at the loop header and therefore
+			// fires once per iteration, as the paper specifies.
+			fi.emitLoc(i)
+			fi.emitHookCall(specBegin(kind))
+		}
+
+	case wasm.OpIf:
+		if reachable && fi.has(analysis.KindIf) {
+			c := fi.scratch.take(wasm.I32)
+			fi.emit(wasm.LocalTee(c))
+			fi.emitLoc(i)
+			fi.emit(wasm.LocalGet(c))
+			fi.emitHookCall(specIf())
+		}
+		fi.ctrl = append(fi.ctrl, ctrlEntry{kind: analysis.BlockIf, begin: i, end: int(matchEnd[i]), live: reachable})
+		fi.emit(in)
+		if reachable && fi.has(analysis.KindBegin) {
+			fi.emitLoc(i)
+			fi.emitHookCall(specBegin(analysis.BlockIf))
+		}
+
+	case wasm.OpElse:
+		fr := fi.frame(0)
+		// The end hook of the then-branch: reached only by falling through
+		// to the else, so guard on reachability at this point.
+		if reachable && fi.has(analysis.KindEnd) {
+			fi.emitEndHook(EndInfo{Kind: analysis.BlockIf, End: i, Begin: fr.begin})
+		}
+		live := fr.live
+		*fr = ctrlEntry{kind: analysis.BlockElse, begin: i, end: fr.end, live: live}
+		fi.emit(in)
+		if live && fi.has(analysis.KindBegin) {
+			fi.emitLoc(i)
+			fi.emitHookCall(specBegin(analysis.BlockElse))
+		}
+
+	case wasm.OpEnd:
+		fr := fi.frame(0)
+		if len(fi.ctrl) == 1 {
+			// Function-level end: implicit return, then the function end hook.
+			if reachable && fi.has(analysis.KindReturn) {
+				fi.emitReturnHook(i, true)
+			}
+			if reachable && fi.has(analysis.KindEnd) {
+				fi.emitEndHook(EndInfo{Kind: analysis.BlockFunction, End: i, Begin: -1})
+			}
+		} else if reachable && fi.has(analysis.KindEnd) {
+			fi.emitEndHook(EndInfo{Kind: fr.kind, End: i, Begin: fr.begin})
+		}
+		fi.ctrl = fi.ctrl[:len(fi.ctrl)-1]
+		fi.emit(in)
+
+	case wasm.OpBr:
+		if reachable {
+			if fi.has(analysis.KindBr) {
+				target, err := fi.resolveTarget(in.Idx)
+				if err != nil {
+					return err
+				}
+				fi.emitLoc(i)
+				fi.emit(wasm.I32Const(int32(in.Idx)), wasm.I32Const(int32(target)))
+				fi.emitHookCall(specBr())
+			}
+			if fi.has(analysis.KindEnd) {
+				fi.emitEndHooksFor(in.Idx)
+			}
+		}
+		fi.emit(in)
+
+	case wasm.OpBrIf:
+		if reachable && (fi.has(analysis.KindBrIf) || fi.has(analysis.KindEnd)) {
+			target, err := fi.resolveTarget(in.Idx)
+			if err != nil {
+				return err
+			}
+			c := fi.scratch.take(wasm.I32)
+			fi.emit(wasm.LocalSet(c))
+			if fi.has(analysis.KindBrIf) {
+				fi.emitLoc(i)
+				fi.emit(wasm.I32Const(int32(in.Idx)), wasm.I32Const(int32(target)), wasm.LocalGet(c))
+				fi.emitHookCall(specBrIf())
+			}
+			if fi.has(analysis.KindEnd) {
+				// End hooks fire only if the branch is taken (paper §2.4.5).
+				fi.emit(wasm.LocalGet(c), wasm.IfInstr(wasm.BlockEmpty))
+				fi.emitEndHooksFor(in.Idx)
+				fi.emit(wasm.End())
+			}
+			fi.emit(wasm.LocalGet(c))
+		}
+		fi.emit(in)
+
+	case wasm.OpBrTable:
+		if reachable && (fi.has(analysis.KindBrTable) || fi.has(analysis.KindEnd)) {
+			info := BrTableInfo{Loc: analysis.Location{Func: fi.funcIdx, Instr: i}}
+			for _, label := range in.Table {
+				target, err := fi.resolveTarget(label)
+				if err != nil {
+					return err
+				}
+				info.Targets = append(info.Targets, ResolvedTarget{Label: label, Instr: target, Ends: fi.endInfos(label)})
+			}
+			target, err := fi.resolveTarget(in.Idx)
+			if err != nil {
+				return err
+			}
+			info.Default = ResolvedTarget{Label: in.Idx, Instr: target, Ends: fi.endInfos(in.Idx)}
+			metaIdx := fi.brTableBase + len(fi.brTables)
+			fi.brTables = append(fi.brTables, info)
+
+			idx := fi.scratch.take(wasm.I32)
+			fi.emit(wasm.LocalSet(idx))
+			fi.emitLoc(i)
+			fi.emit(wasm.I32Const(int32(metaIdx)), wasm.LocalGet(idx))
+			fi.emitHookCall(specBrTable())
+			fi.emit(wasm.LocalGet(idx))
+		}
+		fi.emit(in)
+
+	case wasm.OpReturn:
+		if reachable {
+			if fi.has(analysis.KindReturn) {
+				fi.emitReturnHook(i, false)
+			}
+			if fi.has(analysis.KindEnd) {
+				fi.emitEndHooksFor(uint32(len(fi.ctrl) - 1))
+			}
+		}
+		fi.emit(in)
+
+	case wasm.OpCall:
+		if !reachable || !fi.has(analysis.KindCall) {
+			fi.emit(in)
+			return nil
+		}
+		sig, err := fi.mod.FuncType(in.Idx)
+		if err != nil {
+			return err
+		}
+		fi.emitCallHooks(i, in, sig, false)
+
+	case wasm.OpCallIndirect:
+		if !reachable || !fi.has(analysis.KindCall) {
+			fi.emit(in)
+			return nil
+		}
+		if int(in.Idx) >= len(fi.mod.Types) {
+			return fmt.Errorf("call_indirect type index %d out of range", in.Idx)
+		}
+		fi.emitCallHooks(i, in, fi.mod.Types[in.Idx], true)
+
+	case wasm.OpDrop:
+		t := fi.tr.Top(0)
+		if !reachable || !fi.has(analysis.KindDrop) || t == validate.Unknown {
+			fi.emit(in)
+			return nil
+		}
+		// The monomorphic drop hook consumes the value in place of the drop
+		// (Table 3 row 4); the original drop is replaced by a local.set.
+		v := fi.scratch.take(t)
+		fi.emit(wasm.LocalSet(v))
+		fi.emitLoc(i)
+		fi.emitLowerLocal(t, v)
+		fi.emitHookCall(specDrop(t))
+
+	case wasm.OpSelect:
+		t := fi.tr.Top(1)
+		if t == validate.Unknown {
+			t = fi.tr.Top(2)
+		}
+		if !reachable || !fi.has(analysis.KindSelect) || t == validate.Unknown {
+			fi.emit(in)
+			return nil
+		}
+		c := fi.scratch.take(wasm.I32)
+		second := fi.scratch.take(t)
+		first := fi.scratch.take(t)
+		fi.emit(wasm.LocalSet(c), wasm.LocalSet(second), wasm.LocalSet(first))
+		fi.emitLoc(i)
+		fi.emit(wasm.LocalGet(c))
+		fi.emitLowerLocal(t, first)
+		fi.emitLowerLocal(t, second)
+		fi.emitHookCall(specSelect(t))
+		fi.emit(wasm.LocalGet(first), wasm.LocalGet(second), wasm.LocalGet(c), in)
+
+	case wasm.OpLocalGet, wasm.OpLocalSet, wasm.OpLocalTee:
+		if !reachable || !fi.has(analysis.KindLocal) {
+			fi.emit(in)
+			return nil
+		}
+		t, err := fi.tr.LocalType(in.Idx)
+		if err != nil {
+			return err
+		}
+		// After the instruction executes, the local itself holds the value
+		// (for get trivially; for set/tee it was just written), so the hook
+		// argument is re-read from the local, with no stack juggling.
+		fi.emit(in)
+		fi.emitLoc(i)
+		fi.emit(wasm.I32Const(int32(in.Idx)))
+		fi.emitLowerLocal(t, in.Idx)
+		fi.emitHookCall(specLocal(op, t))
+
+	case wasm.OpGlobalGet, wasm.OpGlobalSet:
+		if !reachable || !fi.has(analysis.KindGlobal) {
+			fi.emit(in)
+			return nil
+		}
+		gt, err := fi.mod.GlobalType(in.Idx)
+		if err != nil {
+			return err
+		}
+		fi.emit(in)
+		fi.emitLoc(i)
+		fi.emit(wasm.I32Const(int32(in.Idx)))
+		fi.emitLowerGlobal(gt.Type, in.Idx)
+		fi.emitHookCall(specGlobal(op, gt.Type))
+
+	case wasm.OpMemorySize:
+		fi.emit(in)
+		if reachable && fi.has(analysis.KindMemorySize) {
+			r := fi.scratch.take(wasm.I32)
+			fi.emit(wasm.LocalTee(r))
+			fi.emitLoc(i)
+			fi.emit(wasm.LocalGet(r))
+			fi.emitHookCall(specMemorySize())
+		}
+
+	case wasm.OpMemoryGrow:
+		if !reachable || !fi.has(analysis.KindMemoryGrow) {
+			fi.emit(in)
+			return nil
+		}
+		d := fi.scratch.take(wasm.I32)
+		r := fi.scratch.take(wasm.I32)
+		fi.emit(wasm.LocalTee(d), in, wasm.LocalTee(r))
+		fi.emitLoc(i)
+		fi.emit(wasm.LocalGet(d), wasm.LocalGet(r))
+		fi.emitHookCall(specMemoryGrow())
+
+	case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
+		fi.emit(in)
+		if reachable && fi.has(analysis.KindConst) {
+			fi.emitLoc(i)
+			fi.emitLowerConst(in)
+			t, _, _ := constTypeOf(in.Op)
+			fi.emitHookCall(specConst(t))
+		}
+
+	default:
+		switch {
+		case op.IsLoad():
+			if !reachable || !fi.has(analysis.KindLoad) {
+				fi.emit(in)
+				return nil
+			}
+			t, _ := op.LoadStoreType()
+			addr := fi.scratch.take(wasm.I32)
+			val := fi.scratch.take(t)
+			fi.emit(wasm.LocalTee(addr), in, wasm.LocalTee(val))
+			fi.emitLoc(i)
+			fi.emit(wasm.I32Const(int32(in.Mem.Offset)), wasm.LocalGet(addr))
+			fi.emitLowerLocal(t, val)
+			fi.emitHookCall(specLoad(op))
+
+		case op.IsStore():
+			if !reachable || !fi.has(analysis.KindStore) {
+				fi.emit(in)
+				return nil
+			}
+			t, _ := op.LoadStoreType()
+			val := fi.scratch.take(t)
+			addr := fi.scratch.take(wasm.I32)
+			fi.emit(wasm.LocalSet(val), wasm.LocalTee(addr), wasm.LocalGet(val), in)
+			fi.emitLoc(i)
+			fi.emit(wasm.I32Const(int32(in.Mem.Offset)), wasm.LocalGet(addr))
+			fi.emitLowerLocal(t, val)
+			fi.emitHookCall(specStore(op))
+
+		case op.IsUnary():
+			if !reachable || !fi.has(analysis.KindUnary) {
+				fi.emit(in)
+				return nil
+			}
+			ins, outs, _ := wasm.NumericSig(op)
+			input := fi.scratch.take(ins[0])
+			result := fi.scratch.take(outs[0])
+			fi.emit(wasm.LocalTee(input), in, wasm.LocalTee(result))
+			fi.emitLoc(i)
+			fi.emitLowerLocal(ins[0], input)
+			fi.emitLowerLocal(outs[0], result)
+			fi.emitHookCall(specUnary(op))
+
+		case op.IsBinary():
+			if !reachable || !fi.has(analysis.KindBinary) {
+				fi.emit(in)
+				return nil
+			}
+			ins, outs, _ := wasm.NumericSig(op)
+			b := fi.scratch.take(ins[1])
+			a := fi.scratch.take(ins[0])
+			r := fi.scratch.take(outs[0])
+			fi.emit(wasm.LocalSet(b), wasm.LocalTee(a), wasm.LocalGet(b), in, wasm.LocalTee(r))
+			fi.emitLoc(i)
+			fi.emitLowerLocal(ins[0], a)
+			fi.emitLowerLocal(ins[1], b)
+			fi.emitLowerLocal(outs[0], r)
+			fi.emitHookCall(specBinary(op))
+
+		default:
+			return fmt.Errorf("unhandled opcode %s", op)
+		}
+	}
+	return nil
+}
+
+// emitReturnHook saves the function results into scratch locals, calls the
+// (monomorphized) return hook, and restores the results. When implicit is
+// true the hook fires for the implicit return at the function's final end.
+func (fi *funcInstrumenter) emitReturnHook(i int, implicit bool) {
+	results := fi.sig.Results
+	saved := make([]uint32, len(results))
+	for k := len(results) - 1; k >= 0; k-- {
+		saved[k] = fi.scratch.take(results[k])
+		fi.emit(wasm.LocalSet(saved[k]))
+	}
+	fi.emitLoc(i)
+	for k, t := range results {
+		fi.emitLowerLocal(t, saved[k])
+	}
+	fi.emitHookCall(specReturn(results))
+	for k := range results {
+		fi.emit(wasm.LocalGet(saved[k]))
+	}
+}
+
+// emitCallHooks implements Table 3 row 3: save the arguments, call the
+// monomorphized call_pre hook, restore the arguments, perform the call, then
+// save/pass/restore the results through the call_post hook.
+func (fi *funcInstrumenter) emitCallHooks(i int, in wasm.Instr, sig wasm.FuncType, indirect bool) {
+	params := sig.Params
+
+	var tblIdx uint32
+	if indirect {
+		tblIdx = fi.scratch.take(wasm.I32)
+		fi.emit(wasm.LocalSet(tblIdx))
+	}
+	saved := make([]uint32, len(params))
+	for k := len(params) - 1; k >= 0; k-- {
+		saved[k] = fi.scratch.take(params[k])
+		fi.emit(wasm.LocalSet(saved[k]))
+	}
+
+	// call_pre hook: (loc, target-or-tableIdx, args...).
+	fi.emitLoc(i)
+	if indirect {
+		fi.emit(wasm.LocalGet(tblIdx))
+	} else {
+		fi.emit(wasm.I32Const(int32(in.Idx))) // original function index
+	}
+	for k, t := range params {
+		fi.emitLowerLocal(t, saved[k])
+	}
+	fi.emitHookCall(specCallPre(sig, indirect))
+
+	// Restore arguments and perform the original call.
+	for k := range params {
+		fi.emit(wasm.LocalGet(saved[k]))
+	}
+	if indirect {
+		fi.emit(wasm.LocalGet(tblIdx))
+	}
+	fi.emit(in)
+
+	// call_post hook: (loc, results...).
+	results := sig.Results
+	savedR := make([]uint32, len(results))
+	for k := len(results) - 1; k >= 0; k-- {
+		savedR[k] = fi.scratch.take(results[k])
+		fi.emit(wasm.LocalSet(savedR[k]))
+	}
+	fi.emitLoc(i)
+	for k, t := range results {
+		fi.emitLowerLocal(t, savedR[k])
+	}
+	fi.emitHookCall(specCallPost(results))
+	for k := range results {
+		fi.emit(wasm.LocalGet(savedR[k]))
+	}
+}
+
+func constTypeOf(op wasm.Opcode) (wasm.ValType, []wasm.ValType, bool) {
+	_, outs, ok := wasm.NumericSig(op)
+	if !ok || len(outs) != 1 {
+		return 0, nil, false
+	}
+	return outs[0], outs, true
+}
+
+// controlMatches computes, for every block/loop/if instruction, the index of
+// its matching end (and else, for ifs). It mirrors the interpreter's
+// compile-time pass but lives here so the instrumenter has no dependency on
+// the interpreter.
+func controlMatches(body []wasm.Instr) (matchEnd, matchElse []int32, err error) {
+	matchEnd = make([]int32, len(body))
+	matchElse = make([]int32, len(body))
+	for i := range body {
+		matchEnd[i] = -1
+		matchElse[i] = -1
+	}
+	var stack []int
+	sawFuncEnd := false
+	for pc, in := range body {
+		switch in.Op {
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+			stack = append(stack, pc)
+		case wasm.OpElse:
+			if len(stack) == 0 {
+				return nil, nil, fmt.Errorf("core: else without if at instr %d", pc)
+			}
+			entry := stack[len(stack)-1]
+			opener := entry & 0xFFFFFFFF
+			if entry>>32 != 0 || body[opener].Op != wasm.OpIf {
+				return nil, nil, fmt.Errorf("core: else without if at instr %d", pc)
+			}
+			matchElse[opener] = int32(pc)
+			stack[len(stack)-1] = opener | (pc << 32)
+		case wasm.OpEnd:
+			if len(stack) == 0 {
+				if pc != len(body)-1 {
+					return nil, nil, fmt.Errorf("core: function-level end at instr %d is not final", pc)
+				}
+				sawFuncEnd = true
+				continue
+			}
+			entry := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			opener := entry & 0xFFFFFFFF
+			matchEnd[opener] = int32(pc)
+			if elsePC := entry >> 32; elsePC != 0 {
+				matchEnd[elsePC] = int32(pc)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, nil, fmt.Errorf("core: %d unclosed blocks", len(stack))
+	}
+	if !sawFuncEnd {
+		return nil, nil, fmt.Errorf("core: missing function-level end")
+	}
+	return matchEnd, matchElse, nil
+}

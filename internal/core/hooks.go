@@ -1,0 +1,206 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"wasabi/internal/analysis"
+	"wasabi/internal/wasm"
+)
+
+// hookRegistry performs on-demand monomorphization (paper §2.4.3): low-level
+// hooks are generated lazily, only for the instructions and type
+// combinations actually present in the binary. Function bodies are
+// instrumented in parallel (paper §3), so the registry is the single
+// synchronization point, guarded by a readers/writer lock: the common case
+// (hook already generated) takes only the read lock; the slow path upgrades
+// by releasing and re-checking under the write lock.
+type hookRegistry struct {
+	base uint32 // placeholder index of the first hook (original NumFuncs)
+
+	mu     sync.RWMutex
+	byName map[string]uint32 // hook name → ordinal k (placeholder = base + k)
+	specs  []HookSpec
+}
+
+func newHookRegistry(base uint32) *hookRegistry {
+	return &hookRegistry{base: base, byName: make(map[string]uint32)}
+}
+
+// get returns the placeholder function index for the hook described by
+// spec, generating the hook on first use.
+func (r *hookRegistry) get(spec HookSpec) uint32 {
+	r.mu.RLock()
+	k, ok := r.byName[spec.Name]
+	r.mu.RUnlock()
+	if ok {
+		return r.base + k
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.byName[spec.Name]; ok {
+		return r.base + k
+	}
+	k = uint32(len(r.specs))
+	r.byName[spec.Name] = k
+	r.specs = append(r.specs, spec)
+	return r.base + k
+}
+
+// finalize returns the hooks sorted by name together with a permutation
+// mapping the ordinal k used in placeholders to the sorted position. Sorting
+// makes the instrumented binary deterministic regardless of the scheduling
+// of the parallel instrumentation goroutines.
+func (r *hookRegistry) finalize() (specs []HookSpec, perm []uint32) {
+	specs = append([]HookSpec(nil), r.specs...)
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return specs[order[a]].Name < specs[order[b]].Name })
+	perm = make([]uint32, len(specs))
+	sorted := make([]HookSpec, len(specs))
+	for newPos, oldK := range order {
+		perm[oldK] = uint32(newPos)
+		sorted[newPos] = specs[oldK]
+	}
+	return sorted, perm
+}
+
+// Spec constructors, one per hook family. Names are canonical and double as
+// import field names and monomorphization keys.
+
+func specSimple(name string, kind analysis.HookKind, payload ...wasm.ValType) HookSpec {
+	return HookSpec{Name: name, Kind: kind, Types: payload}
+}
+
+func specConst(t wasm.ValType) HookSpec {
+	return HookSpec{Name: "const_" + t.String(), Kind: analysis.KindConst, Types: []wasm.ValType{t}}
+}
+
+func specDrop(t wasm.ValType) HookSpec {
+	return HookSpec{Name: "drop_" + t.String(), Kind: analysis.KindDrop, Types: []wasm.ValType{t}}
+}
+
+func specSelect(t wasm.ValType) HookSpec {
+	return HookSpec{
+		Name: "select_" + t.String(), Kind: analysis.KindSelect,
+		Types: []wasm.ValType{wasm.I32, t, t}, // cond, first, second
+	}
+}
+
+func specUnary(op wasm.Opcode) HookSpec {
+	in, out, _ := wasm.NumericSig(op)
+	return HookSpec{
+		Name: "unary_" + op.String(), Kind: analysis.KindUnary, Op: op,
+		Types: []wasm.ValType{in[0], out[0]},
+	}
+}
+
+func specBinary(op wasm.Opcode) HookSpec {
+	in, out, _ := wasm.NumericSig(op)
+	return HookSpec{
+		Name: "binary_" + op.String(), Kind: analysis.KindBinary, Op: op,
+		Types: []wasm.ValType{in[0], in[1], out[0]},
+	}
+}
+
+func specLoad(op wasm.Opcode) HookSpec {
+	t, _ := op.LoadStoreType()
+	return HookSpec{
+		Name: "load_" + op.String(), Kind: analysis.KindLoad, Op: op,
+		Types: []wasm.ValType{wasm.I32, wasm.I32, t}, // offset, addr, value
+	}
+}
+
+func specStore(op wasm.Opcode) HookSpec {
+	t, _ := op.LoadStoreType()
+	return HookSpec{
+		Name: "store_" + op.String(), Kind: analysis.KindStore, Op: op,
+		Types: []wasm.ValType{wasm.I32, wasm.I32, t},
+	}
+}
+
+func specLocal(op wasm.Opcode, t wasm.ValType) HookSpec {
+	return HookSpec{
+		Name: op.String() + "_" + t.String(), Kind: analysis.KindLocal, Op: op,
+		Types: []wasm.ValType{wasm.I32, t}, // index, value
+	}
+}
+
+func specGlobal(op wasm.Opcode, t wasm.ValType) HookSpec {
+	return HookSpec{
+		Name: op.String() + "_" + t.String(), Kind: analysis.KindGlobal, Op: op,
+		Types: []wasm.ValType{wasm.I32, t},
+	}
+}
+
+func specCallPre(sig wasm.FuncType, indirect bool) HookSpec {
+	name := "call_pre"
+	payload := []wasm.ValType{wasm.I32} // target func idx (direct) or table idx (indirect)
+	if indirect {
+		name = "call_pre_indirect"
+	}
+	payload = append(payload, sig.Params...)
+	return HookSpec{
+		Name: name + typeSuffix(sig.Params), Kind: analysis.KindCall,
+		Types: payload, Indirect: indirect,
+	}
+}
+
+func specCallPost(results []wasm.ValType) HookSpec {
+	return HookSpec{
+		Name: "call_post" + typeSuffix(results), Kind: analysis.KindCall,
+		Types: results, Post: true,
+	}
+}
+
+func specReturn(results []wasm.ValType) HookSpec {
+	return HookSpec{
+		Name: "return" + typeSuffix(results), Kind: analysis.KindReturn,
+		Types: results,
+	}
+}
+
+func specIf() HookSpec {
+	return specSimple("if", analysis.KindIf, wasm.I32)
+}
+
+func specBr() HookSpec {
+	// payload: raw label, resolved target instruction index
+	return specSimple("br", analysis.KindBr, wasm.I32, wasm.I32)
+}
+
+func specBrIf() HookSpec {
+	// payload: raw label, resolved target, condition
+	return specSimple("br_if", analysis.KindBrIf, wasm.I32, wasm.I32, wasm.I32)
+}
+
+func specBrTable() HookSpec {
+	// payload: metadata table index, runtime branch index
+	return specSimple("br_table", analysis.KindBrTable, wasm.I32, wasm.I32)
+}
+
+func specBegin(kind analysis.BlockKind) HookSpec {
+	return HookSpec{Name: "begin_" + string(kind), Kind: analysis.KindBegin, Block: kind}
+}
+
+func specEnd(kind analysis.BlockKind) HookSpec {
+	// payload: instruction index of the matching begin
+	return HookSpec{
+		Name: "end_" + string(kind), Kind: analysis.KindEnd, Block: kind,
+		Types: []wasm.ValType{wasm.I32},
+	}
+}
+
+func specMemorySize() HookSpec {
+	return specSimple("memory_size", analysis.KindMemorySize, wasm.I32)
+}
+
+func specMemoryGrow() HookSpec {
+	return specSimple("memory_grow", analysis.KindMemoryGrow, wasm.I32, wasm.I32)
+}
+
+func specNop() HookSpec         { return specSimple("nop", analysis.KindNop) }
+func specUnreachable() HookSpec { return specSimple("unreachable", analysis.KindUnreachable) }
+func specStart() HookSpec       { return specSimple("start", analysis.KindStart) }

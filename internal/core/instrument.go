@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wasabi/internal/analysis"
+	"wasabi/internal/validate"
+	"wasabi/internal/wasm"
+)
+
+// Options configure an instrumentation run.
+type Options struct {
+	// Hooks selects which instruction classes to instrument (selective
+	// instrumentation, paper §2.4.2). The zero value instruments nothing;
+	// use analysis.AllHooks for full instrumentation or analysis.HooksOf to
+	// derive the set from an analysis value.
+	Hooks analysis.HookSet
+
+	// Parallelism bounds the number of goroutines instrumenting function
+	// bodies concurrently (paper §3). 0 means GOMAXPROCS; 1 disables
+	// parallelism.
+	Parallelism int
+
+	// SkipValidation skips validating the input module first. The
+	// instrumenter assumes a valid module; only skip for trusted inputs.
+	SkipValidation bool
+}
+
+// ForAnalysis returns Options that selectively instrument exactly the hooks
+// the given analysis implements.
+func ForAnalysis(a any) Options {
+	return Options{Hooks: analysis.HooksOf(a)}
+}
+
+// Instrument rewrites m into an instrumented module that calls imported
+// low-level hooks (module name HookModule) around the selected instruction
+// classes. The input module is not modified. The returned Metadata carries
+// everything the runtime dispatcher needs.
+func Instrument(m *wasm.Module, opts Options) (*wasm.Module, *Metadata, error) {
+	if !opts.SkipValidation {
+		if err := validate.Module(m); err != nil {
+			return nil, nil, fmt.Errorf("core: input module invalid: %w", err)
+		}
+	}
+
+	out := copyModule(m)
+	numOldImports := m.NumImportedFuncs()
+	hooks := newHookRegistry(uint32(m.NumFuncs()))
+
+	// Pre-pass: assign deterministic br_table metadata index ranges per
+	// function so parallel workers need no coordination.
+	brBase := make([]int, len(m.Funcs))
+	totalBrTables := 0
+	for i := range m.Funcs {
+		brBase[i] = totalBrTables
+		for _, in := range m.Funcs[i].Body {
+			if in.Op == wasm.OpBrTable {
+				totalBrTables++
+			}
+		}
+	}
+
+	startDefined := -1
+	if m.Start != nil && int(*m.Start) >= numOldImports {
+		startDefined = int(*m.Start) - numOldImports
+	}
+
+	type result struct {
+		body     []wasm.Instr
+		locals   []wasm.ValType
+		brTables []BrTableInfo
+		err      error
+	}
+	results := make([]result, len(m.Funcs))
+
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := range m.Funcs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			body, locals, brs, err := instrumentFunc(m, opts.Hooks, hooks, i, i == startDefined, brBase[i])
+			results[i] = result{body, locals, brs, err}
+		}(i)
+	}
+	wg.Wait()
+
+	brTables := make([]BrTableInfo, totalBrTables)
+	for i := range results {
+		if results[i].err != nil {
+			return nil, nil, results[i].err
+		}
+		out.Funcs[i].Body = results[i].body
+		out.Funcs[i].Locals = append(out.Funcs[i].Locals, results[i].locals...)
+		copy(brTables[brBase[i]:], results[i].brTables)
+	}
+
+	// Finalize the hook registry: sort hooks by name for deterministic
+	// output and compute the placeholder→final permutation.
+	specs, perm := hooks.finalize()
+	k := len(specs)
+
+	// Splice hook imports after the original imports and remap all function
+	// indices: original defined functions shift by k; placeholders map into
+	// the new import range.
+	hookImports := make([]wasm.Import, 0, k)
+	for i := range specs {
+		ti := out.AddType(specs[i].WasmType())
+		hookImports = append(hookImports, wasm.Import{
+			Module: HookModule, Name: specs[i].Name, Kind: wasm.ExternFunc, TypeIdx: ti,
+		})
+	}
+	// Imports must keep their relative order; hook (function) imports go at
+	// the end, which keeps all original import indices stable.
+	out.Imports = append(out.Imports, hookImports...)
+
+	base := uint32(m.NumFuncs())
+	remap := func(idx uint32) uint32 {
+		switch {
+		case idx >= base: // hook placeholder
+			return uint32(numOldImports) + perm[idx-base]
+		case int(idx) >= numOldImports: // original defined function
+			return idx + uint32(k)
+		default: // original imported function
+			return idx
+		}
+	}
+	for fi := range out.Funcs {
+		body := out.Funcs[fi].Body
+		for ii := range body {
+			if body[ii].Op == wasm.OpCall {
+				body[ii].Idx = remap(body[ii].Idx)
+			}
+		}
+	}
+	for ei := range out.Elems {
+		funcs := make([]uint32, len(out.Elems[ei].Funcs))
+		for j, f := range out.Elems[ei].Funcs {
+			funcs[j] = remap(f)
+		}
+		out.Elems[ei].Funcs = funcs
+	}
+	for xi := range out.Exports {
+		if out.Exports[xi].Kind == wasm.ExternFunc {
+			out.Exports[xi].Idx = remap(out.Exports[xi].Idx)
+		}
+	}
+	if out.Start != nil {
+		s := remap(*out.Start)
+		out.Start = &s
+	}
+	if len(out.FuncNames) > 0 {
+		names := make(map[uint32]string, len(out.FuncNames))
+		for idx, name := range out.FuncNames {
+			names[remap(idx)] = name
+		}
+		out.FuncNames = names
+	}
+
+	md := &Metadata{
+		Hooks:            specs,
+		BrTables:         brTables,
+		HookSet:          opts.Hooks,
+		NumImportedFuncs: numOldImports,
+		NumHooks:         k,
+		Info:             buildModuleInfo(m),
+	}
+	return out, md, nil
+}
+
+// buildModuleInfo extracts the static module information analyses receive,
+// expressed in the ORIGINAL function index space.
+func buildModuleInfo(m *wasm.Module) analysis.ModuleInfo {
+	n := m.NumFuncs()
+	info := analysis.ModuleInfo{
+		FuncTypes:        make([]wasm.FuncType, n),
+		FuncNames:        make([]string, n),
+		NumImportedFuncs: m.NumImportedFuncs(),
+		NumGlobals:       m.NumImportedGlobals() + len(m.Globals),
+		Exports:          make(map[string]uint32),
+		Start:            -1,
+	}
+	for i := 0; i < n; i++ {
+		ft, err := m.FuncType(uint32(i))
+		if err == nil {
+			info.FuncTypes[i] = ft
+		}
+		info.FuncNames[i] = m.FuncName(uint32(i))
+	}
+	for _, e := range m.Exports {
+		if e.Kind == wasm.ExternFunc {
+			info.Exports[e.Name] = e.Idx
+		}
+	}
+	if m.Start != nil {
+		info.Start = int(*m.Start)
+	}
+	return info
+}
+
+// copyModule makes a copy of m deep enough that instrumentation never
+// mutates the input: all top-level slices are copied; instruction slices of
+// function bodies are replaced wholesale by the instrumenter.
+func copyModule(m *wasm.Module) *wasm.Module {
+	out := &wasm.Module{
+		Types:    append([]wasm.FuncType(nil), m.Types...),
+		Imports:  append([]wasm.Import(nil), m.Imports...),
+		Funcs:    make([]wasm.Func, len(m.Funcs)),
+		Tables:   append([]wasm.Limits(nil), m.Tables...),
+		Memories: append([]wasm.Limits(nil), m.Memories...),
+		Globals:  append([]wasm.Global(nil), m.Globals...),
+		Exports:  append([]wasm.Export(nil), m.Exports...),
+		Elems:    append([]wasm.ElemSegment(nil), m.Elems...),
+		Datas:    append([]wasm.DataSegment(nil), m.Datas...),
+		Customs:  append([]wasm.CustomSection(nil), m.Customs...),
+	}
+	for i := range m.Funcs {
+		out.Funcs[i] = wasm.Func{
+			TypeIdx: m.Funcs[i].TypeIdx,
+			Locals:  append([]wasm.ValType(nil), m.Funcs[i].Locals...),
+			Body:    m.Funcs[i].Body, // replaced by the instrumenter
+		}
+	}
+	if m.Start != nil {
+		s := *m.Start
+		out.Start = &s
+	}
+	if m.FuncNames != nil {
+		out.FuncNames = make(map[uint32]string, len(m.FuncNames))
+		for k, v := range m.FuncNames {
+			out.FuncNames[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package faithfulness holds the RQ2 evaluation of the paper: instrumented
+// programs must behave exactly like the originals. It runs the full
+// PolyBench suite and the synthetic applications original vs. fully
+// instrumented (with the empty analysis), compares the printed results and
+// return values, and validates every instrumented binary — the roles played
+// in the paper by the PolyBench output check, the Unreal reference frames,
+// and wasm-validate.
+package faithfulness
+
+import (
+	"testing"
+
+	"wasabi"
+	"wasabi/internal/analyses"
+	"wasabi/internal/analysis"
+	"wasabi/internal/core"
+	"wasabi/internal/interp"
+	"wasabi/internal/polybench"
+	"wasabi/internal/synthapp"
+	"wasabi/internal/validate"
+)
+
+const problemSize = 10
+
+// TestPolyBenchFaithfulness runs all 30 kernels original vs fully
+// instrumented and compares checksums bit-for-bit (and against the Go
+// reference evaluation).
+func TestPolyBenchFaithfulness(t *testing.T) {
+	for _, k := range polybench.Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			m := k.Module(problemSize)
+			want := k.Reference(problemSize)
+
+			orig, _, err := polybench.Run(m, nil)
+			if err != nil {
+				t.Fatalf("original run: %v", err)
+			}
+			if orig != want {
+				t.Fatalf("original checksum %v != reference %v", orig, want)
+			}
+
+			sess, err := wasabi.AnalyzeWithOptions(m, &analyses.Empty{}, core.Options{Hooks: analysis.AllHooks})
+			if err != nil {
+				t.Fatalf("instrument: %v", err)
+			}
+			if err := validate.Module(sess.Module); err != nil {
+				t.Fatalf("instrumented module fails validation: %v", err)
+			}
+			var printed []float64
+			inst, err := sess.Instantiate(polybench.HostImports(&printed))
+			if err != nil {
+				t.Fatalf("instantiate instrumented: %v", err)
+			}
+			res, err := inst.Invoke("kernel")
+			if err != nil {
+				t.Fatalf("run instrumented: %v", err)
+			}
+			got := interp.AsF64(res[0])
+			if got != want {
+				t.Errorf("instrumented checksum %v != original %v", got, want)
+			}
+			if len(printed) != 1 || printed[0] != want {
+				t.Errorf("instrumented printed %v, want [%v]", printed, want)
+			}
+		})
+	}
+}
+
+// TestPolyBenchPerHookFaithfulness runs a representative kernel under every
+// single-hook selective instrumentation and checks the result each time
+// (instrumentations for different instruction kinds must be independent,
+// paper §2.4.2).
+func TestPolyBenchPerHookFaithfulness(t *testing.T) {
+	k, ok := polybench.ByName("gemm")
+	if !ok {
+		t.Fatal("gemm missing")
+	}
+	m := k.Module(8)
+	want := k.Reference(8)
+	for kind := analysis.HookKind(0); int(kind) < analysis.NumKinds; kind++ {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			sess, err := wasabi.AnalyzeWithOptions(m, &analyses.Empty{},
+				core.Options{Hooks: analysis.Set(kind)})
+			if err != nil {
+				t.Fatalf("instrument: %v", err)
+			}
+			if err := validate.Module(sess.Module); err != nil {
+				t.Fatalf("validation: %v", err)
+			}
+			inst, err := sess.Instantiate(polybench.HostImports(nil))
+			if err != nil {
+				t.Fatalf("instantiate: %v", err)
+			}
+			res, err := inst.Invoke("kernel")
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if got := interp.AsF64(res[0]); got != want {
+				t.Errorf("checksum %v != %v with only %s instrumented", got, want, kind)
+			}
+		})
+	}
+}
+
+// TestSynthAppFaithfulness checks the diverse synthetic application computes
+// identical results fully instrumented, across several seeds.
+func TestSynthAppFaithfulness(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		m := synthapp.Generate(synthapp.Config{TargetBytes: 50_000, Seed: seed})
+		want, err := synthapp.Run(m, 64)
+		if err != nil {
+			t.Fatalf("seed %d: original: %v", seed, err)
+		}
+		sess, err := wasabi.AnalyzeWithOptions(m, &analyses.Empty{}, core.Options{Hooks: analysis.AllHooks})
+		if err != nil {
+			t.Fatalf("seed %d: instrument: %v", seed, err)
+		}
+		if err := validate.Module(sess.Module); err != nil {
+			t.Fatalf("seed %d: validation: %v", seed, err)
+		}
+		inst, err := sess.Instantiate(nil)
+		if err != nil {
+			t.Fatalf("seed %d: instantiate: %v", seed, err)
+		}
+		res, err := inst.Invoke("main", interp.I32(64))
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if got := interp.AsI32(res[0]); got != want {
+			t.Errorf("seed %d: instrumented result %d != original %d", seed, got, want)
+		}
+	}
+}
+
+// TestRealAnalysesPreserveBehavior runs a kernel under each bundled analysis
+// (not just the empty one) and checks the checksum is unchanged — analyses
+// must observe, never interfere.
+func TestRealAnalysesPreserveBehavior(t *testing.T) {
+	k, _ := polybench.ByName("atax")
+	m := k.Module(10)
+	want := k.Reference(10)
+	for _, name := range analyses.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := analyses.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := wasabi.Analyze(m, a)
+			if err != nil {
+				t.Fatalf("instrument: %v", err)
+			}
+			inst, err := sess.Instantiate(polybench.HostImports(nil))
+			if err != nil {
+				t.Fatalf("instantiate: %v", err)
+			}
+			res, err := inst.Invoke("kernel")
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if got := interp.AsF64(res[0]); got != want {
+				t.Errorf("analysis %s changed checksum: %v != %v", name, got, want)
+			}
+		})
+	}
+}

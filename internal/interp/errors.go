@@ -1,0 +1,38 @@
+package interp
+
+import "fmt"
+
+// Trap is the error type for WebAssembly runtime traps. Code identifies the
+// trap kind with the spec's wording.
+type Trap struct {
+	Code string
+	Info string
+}
+
+func (t *Trap) Error() string {
+	if t.Info == "" {
+		return "wasm trap: " + t.Code
+	}
+	return "wasm trap: " + t.Code + ": " + t.Info
+}
+
+// Trap codes, mirroring the spec's execution errors.
+const (
+	TrapUnreachable       = "unreachable executed"
+	TrapOutOfBounds       = "out of bounds memory access"
+	TrapDivByZero         = "integer divide by zero"
+	TrapIntOverflow       = "integer overflow"
+	TrapInvalidConversion = "invalid conversion to integer"
+	TrapUndefinedElement  = "undefined element"
+	TrapIndirectMismatch  = "indirect call type mismatch"
+	TrapStackExhausted    = "call stack exhausted"
+	TrapTableOutOfBounds  = "out of bounds table access"
+)
+
+func trap(code string) {
+	panic(&Trap{Code: code})
+}
+
+func trapf(code, format string, args ...any) {
+	panic(&Trap{Code: code, Info: fmt.Sprintf(format, args...)})
+}

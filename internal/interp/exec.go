@@ -1,0 +1,603 @@
+package interp
+
+import (
+	"math"
+	"math/bits"
+
+	"wasabi/internal/wasm"
+)
+
+// label is a runtime control-stack entry.
+type label struct {
+	op     wasm.Opcode
+	pc     int // pc of the structured instruction (block/loop/if/else)
+	endPC  int
+	height int // value-stack height at entry
+	arity  int // values carried by a branch targeting this label
+}
+
+// exec runs one function body to completion and returns its results.
+// Traps propagate as panics and are recovered in call.
+func (inst *Instance) exec(cf *compiledFunc, args []Value) []Value {
+	locals := make([]Value, cf.numLocals)
+	copy(locals, args)
+	stack := make([]Value, 0, 32)
+	labels := make([]label, 1, 8)
+	labels[0] = label{op: wasm.OpCall, pc: -1, endPC: len(cf.body) - 1, arity: len(cf.sig.Results)}
+
+	body := cf.body
+	pc := 0
+
+	push := func(v Value) { stack = append(stack, v) }
+	pop := func() Value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+
+	var result []Value
+	// branch performs a branch to the n-th enclosing label. It returns true
+	// when the branch leaves the function (the function-level label).
+	branch := func(n int) bool {
+		target := labels[len(labels)-1-n]
+		if target.op == wasm.OpLoop {
+			stack = stack[:target.height]
+			labels = labels[:len(labels)-n] // keep the loop label itself
+			pc = target.pc + 1
+			return false
+		}
+		carried := target.arity
+		copy(stack[target.height:], stack[len(stack)-carried:])
+		stack = stack[:target.height+carried]
+		labels = labels[:len(labels)-1-n]
+		if len(labels) == 0 {
+			result = append([]Value(nil), stack...)
+			return true
+		}
+		pc = target.endPC + 1
+		return false
+	}
+
+	for {
+		in := &body[pc]
+		opPC := pc
+		pc++
+		switch in.Op {
+		case wasm.OpNop:
+		case wasm.OpUnreachable:
+			trap(TrapUnreachable)
+
+		case wasm.OpBlock:
+			labels = append(labels, label{op: wasm.OpBlock, pc: opPC, endPC: int(cf.matchEnd[opPC]), height: len(stack), arity: len(in.Block.Results())})
+		case wasm.OpLoop:
+			labels = append(labels, label{op: wasm.OpLoop, pc: opPC, endPC: int(cf.matchEnd[opPC]), height: len(stack), arity: 0})
+		case wasm.OpIf:
+			cond := pop()
+			labels = append(labels, label{op: wasm.OpIf, pc: opPC, endPC: int(cf.matchEnd[opPC]), height: len(stack), arity: len(in.Block.Results())})
+			if uint32(cond) == 0 {
+				if elsePC := cf.matchElse[opPC]; elsePC >= 0 {
+					pc = int(elsePC) + 1
+				} else {
+					pc = int(cf.matchEnd[opPC]) // the end pops the label
+				}
+			}
+		case wasm.OpElse:
+			// Reached by falling out of the then-branch: skip to end.
+			pc = labels[len(labels)-1].endPC
+		case wasm.OpEnd:
+			lbl := labels[len(labels)-1]
+			labels = labels[:len(labels)-1]
+			if len(labels) == 0 {
+				res := stack[len(stack)-lbl.arity:]
+				return append([]Value(nil), res...)
+			}
+		case wasm.OpBr:
+			if branch(int(in.Idx)) {
+				return result
+			}
+		case wasm.OpBrIf:
+			cond := pop()
+			if uint32(cond) != 0 {
+				if branch(int(in.Idx)) {
+					return result
+				}
+			}
+		case wasm.OpBrTable:
+			idx := uint32(pop())
+			n := in.Idx // default
+			if int(idx) < len(in.Table) {
+				n = in.Table[idx]
+			}
+			if branch(int(n)) {
+				return result
+			}
+		case wasm.OpReturn:
+			if branch(len(labels) - 1) {
+				return result
+			}
+
+		case wasm.OpCall:
+			stack = inst.doCall(in.Idx, stack)
+		case wasm.OpCallIndirect:
+			ti := uint32(pop())
+			if inst.Table == nil || int(ti) >= len(inst.Table.Elems) {
+				trapf(TrapTableOutOfBounds, "table index %d", ti)
+			}
+			fidx := inst.Table.Elems[ti]
+			if fidx < 0 {
+				trapf(TrapUndefinedElement, "table slot %d uninitialized", ti)
+			}
+			want := inst.Module.Types[in.Idx]
+			have := inst.Module.Types[inst.funcs[fidx].typeIdx]
+			if !want.Equal(have) {
+				trapf(TrapIndirectMismatch, "want %s, have %s", want, have)
+			}
+			stack = inst.doCall(uint32(fidx), stack)
+
+		case wasm.OpDrop:
+			pop()
+		case wasm.OpSelect:
+			cond := pop()
+			b := pop()
+			a := pop()
+			if uint32(cond) != 0 {
+				push(a)
+			} else {
+				push(b)
+			}
+
+		case wasm.OpLocalGet:
+			push(locals[in.Idx])
+		case wasm.OpLocalSet:
+			locals[in.Idx] = pop()
+		case wasm.OpLocalTee:
+			locals[in.Idx] = stack[len(stack)-1]
+		case wasm.OpGlobalGet:
+			push(inst.Globals[in.Idx].Val)
+		case wasm.OpGlobalSet:
+			inst.Globals[in.Idx].Val = pop()
+
+		case wasm.OpMemorySize:
+			push(uint64(inst.Memory.Pages()))
+		case wasm.OpMemoryGrow:
+			delta := uint32(pop())
+			push(uint64(uint32(inst.Memory.Grow(delta))))
+
+		case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
+			push(in.ConstValue())
+
+		default:
+			switch {
+			case in.Op.IsLoad():
+				addr := uint32(pop())
+				push(inst.doLoad(in.Op, addr, in.Mem.Offset))
+			case in.Op.IsStore():
+				v := pop()
+				addr := uint32(pop())
+				inst.doStore(in.Op, addr, in.Mem.Offset, v)
+			default:
+				stack = execNumeric(in.Op, stack)
+			}
+		}
+	}
+}
+
+func (inst *Instance) doCall(fidx uint32, stack []Value) []Value {
+	ft := inst.Module.Types[inst.funcs[fidx].typeIdx]
+	np := len(ft.Params)
+	args := stack[len(stack)-np:]
+	res := inst.invoke(fidx, args)
+	stack = stack[:len(stack)-np]
+	return append(stack, res...)
+}
+
+func (inst *Instance) doLoad(op wasm.Opcode, addr, offset uint32) Value {
+	_, size := op.LoadStoreType()
+	raw := inst.Memory.load(addr, offset, size)
+	switch op {
+	case wasm.OpI32Load, wasm.OpF32Load, wasm.OpI64Load, wasm.OpF64Load,
+		wasm.OpI32Load8U, wasm.OpI32Load16U, wasm.OpI64Load8U, wasm.OpI64Load16U, wasm.OpI64Load32U:
+		return raw
+	case wasm.OpI32Load8S:
+		return uint64(uint32(int32(int8(raw))))
+	case wasm.OpI32Load16S:
+		return uint64(uint32(int32(int16(raw))))
+	case wasm.OpI64Load8S:
+		return uint64(int64(int8(raw)))
+	case wasm.OpI64Load16S:
+		return uint64(int64(int16(raw)))
+	case wasm.OpI64Load32S:
+		return uint64(int64(int32(raw)))
+	}
+	panic("interp: bad load opcode")
+}
+
+func (inst *Instance) doStore(op wasm.Opcode, addr, offset uint32, v Value) {
+	_, size := op.LoadStoreType()
+	inst.Memory.store(addr, offset, size, v)
+}
+
+// execNumeric implements all fixed-signature numeric instructions on the
+// raw value stack.
+func execNumeric(op wasm.Opcode, stack []Value) []Value {
+	pop := func() Value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	push := func(v Value) { stack = append(stack, v) }
+	pushBool := func(b bool) {
+		if b {
+			push(1)
+		} else {
+			push(0)
+		}
+	}
+
+	switch op {
+	// i32 comparisons.
+	case wasm.OpI32Eqz:
+		pushBool(uint32(pop()) == 0)
+	case wasm.OpI32Eq:
+		b, a := uint32(pop()), uint32(pop())
+		pushBool(a == b)
+	case wasm.OpI32Ne:
+		b, a := uint32(pop()), uint32(pop())
+		pushBool(a != b)
+	case wasm.OpI32LtS:
+		b, a := int32(pop()), int32(pop())
+		pushBool(a < b)
+	case wasm.OpI32LtU:
+		b, a := uint32(pop()), uint32(pop())
+		pushBool(a < b)
+	case wasm.OpI32GtS:
+		b, a := int32(pop()), int32(pop())
+		pushBool(a > b)
+	case wasm.OpI32GtU:
+		b, a := uint32(pop()), uint32(pop())
+		pushBool(a > b)
+	case wasm.OpI32LeS:
+		b, a := int32(pop()), int32(pop())
+		pushBool(a <= b)
+	case wasm.OpI32LeU:
+		b, a := uint32(pop()), uint32(pop())
+		pushBool(a <= b)
+	case wasm.OpI32GeS:
+		b, a := int32(pop()), int32(pop())
+		pushBool(a >= b)
+	case wasm.OpI32GeU:
+		b, a := uint32(pop()), uint32(pop())
+		pushBool(a >= b)
+
+	// i64 comparisons.
+	case wasm.OpI64Eqz:
+		pushBool(pop() == 0)
+	case wasm.OpI64Eq:
+		b, a := pop(), pop()
+		pushBool(a == b)
+	case wasm.OpI64Ne:
+		b, a := pop(), pop()
+		pushBool(a != b)
+	case wasm.OpI64LtS:
+		b, a := int64(pop()), int64(pop())
+		pushBool(a < b)
+	case wasm.OpI64LtU:
+		b, a := pop(), pop()
+		pushBool(a < b)
+	case wasm.OpI64GtS:
+		b, a := int64(pop()), int64(pop())
+		pushBool(a > b)
+	case wasm.OpI64GtU:
+		b, a := pop(), pop()
+		pushBool(a > b)
+	case wasm.OpI64LeS:
+		b, a := int64(pop()), int64(pop())
+		pushBool(a <= b)
+	case wasm.OpI64LeU:
+		b, a := pop(), pop()
+		pushBool(a <= b)
+	case wasm.OpI64GeS:
+		b, a := int64(pop()), int64(pop())
+		pushBool(a >= b)
+	case wasm.OpI64GeU:
+		b, a := pop(), pop()
+		pushBool(a >= b)
+
+	// f32 comparisons.
+	case wasm.OpF32Eq:
+		b, a := AsF32(pop()), AsF32(pop())
+		pushBool(a == b)
+	case wasm.OpF32Ne:
+		b, a := AsF32(pop()), AsF32(pop())
+		pushBool(a != b)
+	case wasm.OpF32Lt:
+		b, a := AsF32(pop()), AsF32(pop())
+		pushBool(a < b)
+	case wasm.OpF32Gt:
+		b, a := AsF32(pop()), AsF32(pop())
+		pushBool(a > b)
+	case wasm.OpF32Le:
+		b, a := AsF32(pop()), AsF32(pop())
+		pushBool(a <= b)
+	case wasm.OpF32Ge:
+		b, a := AsF32(pop()), AsF32(pop())
+		pushBool(a >= b)
+
+	// f64 comparisons.
+	case wasm.OpF64Eq:
+		b, a := AsF64(pop()), AsF64(pop())
+		pushBool(a == b)
+	case wasm.OpF64Ne:
+		b, a := AsF64(pop()), AsF64(pop())
+		pushBool(a != b)
+	case wasm.OpF64Lt:
+		b, a := AsF64(pop()), AsF64(pop())
+		pushBool(a < b)
+	case wasm.OpF64Gt:
+		b, a := AsF64(pop()), AsF64(pop())
+		pushBool(a > b)
+	case wasm.OpF64Le:
+		b, a := AsF64(pop()), AsF64(pop())
+		pushBool(a <= b)
+	case wasm.OpF64Ge:
+		b, a := AsF64(pop()), AsF64(pop())
+		pushBool(a >= b)
+
+	// i32 arithmetic.
+	case wasm.OpI32Clz:
+		push(uint64(uint32(bits.LeadingZeros32(uint32(pop())))))
+	case wasm.OpI32Ctz:
+		push(uint64(uint32(bits.TrailingZeros32(uint32(pop())))))
+	case wasm.OpI32Popcnt:
+		push(uint64(uint32(bits.OnesCount32(uint32(pop())))))
+	case wasm.OpI32Add:
+		b, a := uint32(pop()), uint32(pop())
+		push(uint64(a + b))
+	case wasm.OpI32Sub:
+		b, a := uint32(pop()), uint32(pop())
+		push(uint64(a - b))
+	case wasm.OpI32Mul:
+		b, a := uint32(pop()), uint32(pop())
+		push(uint64(a * b))
+	case wasm.OpI32DivS:
+		b, a := int32(pop()), int32(pop())
+		push(uint64(uint32(i32DivS(a, b))))
+	case wasm.OpI32DivU:
+		b, a := uint32(pop()), uint32(pop())
+		if b == 0 {
+			trap(TrapDivByZero)
+		}
+		push(uint64(a / b))
+	case wasm.OpI32RemS:
+		b, a := int32(pop()), int32(pop())
+		if b == 0 {
+			trap(TrapDivByZero)
+		}
+		if a == math.MinInt32 && b == -1 {
+			push(0)
+		} else {
+			push(uint64(uint32(a % b)))
+		}
+	case wasm.OpI32RemU:
+		b, a := uint32(pop()), uint32(pop())
+		if b == 0 {
+			trap(TrapDivByZero)
+		}
+		push(uint64(a % b))
+	case wasm.OpI32And:
+		b, a := uint32(pop()), uint32(pop())
+		push(uint64(a & b))
+	case wasm.OpI32Or:
+		b, a := uint32(pop()), uint32(pop())
+		push(uint64(a | b))
+	case wasm.OpI32Xor:
+		b, a := uint32(pop()), uint32(pop())
+		push(uint64(a ^ b))
+	case wasm.OpI32Shl:
+		b, a := uint32(pop()), uint32(pop())
+		push(uint64(a << (b & 31)))
+	case wasm.OpI32ShrS:
+		b, a := uint32(pop()), int32(pop())
+		push(uint64(uint32(a >> (b & 31))))
+	case wasm.OpI32ShrU:
+		b, a := uint32(pop()), uint32(pop())
+		push(uint64(a >> (b & 31)))
+	case wasm.OpI32Rotl:
+		b, a := uint32(pop()), uint32(pop())
+		push(uint64(bits.RotateLeft32(a, int(b&31))))
+	case wasm.OpI32Rotr:
+		b, a := uint32(pop()), uint32(pop())
+		push(uint64(bits.RotateLeft32(a, -int(b&31))))
+
+	// i64 arithmetic.
+	case wasm.OpI64Clz:
+		push(uint64(bits.LeadingZeros64(pop())))
+	case wasm.OpI64Ctz:
+		push(uint64(bits.TrailingZeros64(pop())))
+	case wasm.OpI64Popcnt:
+		push(uint64(bits.OnesCount64(pop())))
+	case wasm.OpI64Add:
+		b, a := pop(), pop()
+		push(a + b)
+	case wasm.OpI64Sub:
+		b, a := pop(), pop()
+		push(a - b)
+	case wasm.OpI64Mul:
+		b, a := pop(), pop()
+		push(a * b)
+	case wasm.OpI64DivS:
+		b, a := int64(pop()), int64(pop())
+		push(uint64(i64DivS(a, b)))
+	case wasm.OpI64DivU:
+		b, a := pop(), pop()
+		if b == 0 {
+			trap(TrapDivByZero)
+		}
+		push(a / b)
+	case wasm.OpI64RemS:
+		b, a := int64(pop()), int64(pop())
+		if b == 0 {
+			trap(TrapDivByZero)
+		}
+		if a == math.MinInt64 && b == -1 {
+			push(0)
+		} else {
+			push(uint64(a % b))
+		}
+	case wasm.OpI64RemU:
+		b, a := pop(), pop()
+		if b == 0 {
+			trap(TrapDivByZero)
+		}
+		push(a % b)
+	case wasm.OpI64And:
+		b, a := pop(), pop()
+		push(a & b)
+	case wasm.OpI64Or:
+		b, a := pop(), pop()
+		push(a | b)
+	case wasm.OpI64Xor:
+		b, a := pop(), pop()
+		push(a ^ b)
+	case wasm.OpI64Shl:
+		b, a := pop(), pop()
+		push(a << (b & 63))
+	case wasm.OpI64ShrS:
+		b, a := pop(), int64(pop())
+		push(uint64(a >> (b & 63)))
+	case wasm.OpI64ShrU:
+		b, a := pop(), pop()
+		push(a >> (b & 63))
+	case wasm.OpI64Rotl:
+		b, a := pop(), pop()
+		push(bits.RotateLeft64(a, int(b&63)))
+	case wasm.OpI64Rotr:
+		b, a := pop(), pop()
+		push(bits.RotateLeft64(a, -int(b&63)))
+
+	// f32 arithmetic.
+	case wasm.OpF32Abs:
+		push(F32(float32(math.Abs(float64(AsF32(pop()))))))
+	case wasm.OpF32Neg:
+		push(pop() ^ 0x80000000)
+	case wasm.OpF32Ceil:
+		push(F32(float32(math.Ceil(float64(AsF32(pop()))))))
+	case wasm.OpF32Floor:
+		push(F32(float32(math.Floor(float64(AsF32(pop()))))))
+	case wasm.OpF32Trunc:
+		push(F32(float32(math.Trunc(float64(AsF32(pop()))))))
+	case wasm.OpF32Nearest:
+		push(F32(float32(math.RoundToEven(float64(AsF32(pop()))))))
+	case wasm.OpF32Sqrt:
+		push(F32(float32(math.Sqrt(float64(AsF32(pop()))))))
+	case wasm.OpF32Add:
+		b, a := AsF32(pop()), AsF32(pop())
+		push(F32(a + b))
+	case wasm.OpF32Sub:
+		b, a := AsF32(pop()), AsF32(pop())
+		push(F32(a - b))
+	case wasm.OpF32Mul:
+		b, a := AsF32(pop()), AsF32(pop())
+		push(F32(a * b))
+	case wasm.OpF32Div:
+		b, a := AsF32(pop()), AsF32(pop())
+		push(F32(a / b))
+	case wasm.OpF32Min:
+		b, a := AsF32(pop()), AsF32(pop())
+		push(F32(float32(fmin(float64(a), float64(b)))))
+	case wasm.OpF32Max:
+		b, a := AsF32(pop()), AsF32(pop())
+		push(F32(float32(fmax(float64(a), float64(b)))))
+	case wasm.OpF32Copysign:
+		b, a := AsF32(pop()), AsF32(pop())
+		push(F32(float32(math.Copysign(float64(a), float64(b)))))
+
+	// f64 arithmetic.
+	case wasm.OpF64Abs:
+		push(F64(math.Abs(AsF64(pop()))))
+	case wasm.OpF64Neg:
+		push(pop() ^ 0x8000000000000000)
+	case wasm.OpF64Ceil:
+		push(F64(math.Ceil(AsF64(pop()))))
+	case wasm.OpF64Floor:
+		push(F64(math.Floor(AsF64(pop()))))
+	case wasm.OpF64Trunc:
+		push(F64(math.Trunc(AsF64(pop()))))
+	case wasm.OpF64Nearest:
+		push(F64(math.RoundToEven(AsF64(pop()))))
+	case wasm.OpF64Sqrt:
+		push(F64(math.Sqrt(AsF64(pop()))))
+	case wasm.OpF64Add:
+		b, a := AsF64(pop()), AsF64(pop())
+		push(F64(a + b))
+	case wasm.OpF64Sub:
+		b, a := AsF64(pop()), AsF64(pop())
+		push(F64(a - b))
+	case wasm.OpF64Mul:
+		b, a := AsF64(pop()), AsF64(pop())
+		push(F64(a * b))
+	case wasm.OpF64Div:
+		b, a := AsF64(pop()), AsF64(pop())
+		push(F64(a / b))
+	case wasm.OpF64Min:
+		b, a := AsF64(pop()), AsF64(pop())
+		push(F64(fmin(a, b)))
+	case wasm.OpF64Max:
+		b, a := AsF64(pop()), AsF64(pop())
+		push(F64(fmax(a, b)))
+	case wasm.OpF64Copysign:
+		b, a := AsF64(pop()), AsF64(pop())
+		push(F64(math.Copysign(a, b)))
+
+	// Conversions.
+	case wasm.OpI32WrapI64:
+		push(uint64(uint32(pop())))
+	case wasm.OpI32TruncF32S:
+		push(uint64(uint32(truncToI32(float64(AsF32(pop()))))))
+	case wasm.OpI32TruncF32U:
+		push(uint64(truncToU32(float64(AsF32(pop())))))
+	case wasm.OpI32TruncF64S:
+		push(uint64(uint32(truncToI32(AsF64(pop())))))
+	case wasm.OpI32TruncF64U:
+		push(uint64(truncToU32(AsF64(pop()))))
+	case wasm.OpI64ExtendI32S:
+		push(uint64(int64(int32(pop()))))
+	case wasm.OpI64ExtendI32U:
+		push(uint64(uint32(pop())))
+	case wasm.OpI64TruncF32S:
+		push(uint64(truncToI64(float64(AsF32(pop())))))
+	case wasm.OpI64TruncF32U:
+		push(truncToU64(float64(AsF32(pop()))))
+	case wasm.OpI64TruncF64S:
+		push(uint64(truncToI64(AsF64(pop()))))
+	case wasm.OpI64TruncF64U:
+		push(truncToU64(AsF64(pop())))
+	case wasm.OpF32ConvertI32S:
+		push(F32(float32(int32(pop()))))
+	case wasm.OpF32ConvertI32U:
+		push(F32(float32(uint32(pop()))))
+	case wasm.OpF32ConvertI64S:
+		push(F32(float32(int64(pop()))))
+	case wasm.OpF32ConvertI64U:
+		push(F32(float32(pop())))
+	case wasm.OpF32DemoteF64:
+		push(F32(float32(AsF64(pop()))))
+	case wasm.OpF64ConvertI32S:
+		push(F64(float64(int32(pop()))))
+	case wasm.OpF64ConvertI32U:
+		push(F64(float64(uint32(pop()))))
+	case wasm.OpF64ConvertI64S:
+		push(F64(float64(int64(pop()))))
+	case wasm.OpF64ConvertI64U:
+		push(F64(float64(pop())))
+	case wasm.OpF64PromoteF32:
+		push(F64(float64(AsF32(pop()))))
+	case wasm.OpI32ReinterpretF32, wasm.OpI64ReinterpretF64,
+		wasm.OpF32ReinterpretI32, wasm.OpF64ReinterpretI64:
+		// Bit patterns are already the stack representation.
+
+	default:
+		panic("interp: unhandled opcode " + op.String())
+	}
+	return stack
+}

@@ -1,0 +1,377 @@
+// Package interp is a WebAssembly (MVP) interpreter. It is the execution
+// substrate of this reproduction: where the paper runs instrumented binaries
+// in a browser engine, we run them here. The interpreter implements the
+// complete MVP instruction set with spec trap semantics, linear memory,
+// tables with indirect calls, imported host functions, and a start function.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"wasabi/internal/wasm"
+)
+
+// Value is a raw 64-bit representation of any WebAssembly value: i32 values
+// are zero-extended, i64 values are stored as-is, and floats are stored as
+// their IEEE 754 bit patterns (f32 zero-extended).
+type Value = uint64
+
+// I32 converts a Go int32 to the stack representation.
+func I32(v int32) Value { return uint64(uint32(v)) }
+
+// I64 converts a Go int64 to the stack representation.
+func I64(v int64) Value { return uint64(v) }
+
+// F32 converts a Go float32 to the stack representation.
+func F32(v float32) Value { return uint64(math.Float32bits(v)) }
+
+// F64 converts a Go float64 to the stack representation.
+func F64(v float64) Value { return math.Float64bits(v) }
+
+// AsI32 extracts an i32 from the stack representation.
+func AsI32(v Value) int32 { return int32(uint32(v)) }
+
+// AsI64 extracts an i64 from the stack representation.
+func AsI64(v Value) int64 { return int64(v) }
+
+// AsF32 extracts an f32 from the stack representation.
+func AsF32(v Value) float32 { return math.Float32frombits(uint32(v)) }
+
+// AsF64 extracts an f64 from the stack representation.
+func AsF64(v Value) float64 { return math.Float64frombits(v) }
+
+// HostFunc is a function provided by the embedder (the "JavaScript side" in
+// the paper's setting). The Wasabi runtime's low-level hooks are HostFuncs.
+type HostFunc struct {
+	Type wasm.FuncType
+	Fn   func(inst *Instance, args []Value) ([]Value, error)
+}
+
+// Imports maps module name → field name → provided value. Supported values:
+// *HostFunc, *Memory, *Table, and Global (for imported globals).
+type Imports map[string]map[string]any
+
+// Global is an instantiated global variable.
+type Global struct {
+	Type wasm.GlobalType
+	Val  Value
+}
+
+// funcKind discriminates the two function representations.
+type funcInst struct {
+	typeIdx uint32 // index into instance types
+	host    *HostFunc
+	code    *compiledFunc // nil for host functions
+}
+
+// compiledFunc is a defined function with precomputed control-flow matches.
+type compiledFunc struct {
+	sig       wasm.FuncType
+	numParams int
+	numLocals int // params + declared locals
+	body      []wasm.Instr
+	matchEnd  []int32 // per instruction: matching end for block/loop/if
+	matchElse []int32 // per instruction: else pc for if, or -1
+}
+
+// Instance is an instantiated module ready for invocation.
+type Instance struct {
+	Module  *wasm.Module
+	Memory  *Memory
+	Table   *Table
+	Globals []*Global
+
+	funcs []funcInst
+
+	// callDepth guards against runaway recursion.
+	callDepth int
+	maxDepth  int
+}
+
+// MaxCallDepthDefault bounds wasm call recursion.
+const MaxCallDepthDefault = 8192
+
+// Instantiate allocates and initializes an instance: resolves imports,
+// allocates table/memory/globals, applies element and data segments, and
+// runs the start function.
+func Instantiate(m *wasm.Module, imports Imports) (*Instance, error) {
+	inst := &Instance{Module: m, maxDepth: MaxCallDepthDefault}
+
+	lookup := func(mod, name string) (any, error) {
+		fields, ok := imports[mod]
+		if !ok {
+			return nil, fmt.Errorf("interp: unknown import module %q", mod)
+		}
+		v, ok := fields[name]
+		if !ok {
+			return nil, fmt.Errorf("interp: unknown import %q.%q", mod, name)
+		}
+		return v, nil
+	}
+
+	for _, imp := range m.Imports {
+		v, err := lookup(imp.Module, imp.Name)
+		if err != nil {
+			return nil, err
+		}
+		switch imp.Kind {
+		case wasm.ExternFunc:
+			hf, ok := v.(*HostFunc)
+			if !ok {
+				return nil, fmt.Errorf("interp: import %q.%q is not a function", imp.Module, imp.Name)
+			}
+			if int(imp.TypeIdx) >= len(m.Types) {
+				return nil, fmt.Errorf("interp: import %q.%q type index out of range", imp.Module, imp.Name)
+			}
+			want := m.Types[imp.TypeIdx]
+			if !hf.Type.Equal(want) {
+				return nil, fmt.Errorf("interp: import %q.%q type mismatch: want %s, have %s", imp.Module, imp.Name, want, hf.Type)
+			}
+			inst.funcs = append(inst.funcs, funcInst{typeIdx: imp.TypeIdx, host: hf})
+		case wasm.ExternMemory:
+			mem, ok := v.(*Memory)
+			if !ok {
+				return nil, fmt.Errorf("interp: import %q.%q is not a memory", imp.Module, imp.Name)
+			}
+			inst.Memory = mem
+		case wasm.ExternTable:
+			tbl, ok := v.(*Table)
+			if !ok {
+				return nil, fmt.Errorf("interp: import %q.%q is not a table", imp.Module, imp.Name)
+			}
+			inst.Table = tbl
+		case wasm.ExternGlobal:
+			g, ok := v.(*Global)
+			if !ok {
+				return nil, fmt.Errorf("interp: import %q.%q is not a global", imp.Module, imp.Name)
+			}
+			inst.Globals = append(inst.Globals, g)
+		}
+	}
+
+	// Defined functions.
+	for i := range m.Funcs {
+		f := &m.Funcs[i]
+		if int(f.TypeIdx) >= len(m.Types) {
+			return nil, fmt.Errorf("interp: function %d type index out of range", i)
+		}
+		cf, err := compile(m.Types[f.TypeIdx], f)
+		if err != nil {
+			return nil, fmt.Errorf("interp: function %d: %w", i, err)
+		}
+		inst.funcs = append(inst.funcs, funcInst{typeIdx: f.TypeIdx, code: cf})
+	}
+
+	// Defined table and memory.
+	for _, t := range m.Tables {
+		inst.Table = NewTable(t)
+	}
+	for _, mem := range m.Memories {
+		inst.Memory = NewMemory(mem)
+	}
+
+	// Defined globals.
+	for i := range m.Globals {
+		g := &m.Globals[i]
+		val, err := inst.evalConstExpr(g.Init)
+		if err != nil {
+			return nil, fmt.Errorf("interp: global %d init: %w", i, err)
+		}
+		inst.Globals = append(inst.Globals, &Global{Type: g.Type, Val: val})
+	}
+
+	// Element segments.
+	for i, e := range m.Elems {
+		if inst.Table == nil {
+			return nil, fmt.Errorf("interp: elem segment %d without table", i)
+		}
+		off, err := inst.evalConstExpr(e.Offset)
+		if err != nil {
+			return nil, fmt.Errorf("interp: elem %d offset: %w", i, err)
+		}
+		start := uint32(off)
+		if uint64(start)+uint64(len(e.Funcs)) > uint64(len(inst.Table.Elems)) {
+			return nil, fmt.Errorf("interp: elem segment %d out of table bounds", i)
+		}
+		for j, fidx := range e.Funcs {
+			inst.Table.Elems[start+uint32(j)] = int64(fidx)
+		}
+	}
+
+	// Data segments.
+	for i, d := range m.Datas {
+		if inst.Memory == nil {
+			return nil, fmt.Errorf("interp: data segment %d without memory", i)
+		}
+		off, err := inst.evalConstExpr(d.Offset)
+		if err != nil {
+			return nil, fmt.Errorf("interp: data %d offset: %w", i, err)
+		}
+		start := uint32(off)
+		if uint64(start)+uint64(len(d.Data)) > uint64(len(inst.Memory.Data)) {
+			return nil, fmt.Errorf("interp: data segment %d out of memory bounds", i)
+		}
+		copy(inst.Memory.Data[start:], d.Data)
+	}
+
+	// Start function.
+	if m.Start != nil {
+		if _, err := inst.call(*m.Start, nil); err != nil {
+			return nil, fmt.Errorf("interp: start function: %w", err)
+		}
+	}
+	return inst, nil
+}
+
+func (inst *Instance) evalConstExpr(expr []wasm.Instr) (Value, error) {
+	if len(expr) != 2 || expr[1].Op != wasm.OpEnd {
+		return 0, fmt.Errorf("unsupported constant expression")
+	}
+	in := expr[0]
+	switch in.Op {
+	case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
+		return in.ConstValue(), nil
+	case wasm.OpGlobalGet:
+		if int(in.Idx) >= len(inst.Globals) {
+			return 0, fmt.Errorf("global index %d out of range", in.Idx)
+		}
+		return inst.Globals[in.Idx].Val, nil
+	}
+	return 0, fmt.Errorf("non-constant instruction %s", in.Op)
+}
+
+// compile precomputes structured control-flow matches for a function body:
+// for every block/loop/if, the pc of its matching end (and else, for ifs).
+func compile(sig wasm.FuncType, f *wasm.Func) (*compiledFunc, error) {
+	cf := &compiledFunc{
+		sig:       sig,
+		numParams: len(sig.Params),
+		numLocals: len(sig.Params) + len(f.Locals),
+		body:      f.Body,
+		matchEnd:  make([]int32, len(f.Body)),
+		matchElse: make([]int32, len(f.Body)),
+	}
+	for i := range cf.matchElse {
+		cf.matchElse[i] = -1
+		cf.matchEnd[i] = -1
+	}
+	var stack []int
+	sawFuncEnd := false
+	for pc, in := range f.Body {
+		switch in.Op {
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+			stack = append(stack, pc)
+		case wasm.OpElse:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("else without if at pc %d", pc)
+			}
+			entry := stack[len(stack)-1]
+			opener := entry & 0xFFFFFFFF
+			if entry>>32 != 0 || f.Body[opener].Op != wasm.OpIf {
+				return nil, fmt.Errorf("else without if at pc %d", pc)
+			}
+			cf.matchElse[opener] = int32(pc)
+			// The else shares the end of its if; leave the opener on the
+			// stack and record the else so end links both.
+			stack[len(stack)-1] = opener | (pc << 32)
+		case wasm.OpEnd:
+			if len(stack) == 0 {
+				// Function-body end: must be the last instruction.
+				if pc != len(f.Body)-1 {
+					return nil, fmt.Errorf("function-level end at pc %d is not final", pc)
+				}
+				sawFuncEnd = true
+				continue
+			}
+			entry := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			opener := entry & 0xFFFFFFFF
+			cf.matchEnd[opener] = int32(pc)
+			if elsePC := entry >> 32; elsePC != 0 {
+				cf.matchEnd[elsePC] = int32(pc)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("%d unclosed blocks", len(stack))
+	}
+	if !sawFuncEnd {
+		return nil, fmt.Errorf("missing function-level end")
+	}
+	return cf, nil
+}
+
+// Invoke calls an exported function by name.
+func (inst *Instance) Invoke(name string, args ...Value) ([]Value, error) {
+	idx, ok := inst.Module.ExportedFunc(name)
+	if !ok {
+		return nil, fmt.Errorf("interp: no exported function %q", name)
+	}
+	return inst.call(idx, args)
+}
+
+// InvokeIdx calls the function at the given index in the function index space.
+func (inst *Instance) InvokeIdx(idx uint32, args ...Value) ([]Value, error) {
+	return inst.call(idx, args)
+}
+
+// FuncSig returns the signature of the function at the given index.
+func (inst *Instance) FuncSig(idx uint32) (wasm.FuncType, error) {
+	if int(idx) >= len(inst.funcs) {
+		return wasm.FuncType{}, fmt.Errorf("interp: function index %d out of range", idx)
+	}
+	return inst.Module.Types[inst.funcs[idx].typeIdx], nil
+}
+
+// ResolveTable returns the function index stored at table slot i, or -1.
+func (inst *Instance) ResolveTable(i uint32) int64 {
+	if inst.Table == nil || int(i) >= len(inst.Table.Elems) {
+		return -1
+	}
+	return inst.Table.Elems[i]
+}
+
+// call invokes a function by index, catching traps.
+func (inst *Instance) call(idx uint32, args []Value) (results []Value, err error) {
+	savedDepth := inst.callDepth
+	defer func() {
+		if r := recover(); r != nil {
+			if t, ok := r.(*Trap); ok {
+				// Unwind the call-depth accounting past the aborted frames
+				// so the instance stays usable after a trap.
+				inst.callDepth = savedDepth
+				results, err = nil, t
+				return
+			}
+			panic(r)
+		}
+	}()
+	results = inst.invoke(idx, args)
+	return results, nil
+}
+
+// invoke is the trap-panicking internal call path.
+func (inst *Instance) invoke(idx uint32, args []Value) []Value {
+	if int(idx) >= len(inst.funcs) {
+		trapf(TrapUndefinedElement, "function index %d out of range", idx)
+	}
+	fi := &inst.funcs[idx]
+	if fi.host != nil {
+		res, err := fi.host.Fn(inst, args)
+		if err != nil {
+			if t, ok := err.(*Trap); ok {
+				panic(t)
+			}
+			panic(&Trap{Code: "host function error", Info: err.Error()})
+		}
+		return res
+	}
+	inst.callDepth++
+	if inst.callDepth > inst.maxDepth {
+		trap(TrapStackExhausted)
+	}
+	res := inst.exec(fi.code, args)
+	inst.callDepth--
+	return res
+}

@@ -1,0 +1,105 @@
+package interp
+
+import "math"
+
+func i32DivS(a, b int32) int32 {
+	if b == 0 {
+		trap(TrapDivByZero)
+	}
+	if a == math.MinInt32 && b == -1 {
+		trap(TrapIntOverflow)
+	}
+	return a / b
+}
+
+func i64DivS(a, b int64) int64 {
+	if b == 0 {
+		trap(TrapDivByZero)
+	}
+	if a == math.MinInt64 && b == -1 {
+		trap(TrapIntOverflow)
+	}
+	return a / b
+}
+
+// fmin implements WebAssembly float min: NaN-propagating, and -0 < +0.
+func fmin(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b):
+		return math.NaN()
+	case a == 0 && b == 0:
+		if math.Signbit(a) {
+			return a
+		}
+		return b
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+// fmax implements WebAssembly float max: NaN-propagating, and +0 > -0.
+func fmax(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b):
+		return math.NaN()
+	case a == 0 && b == 0:
+		if !math.Signbit(a) {
+			return a
+		}
+		return b
+	case a > b:
+		return a
+	default:
+		return b
+	}
+}
+
+// Truncating float→int conversions trap on NaN and on results outside the
+// target range, per the spec.
+
+func truncToI32(f float64) int32 {
+	if math.IsNaN(f) {
+		trap(TrapInvalidConversion)
+	}
+	t := math.Trunc(f)
+	if t < -2147483648 || t > 2147483647 {
+		trap(TrapIntOverflow)
+	}
+	return int32(t)
+}
+
+func truncToU32(f float64) uint32 {
+	if math.IsNaN(f) {
+		trap(TrapInvalidConversion)
+	}
+	t := math.Trunc(f)
+	if t < 0 || t > 4294967295 {
+		trap(TrapIntOverflow)
+	}
+	return uint32(t)
+}
+
+func truncToI64(f float64) int64 {
+	if math.IsNaN(f) {
+		trap(TrapInvalidConversion)
+	}
+	t := math.Trunc(f)
+	// 2^63 is exactly representable; the valid range is [-2^63, 2^63).
+	if t < -9223372036854775808 || t >= 9223372036854775808 {
+		trap(TrapIntOverflow)
+	}
+	return int64(t)
+}
+
+func truncToU64(f float64) uint64 {
+	if math.IsNaN(f) {
+		trap(TrapInvalidConversion)
+	}
+	t := math.Trunc(f)
+	if t < 0 || t >= 18446744073709551616 {
+		trap(TrapIntOverflow)
+	}
+	return uint64(t)
+}

@@ -1,0 +1,296 @@
+package interp_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wasabi/internal/builder"
+	"wasabi/internal/interp"
+	"wasabi/internal/wasm"
+)
+
+// unop builds and runs `op` applied to one constant.
+func runUnop(t *testing.T, op wasm.Opcode, arg interp.Value) (interp.Value, error) {
+	t.Helper()
+	in, out, ok := wasm.NumericSig(op)
+	if !ok || len(in) != 1 {
+		t.Fatalf("%s is not unary", op)
+	}
+	b := builder.New()
+	f := b.Func("f", builder.V(in[0]), builder.V(out[0]))
+	f.Get(0).Op(op)
+	f.Done()
+	inst, err := interp.Instantiate(b.Build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Invoke("f", arg)
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+// runBinop builds and runs a binary op on two arguments.
+func runBinop(t *testing.T, op wasm.Opcode, a, b interp.Value) (interp.Value, error) {
+	t.Helper()
+	in, out, ok := wasm.NumericSig(op)
+	if !ok || len(in) != 2 {
+		t.Fatalf("%s is not binary", op)
+	}
+	bb := builder.New()
+	f := bb.Func("f", builder.V(in[0], in[1]), builder.V(out[0]))
+	f.Get(0).Get(1).Op(op)
+	f.Done()
+	inst, err := interp.Instantiate(bb.Build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Invoke("f", a, b)
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+func TestI32Arithmetic(t *testing.T) {
+	cases := []struct {
+		op   wasm.Opcode
+		a, b int32
+		want int32
+	}{
+		{wasm.OpI32Add, 2, 3, 5},
+		{wasm.OpI32Add, math.MaxInt32, 1, math.MinInt32}, // wraparound
+		{wasm.OpI32Sub, 2, 3, -1},
+		{wasm.OpI32Mul, -4, 3, -12},
+		{wasm.OpI32DivS, 7, -2, -3}, // truncation toward zero
+		{wasm.OpI32DivU, -1, 2, math.MaxInt32},
+		{wasm.OpI32RemS, 7, -2, 1},
+		{wasm.OpI32RemS, math.MinInt32, -1, 0}, // special case: no trap
+		{wasm.OpI32RemU, 7, 3, 1},
+		{wasm.OpI32And, 0b1100, 0b1010, 0b1000},
+		{wasm.OpI32Or, 0b1100, 0b1010, 0b1110},
+		{wasm.OpI32Xor, 0b1100, 0b1010, 0b0110},
+		{wasm.OpI32Shl, 1, 35, 8},   // shift count mod 32
+		{wasm.OpI32ShrS, -8, 1, -4}, // arithmetic
+		{wasm.OpI32ShrU, -8, 1, 0x7FFFFFFC},
+		{wasm.OpI32Rotl, -0x7FFFFFFF, 1, 3}, // 0x80000001 rotl 1 = 3
+		{wasm.OpI32Rotr, 3, 1, -0x7FFFFFFF},
+	}
+	for _, c := range cases {
+		got, err := runBinop(t, c.op, interp.I32(c.a), interp.I32(c.b))
+		if err != nil {
+			t.Errorf("%s(%d, %d): %v", c.op, c.a, c.b, err)
+			continue
+		}
+		if interp.AsI32(got) != c.want {
+			t.Errorf("%s(%d, %d) = %d, want %d", c.op, c.a, c.b, interp.AsI32(got), c.want)
+		}
+	}
+}
+
+func TestI32UnaryAndComparisons(t *testing.T) {
+	if got, _ := runUnop(t, wasm.OpI32Clz, interp.I32(1)); interp.AsI32(got) != 31 {
+		t.Errorf("clz(1) = %d", interp.AsI32(got))
+	}
+	if got, _ := runUnop(t, wasm.OpI32Ctz, interp.I32(8)); interp.AsI32(got) != 3 {
+		t.Errorf("ctz(8) = %d", interp.AsI32(got))
+	}
+	if got, _ := runUnop(t, wasm.OpI32Clz, interp.I32(0)); interp.AsI32(got) != 32 {
+		t.Errorf("clz(0) = %d", interp.AsI32(got))
+	}
+	if got, _ := runUnop(t, wasm.OpI32Popcnt, interp.I32(-1)); interp.AsI32(got) != 32 {
+		t.Errorf("popcnt(-1) = %d", interp.AsI32(got))
+	}
+	if got, _ := runUnop(t, wasm.OpI32Eqz, interp.I32(0)); interp.AsI32(got) != 1 {
+		t.Errorf("eqz(0) = %d", interp.AsI32(got))
+	}
+	cmp := []struct {
+		op   wasm.Opcode
+		a, b int32
+		want int32
+	}{
+		{wasm.OpI32LtS, -1, 1, 1},
+		{wasm.OpI32LtU, -1, 1, 0}, // -1 is large unsigned
+		{wasm.OpI32GeU, -1, 1, 1},
+		{wasm.OpI32GtS, 5, 5, 0},
+		{wasm.OpI32LeS, 5, 5, 1},
+		{wasm.OpI32Eq, 5, 5, 1},
+		{wasm.OpI32Ne, 5, 5, 0},
+	}
+	for _, c := range cmp {
+		got, err := runBinop(t, c.op, interp.I32(c.a), interp.I32(c.b))
+		if err != nil || interp.AsI32(got) != c.want {
+			t.Errorf("%s(%d, %d) = %d (%v), want %d", c.op, c.a, c.b, interp.AsI32(got), err, c.want)
+		}
+	}
+}
+
+func TestIntegerTraps(t *testing.T) {
+	cases := []struct {
+		op   wasm.Opcode
+		a, b interp.Value
+		want string
+	}{
+		{wasm.OpI32DivS, interp.I32(1), interp.I32(0), interp.TrapDivByZero},
+		{wasm.OpI32DivU, interp.I32(1), interp.I32(0), interp.TrapDivByZero},
+		{wasm.OpI32RemS, interp.I32(1), interp.I32(0), interp.TrapDivByZero},
+		{wasm.OpI32DivS, interp.I32(math.MinInt32), interp.I32(-1), interp.TrapIntOverflow},
+		{wasm.OpI64DivS, interp.I64(math.MinInt64), interp.I64(-1), interp.TrapIntOverflow},
+		{wasm.OpI64RemU, interp.I64(1), interp.I64(0), interp.TrapDivByZero},
+	}
+	for _, c := range cases {
+		_, err := runBinop(t, c.op, c.a, c.b)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.op, err, c.want)
+		}
+	}
+}
+
+func TestTruncTraps(t *testing.T) {
+	cases := []struct {
+		op   wasm.Opcode
+		arg  interp.Value
+		want string
+	}{
+		{wasm.OpI32TruncF64S, interp.F64(math.NaN()), interp.TrapInvalidConversion},
+		{wasm.OpI32TruncF64S, interp.F64(3e9), interp.TrapIntOverflow},
+		{wasm.OpI32TruncF64U, interp.F64(-1), interp.TrapIntOverflow},
+		{wasm.OpI32TruncF32S, interp.F32(float32(math.Inf(1))), interp.TrapIntOverflow},
+		{wasm.OpI64TruncF64S, interp.F64(1e19), interp.TrapIntOverflow},
+		{wasm.OpI64TruncF64U, interp.F64(2e19), interp.TrapIntOverflow},
+	}
+	for _, c := range cases {
+		_, err := runUnop(t, c.op, c.arg)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.op, err, c.want)
+		}
+	}
+	// Boundary values that must NOT trap.
+	if got, err := runUnop(t, wasm.OpI32TruncF64S, interp.F64(-2147483648.0)); err != nil || interp.AsI32(got) != math.MinInt32 {
+		t.Errorf("trunc(-2^31) = %v, %v", got, err)
+	}
+	if got, err := runUnop(t, wasm.OpI32TruncF64U, interp.F64(4294967295.0)); err != nil || uint32(got) != math.MaxUint32 {
+		t.Errorf("trunc(2^32-1) = %v, %v", got, err)
+	}
+	if got, err := runUnop(t, wasm.OpI64TruncF64S, interp.F64(-9.223372036854776e18)); err != nil || interp.AsI64(got) != math.MinInt64 {
+		t.Errorf("trunc(-2^63) = %v, %v", got, err)
+	}
+}
+
+func TestFloatSemantics(t *testing.T) {
+	// NaN propagation in min/max.
+	got, _ := runBinop(t, wasm.OpF64Min, interp.F64(1), interp.F64(math.NaN()))
+	if !math.IsNaN(interp.AsF64(got)) {
+		t.Error("f64.min(1, NaN) should be NaN")
+	}
+	// Signed zeros.
+	got, _ = runBinop(t, wasm.OpF64Min, interp.F64(math.Copysign(0, -1)), interp.F64(0))
+	if !math.Signbit(interp.AsF64(got)) {
+		t.Error("f64.min(-0, +0) should be -0")
+	}
+	got, _ = runBinop(t, wasm.OpF64Max, interp.F64(math.Copysign(0, -1)), interp.F64(0))
+	if math.Signbit(interp.AsF64(got)) {
+		t.Error("f64.max(-0, +0) should be +0")
+	}
+	// neg must flip the sign bit even of NaN.
+	got, _ = runUnop(t, wasm.OpF64Neg, interp.F64(math.NaN()))
+	if !math.Signbit(interp.AsF64(got)) {
+		t.Error("f64.neg(NaN) should have the sign bit set")
+	}
+	// nearest = round half to even.
+	got, _ = runUnop(t, wasm.OpF64Nearest, interp.F64(2.5))
+	if interp.AsF64(got) != 2.0 {
+		t.Errorf("nearest(2.5) = %v, want 2", interp.AsF64(got))
+	}
+	got, _ = runUnop(t, wasm.OpF64Nearest, interp.F64(3.5))
+	if interp.AsF64(got) != 4.0 {
+		t.Errorf("nearest(3.5) = %v, want 4", interp.AsF64(got))
+	}
+	// f32 arithmetic must round to single precision.
+	got, _ = runBinop(t, wasm.OpF32Add, interp.F32(1), interp.F32(1e-10))
+	if interp.AsF32(got) != 1.0 {
+		t.Errorf("f32 1 + 1e-10 = %v, want 1 (single precision)", interp.AsF32(got))
+	}
+	// Division by zero is Inf, not a trap.
+	got, err := runBinop(t, wasm.OpF64Div, interp.F64(1), interp.F64(0))
+	if err != nil || !math.IsInf(interp.AsF64(got), 1) {
+		t.Errorf("f64 1/0 = %v, %v", interp.AsF64(got), err)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if got, _ := runUnop(t, wasm.OpI32WrapI64, interp.I64(0x1_0000_0005)); interp.AsI32(got) != 5 {
+		t.Errorf("wrap = %d", interp.AsI32(got))
+	}
+	if got, _ := runUnop(t, wasm.OpI64ExtendI32S, interp.I32(-1)); interp.AsI64(got) != -1 {
+		t.Errorf("extend_s = %d", interp.AsI64(got))
+	}
+	if got, _ := runUnop(t, wasm.OpI64ExtendI32U, interp.I32(-1)); interp.AsI64(got) != 0xFFFFFFFF {
+		t.Errorf("extend_u = %d", interp.AsI64(got))
+	}
+	if got, _ := runUnop(t, wasm.OpF64ConvertI64U, interp.I64(-1)); interp.AsF64(got) != 1.8446744073709552e19 {
+		t.Errorf("convert_u = %v", interp.AsF64(got))
+	}
+	if got, _ := runUnop(t, wasm.OpF32DemoteF64, interp.F64(1e300)); !math.IsInf(float64(interp.AsF32(got)), 1) {
+		t.Errorf("demote overflow = %v", interp.AsF32(got))
+	}
+	// Reinterpretations preserve bits exactly.
+	if got, _ := runUnop(t, wasm.OpI64ReinterpretF64, interp.F64(1.0)); uint64(got) != 0x3FF0000000000000 {
+		t.Errorf("reinterpret = %#x", got)
+	}
+	if got, _ := runUnop(t, wasm.OpF32ReinterpretI32, interp.I32(0x7FC00000)); !math.IsNaN(float64(interp.AsF32(got))) {
+		t.Error("reinterpret to NaN failed")
+	}
+}
+
+// Properties: the interpreter's i32/i64 arithmetic agrees with Go's
+// fixed-width semantics for arbitrary inputs.
+func TestQuickIntSemantics(t *testing.T) {
+	check := func(name string, f func(a, b int32) bool) {
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	check("add", func(a, b int32) bool {
+		got, err := runBinop(t, wasm.OpI32Add, interp.I32(a), interp.I32(b))
+		return err == nil && interp.AsI32(got) == a+b
+	})
+	check("mul", func(a, b int32) bool {
+		got, err := runBinop(t, wasm.OpI32Mul, interp.I32(a), interp.I32(b))
+		return err == nil && interp.AsI32(got) == a*b
+	})
+	check("shr_u", func(a, b int32) bool {
+		got, err := runBinop(t, wasm.OpI32ShrU, interp.I32(a), interp.I32(b))
+		return err == nil && uint32(got) == uint32(a)>>(uint32(b)&31)
+	})
+	check("div_s agrees with Go when defined", func(a, b int32) bool {
+		if b == 0 || (a == math.MinInt32 && b == -1) {
+			return true
+		}
+		got, err := runBinop(t, wasm.OpI32DivS, interp.I32(a), interp.I32(b))
+		return err == nil && interp.AsI32(got) == a/b
+	})
+	if err := quick.Check(func(a, b int64) bool {
+		got, err := runBinop(t, wasm.OpI64Xor, interp.I64(a), interp.I64(b))
+		return err == nil && interp.AsI64(got) == a^b
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("i64 xor: %v", err)
+	}
+	// f64 add agrees with Go float64 (bit-for-bit, NaN aside).
+	if err := quick.Check(func(a, b float64) bool {
+		got, err := runBinop(t, wasm.OpF64Add, interp.F64(a), interp.F64(b))
+		if err != nil {
+			return false
+		}
+		want := a + b
+		if math.IsNaN(want) {
+			return math.IsNaN(interp.AsF64(got))
+		}
+		return interp.AsF64(got) == want
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("f64 add: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package interp_test
+
+import (
+	"testing"
+
+	"wasabi/internal/binary"
+	"wasabi/internal/builder"
+	"wasabi/internal/interp"
+	"wasabi/internal/validate"
+	"wasabi/internal/wasm"
+)
+
+// TestSmokeEndToEnd exercises the whole substrate stack: build a module with
+// the DSL, validate it, round-trip it through the binary codec, instantiate
+// it, and run a function with control flow, memory, and calls.
+func TestSmokeEndToEnd(t *testing.T) {
+	b := builder.New()
+	b.Memory(1)
+
+	// add(a, b) = a + b
+	add := b.Func("add", builder.V(wasm.I32, wasm.I32), builder.V(wasm.I32))
+	add.Get(0).Get(1).Op(wasm.OpI32Add)
+	add.Done()
+
+	// sumTo(n): sum of 0..n-1 via a loop, stored and reloaded through memory.
+	f := b.Func("sumTo", builder.V(wasm.I32), builder.V(wasm.I32))
+	i := f.Local(wasm.I32)
+	acc := f.Local(wasm.I32)
+	f.ForI32(i, func(fb *builder.FuncBuilder) { fb.Get(0) }, func(fb *builder.FuncBuilder) {
+		fb.Get(acc).Get(i).Call(add.Index).Set(acc)
+	})
+	// Store acc at address 16, reload it, return.
+	f.I32(16).Get(acc).Store(wasm.OpI32Store, 0)
+	f.I32(16).Load(wasm.OpI32Load, 0)
+	f.Done()
+
+	m := b.Build()
+	if err := validate.Module(m); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+
+	data, err := binary.Encode(m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	m2, err := binary.Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := validate.Module(m2); err != nil {
+		t.Fatalf("validate after round-trip: %v", err)
+	}
+
+	inst, err := interp.Instantiate(m2, nil)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	res, err := inst.Invoke("sumTo", interp.I32(10))
+	if err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+	if got := interp.AsI32(res[0]); got != 45 {
+		t.Errorf("sumTo(10) = %d, want 45", got)
+	}
+}

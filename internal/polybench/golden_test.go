@@ -1,0 +1,66 @@
+package polybench
+
+import "testing"
+
+// goldenChecksums pins the exact f64 checksum of every kernel at problem
+// size 12. The values were produced by the Go reference evaluator and
+// verified bit-for-bit against the wasm modules run on the interpreter; any
+// change here means the numeric semantics of a kernel, the IR backends, or
+// the interpreter drifted.
+var goldenChecksums = map[string]float64{
+	"2mm":            1442.5249999999994,
+	"3mm":            3962.999999999998,
+	"adi":            156.91887480499219,
+	"atax":           357.7083333333333,
+	"bicg":           203.66666666666663,
+	"cholesky":       60.895895743303115,
+	"correlation":    92.99764670882679,
+	"covariance":     21.609469521252304,
+	"deriche":        385.62007118335777,
+	"doitgen":        3521.0000000000223,
+	"durbin":         -0.7271841772770912,
+	"fdtd-2d":        232.41674374999994,
+	"floyd-warshall": 916,
+	"gemm":           381.9,
+	"gemver":         6.460677849305554e+06,
+	"gesummv":        200.29999999999998,
+	"gramschmidt":    200.1025361100455,
+	"heat-3d":        504.00000000000034,
+	"jacobi-1d":      15.382363652984534,
+	"jacobi-2d":      99.257248,
+	"lu":             159.11781864360364,
+	"ludcmp":         1.2050326821574093,
+	"mvt":            458.6666666666668,
+	"nussinov":       152,
+	"seidel-2d":      48.63797406761023,
+	"symm":           242.77500000000003,
+	"syr2k":          406.7833333333335,
+	"syrk":           270.8791666666667,
+	"trisolv":        1.3314553040678008,
+	"trmm":           278.3125,
+}
+
+// TestGoldenChecksums guards against silent semantic drift in the kernels.
+func TestGoldenChecksums(t *testing.T) {
+	if len(goldenChecksums) != 30 {
+		t.Fatalf("golden table has %d entries", len(goldenChecksums))
+	}
+	for _, k := range Kernels() {
+		want, ok := goldenChecksums[k.Name]
+		if !ok {
+			t.Errorf("%s: no golden checksum", k.Name)
+			continue
+		}
+		if got := k.Reference(12); got != want {
+			t.Errorf("%s: reference checksum %v, golden %v", k.Name, got, want)
+		}
+		got, _, err := Run(k.Module(12), nil)
+		if err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: wasm checksum %v, golden %v", k.Name, got, want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package polybench
+
+import (
+	"sort"
+
+	"wasabi/internal/builder"
+	"wasabi/internal/wasm"
+)
+
+// Kernel is one PolyBench benchmark: a name and a definition function that
+// populates a Ctx with arrays and statements for problem size n.
+type Kernel struct {
+	Name  string
+	Build func(n int32, c *Ctx)
+}
+
+// registry of all kernels, populated by the kernel definition files.
+var kernels []Kernel
+
+func register(name string, build func(n int32, c *Ctx)) {
+	kernels = append(kernels, Kernel{Name: name, Build: build})
+}
+
+// Kernels returns all registered kernels sorted by name.
+func Kernels() []Kernel {
+	out := append([]Kernel(nil), kernels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the kernel with the given name.
+func ByName(name string) (Kernel, bool) {
+	for _, k := range kernels {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// Module emits the kernel as a WebAssembly module for problem size n. The
+// module imports env.print_f64, exports memory, and exports a "kernel"
+// function () -> f64 that runs the computation and returns (and prints) the
+// checksum of all output arrays.
+func (k Kernel) Module(n int32) *wasm.Module {
+	c := &Ctx{}
+	k.Build(n, c)
+
+	b := builder.New()
+	print64 := b.ImportFunc("env", "print_f64", builder.Sig(builder.V(wasm.F64), nil))
+
+	// Lay out arrays at 8-byte-aligned offsets, then size the memory.
+	bases := make([]int32, len(c.arrays))
+	var offset int32
+	for i, a := range c.arrays {
+		bases[i] = offset
+		offset += a.size * 8
+	}
+	pages := uint32(offset/wasm.PageSize) + 1
+	b.Memory(pages).ExportMemory("memory")
+
+	fb := b.Func("kernel", nil, builder.V(wasm.F64))
+	g := &gen{fb: fb, bases: bases}
+	for i := 0; i < c.nIVars; i++ {
+		g.ivars = append(g.ivars, fb.Local(wasm.I32))
+	}
+	for i := 0; i < c.nFVars; i++ {
+		g.fvars = append(g.fvars, fb.Local(wasm.F64))
+	}
+	for _, st := range c.stmts {
+		st.emitS(g)
+	}
+
+	// Checksum loop over all output arrays.
+	acc := fb.Local(wasm.F64)
+	idx := fb.Local(wasm.I32)
+	fb.F64(0).Set(acc)
+	for ai, a := range c.arrays {
+		if !a.out {
+			continue
+		}
+		size := a.size
+		base := bases[ai]
+		fb.ForI32(idx, func(fb *builder.FuncBuilder) { fb.I32(size) }, func(fb *builder.FuncBuilder) {
+			fb.Get(acc)
+			fb.Get(idx).I32(8).Op(wasm.OpI32Mul)
+			if base != 0 {
+				fb.I32(base).Op(wasm.OpI32Add)
+			}
+			fb.Load(wasm.OpF64Load, 0)
+			fb.Op(wasm.OpF64Add).Set(acc)
+		})
+	}
+	fb.Get(acc).Call(print64)
+	fb.Get(acc)
+	fb.Done()
+	return b.Build()
+}
+
+// Reference evaluates the kernel directly in Go and returns the checksum the
+// wasm module must reproduce (RQ2 faithfulness oracle).
+func (k Kernel) Reference(n int32) float64 {
+	c := &Ctx{}
+	k.Build(n, c)
+	e := &env{
+		ivals:  make([]int32, c.nIVars),
+		fvals:  make([]float64, c.nFVars),
+		arrays: make([][]float64, len(c.arrays)),
+	}
+	for i, a := range c.arrays {
+		e.arrays[i] = make([]float64, a.size)
+	}
+	for _, st := range c.stmts {
+		st.exec(e)
+	}
+	var sum float64
+	for i, a := range c.arrays {
+		if !a.out {
+			continue
+		}
+		for _, v := range e.arrays[i] {
+			sum += v
+		}
+	}
+	return sum
+}

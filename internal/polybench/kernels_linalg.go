@@ -1,0 +1,372 @@
+package polybench
+
+// The linear-algebra kernels of PolyBench: BLAS-like routines and kernels
+// built from them. Formulas follow PolyBench 4.2; data initialization uses
+// the PolyBench convention of small rationals derived from the indices.
+
+// initAt returns the standard initializer ((i*(j+k)) % n) / n.
+func initAt(i, j IExpr, k, n int32) FExpr {
+	return Div(ToF(ModI(MulI(i, AddI(j, CI(k))), CI(n))), ToF(CI(n)))
+}
+
+// initVec returns (i % n) / n + c.
+func initVec(i IExpr, n int32, c float64) FExpr {
+	return Add(Div(ToF(ModI(i, CI(n))), ToF(CI(n))), CF(c))
+}
+
+func init() {
+	register("gemm", kGemm)
+	register("2mm", k2mm)
+	register("3mm", k3mm)
+	register("atax", kAtax)
+	register("bicg", kBicg)
+	register("mvt", kMvt)
+	register("gesummv", kGesummv)
+	register("gemver", kGemver)
+	register("syrk", kSyrk)
+	register("syr2k", kSyr2k)
+	register("symm", kSymm)
+	register("trmm", kTrmm)
+	register("doitgen", kDoitgen)
+}
+
+// initMatrix fills an n×n array with the standard initializer.
+func initMatrix(c *Ctx, a *Arr, n int32, k int32) {
+	i, j := c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(a, Idx2(VI(i), VI(j), n), initAt(VI(i), VI(j), k, n))
+		})
+	})
+}
+
+// initVector fills an n-element array.
+func initVector(c *Ctx, a *Arr, n int32, off float64) {
+	i := c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.Store(a, VI(i), initVec(VI(i), n, off))
+	})
+}
+
+// gemm: C = alpha*A*B + beta*C.
+func kGemm(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	B := c.Array("B", n*n)
+	C := c.OutArray("C", n*n)
+	initMatrix(c, A, n, 1)
+	initMatrix(c, B, n, 2)
+	initMatrix(c, C, n, 3)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(C, Idx2(VI(i), VI(j), n), Mul(At2(C, VI(i), VI(j), n), CF(1.2)))
+			c.For(k, CI(0), CI(n), func() {
+				c.Store(C, Idx2(VI(i), VI(j), n),
+					Add(At2(C, VI(i), VI(j), n),
+						Mul(CF(1.5), Mul(At2(A, VI(i), VI(k), n), At2(B, VI(k), VI(j), n)))))
+			})
+		})
+	})
+}
+
+// matmulInto emits D = A*B (both n×n), zeroing D first.
+func matmulInto(c *Ctx, D, A, B *Arr, n int32) {
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(D, Idx2(VI(i), VI(j), n), CF(0))
+			c.For(k, CI(0), CI(n), func() {
+				c.Store(D, Idx2(VI(i), VI(j), n),
+					Add(At2(D, VI(i), VI(j), n),
+						Mul(At2(A, VI(i), VI(k), n), At2(B, VI(k), VI(j), n))))
+			})
+		})
+	})
+}
+
+// 2mm: D = alpha*A*B*C + beta*D.
+func k2mm(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	B := c.Array("B", n*n)
+	Cm := c.Array("C", n*n)
+	D := c.OutArray("D", n*n)
+	tmp := c.Array("tmp", n*n)
+	initMatrix(c, A, n, 1)
+	initMatrix(c, B, n, 2)
+	initMatrix(c, Cm, n, 3)
+	initMatrix(c, D, n, 4)
+	matmulInto(c, tmp, A, B, n)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(D, Idx2(VI(i), VI(j), n), Mul(At2(D, VI(i), VI(j), n), CF(1.2)))
+			c.For(k, CI(0), CI(n), func() {
+				c.Store(D, Idx2(VI(i), VI(j), n),
+					Add(At2(D, VI(i), VI(j), n),
+						Mul(CF(1.5), Mul(At2(tmp, VI(i), VI(k), n), At2(Cm, VI(k), VI(j), n)))))
+			})
+		})
+	})
+}
+
+// 3mm: G = (A*B) * (C*D).
+func k3mm(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	B := c.Array("B", n*n)
+	Cm := c.Array("C", n*n)
+	D := c.Array("D", n*n)
+	E := c.Array("E", n*n)
+	F := c.Array("F", n*n)
+	G := c.OutArray("G", n*n)
+	initMatrix(c, A, n, 1)
+	initMatrix(c, B, n, 2)
+	initMatrix(c, Cm, n, 3)
+	initMatrix(c, D, n, 4)
+	matmulInto(c, E, A, B, n)
+	matmulInto(c, F, Cm, D, n)
+	matmulInto(c, G, E, F, n)
+}
+
+// atax: y = A^T (A x).
+func kAtax(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	x := c.Array("x", n)
+	y := c.OutArray("y", n)
+	tmp := c.Array("tmp", n)
+	initMatrix(c, A, n, 1)
+	initVector(c, x, n, 1)
+	i, j := c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() { c.Store(y, VI(i), CF(0)) })
+	c.For(i, CI(0), CI(n), func() {
+		c.Store(tmp, VI(i), CF(0))
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(tmp, VI(i), Add(At(tmp, VI(i)), Mul(At2(A, VI(i), VI(j), n), At(x, VI(j)))))
+		})
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(y, VI(j), Add(At(y, VI(j)), Mul(At2(A, VI(i), VI(j), n), At(tmp, VI(i)))))
+		})
+	})
+}
+
+// bicg: s = A^T r;  q = A p.
+func kBicg(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	r := c.Array("r", n)
+	p := c.Array("p", n)
+	s := c.OutArray("s", n)
+	q := c.OutArray("q", n)
+	initMatrix(c, A, n, 1)
+	initVector(c, r, n, 1)
+	initVector(c, p, n, 2)
+	i, j := c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() { c.Store(s, VI(i), CF(0)) })
+	c.For(i, CI(0), CI(n), func() {
+		c.Store(q, VI(i), CF(0))
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(s, VI(j), Add(At(s, VI(j)), Mul(At(r, VI(i)), At2(A, VI(i), VI(j), n))))
+			c.Store(q, VI(i), Add(At(q, VI(i)), Mul(At2(A, VI(i), VI(j), n), At(p, VI(j)))))
+		})
+	})
+}
+
+// mvt: x1 += A y1;  x2 += A^T y2.
+func kMvt(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	x1 := c.OutArray("x1", n)
+	x2 := c.OutArray("x2", n)
+	y1 := c.Array("y1", n)
+	y2 := c.Array("y2", n)
+	initMatrix(c, A, n, 1)
+	initVector(c, x1, n, 1)
+	initVector(c, x2, n, 2)
+	initVector(c, y1, n, 3)
+	initVector(c, y2, n, 4)
+	i, j := c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(x1, VI(i), Add(At(x1, VI(i)), Mul(At2(A, VI(i), VI(j), n), At(y1, VI(j)))))
+		})
+	})
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(x2, VI(i), Add(At(x2, VI(i)), Mul(At2(A, VI(j), VI(i), n), At(y2, VI(j)))))
+		})
+	})
+}
+
+// gesummv: y = alpha*A*x + beta*B*x.
+func kGesummv(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	B := c.Array("B", n*n)
+	x := c.Array("x", n)
+	y := c.OutArray("y", n)
+	tmp := c.Array("tmp", n)
+	initMatrix(c, A, n, 1)
+	initMatrix(c, B, n, 2)
+	initVector(c, x, n, 1)
+	i, j := c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.Store(tmp, VI(i), CF(0))
+		c.Store(y, VI(i), CF(0))
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(tmp, VI(i), Add(At(tmp, VI(i)), Mul(At2(A, VI(i), VI(j), n), At(x, VI(j)))))
+			c.Store(y, VI(i), Add(At(y, VI(i)), Mul(At2(B, VI(i), VI(j), n), At(x, VI(j)))))
+		})
+		c.Store(y, VI(i), Add(Mul(CF(1.5), At(tmp, VI(i))), Mul(CF(1.2), At(y, VI(i)))))
+	})
+}
+
+// gemver: A += u1 v1^T + u2 v2^T;  x = beta A^T y + z;  w = alpha A x.
+func kGemver(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	u1 := c.Array("u1", n)
+	v1 := c.Array("v1", n)
+	u2 := c.Array("u2", n)
+	v2 := c.Array("v2", n)
+	x := c.Array("x", n)
+	y := c.Array("y", n)
+	z := c.Array("z", n)
+	w := c.OutArray("w", n)
+	initMatrix(c, A, n, 1)
+	initVector(c, u1, n, 1)
+	initVector(c, v1, n, 2)
+	initVector(c, u2, n, 3)
+	initVector(c, v2, n, 4)
+	initVector(c, y, n, 5)
+	initVector(c, z, n, 6)
+	i, j := c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.Store(x, VI(i), CF(0))
+		c.Store(w, VI(i), CF(0))
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(A, Idx2(VI(i), VI(j), n),
+				Add(At2(A, VI(i), VI(j), n),
+					Add(Mul(At(u1, VI(i)), At(v1, VI(j))), Mul(At(u2, VI(i)), At(v2, VI(j))))))
+		})
+	})
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(x, VI(i), Add(At(x, VI(i)), Mul(CF(1.2), Mul(At2(A, VI(j), VI(i), n), At(y, VI(j))))))
+		})
+		c.Store(x, VI(i), Add(At(x, VI(i)), At(z, VI(i))))
+	})
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(w, VI(i), Add(At(w, VI(i)), Mul(CF(1.5), Mul(At2(A, VI(i), VI(j), n), At(x, VI(j))))))
+		})
+	})
+}
+
+// syrk: C = alpha*A*A^T + beta*C, lower triangle.
+func kSyrk(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	C := c.OutArray("C", n*n)
+	initMatrix(c, A, n, 1)
+	initMatrix(c, C, n, 2)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), AddI(VI(i), CI(1)), func() {
+			c.Store(C, Idx2(VI(i), VI(j), n), Mul(At2(C, VI(i), VI(j), n), CF(1.2)))
+			c.For(k, CI(0), CI(n), func() {
+				c.Store(C, Idx2(VI(i), VI(j), n),
+					Add(At2(C, VI(i), VI(j), n),
+						Mul(CF(1.5), Mul(At2(A, VI(i), VI(k), n), At2(A, VI(j), VI(k), n)))))
+			})
+		})
+	})
+}
+
+// syr2k: C = alpha*(A*B^T + B*A^T) + beta*C, lower triangle.
+func kSyr2k(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	B := c.Array("B", n*n)
+	C := c.OutArray("C", n*n)
+	initMatrix(c, A, n, 1)
+	initMatrix(c, B, n, 2)
+	initMatrix(c, C, n, 3)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), AddI(VI(i), CI(1)), func() {
+			c.Store(C, Idx2(VI(i), VI(j), n), Mul(At2(C, VI(i), VI(j), n), CF(1.2)))
+			c.For(k, CI(0), CI(n), func() {
+				c.Store(C, Idx2(VI(i), VI(j), n),
+					Add(At2(C, VI(i), VI(j), n),
+						Mul(CF(1.5),
+							Add(Mul(At2(A, VI(i), VI(k), n), At2(B, VI(j), VI(k), n)),
+								Mul(At2(B, VI(i), VI(k), n), At2(A, VI(j), VI(k), n))))))
+			})
+		})
+	})
+}
+
+// symm: C = alpha*A*B + beta*C with symmetric A (simplified dense form).
+func kSymm(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	B := c.Array("B", n*n)
+	C := c.OutArray("C", n*n)
+	initMatrix(c, A, n, 1)
+	initMatrix(c, B, n, 2)
+	initMatrix(c, C, n, 3)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	tmp := c.FVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.SetF(tmp, CF(0))
+			c.For(k, CI(0), AddI(VI(i), CI(1)), func() {
+				c.SetF(tmp, Add(VF(tmp), Mul(At2(A, VI(i), VI(k), n), At2(B, VI(k), VI(j), n))))
+			})
+			c.Store(C, Idx2(VI(i), VI(j), n),
+				Add(Mul(CF(1.2), At2(C, VI(i), VI(j), n)), Mul(CF(1.5), VF(tmp))))
+		})
+	})
+}
+
+// trmm: B = alpha*A*B with lower-triangular A.
+func kTrmm(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	B := c.OutArray("B", n*n)
+	initMatrix(c, A, n, 1)
+	initMatrix(c, B, n, 2)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.For(k, AddI(VI(i), CI(1)), CI(n), func() {
+				c.Store(B, Idx2(VI(i), VI(j), n),
+					Add(At2(B, VI(i), VI(j), n), Mul(At2(A, VI(k), VI(i), n), At2(B, VI(k), VI(j), n))))
+			})
+			c.Store(B, Idx2(VI(i), VI(j), n), Mul(CF(1.5), At2(B, VI(i), VI(j), n)))
+		})
+	})
+}
+
+// doitgen: A[r][q][p] = sum_s A[r][q][s] * C4[s][p].
+func kDoitgen(n int32, c *Ctx) {
+	A := c.OutArray("A", n*n*n)
+	C4 := c.Array("C4", n*n)
+	sum := c.Array("sum", n)
+	initMatrix(c, C4, n, 1)
+	r, q, p, s := c.IVarNew(), c.IVarNew(), c.IVarNew(), c.IVarNew()
+	idx3 := func(a, b, d IExpr) IExpr { return AddI(MulI(AddI(MulI(a, CI(n)), b), CI(n)), d) }
+	c.For(r, CI(0), CI(n), func() {
+		c.For(q, CI(0), CI(n), func() {
+			c.For(p, CI(0), CI(n), func() {
+				c.Store(A, idx3(VI(r), VI(q), VI(p)),
+					Div(ToF(ModI(AddI(MulI(VI(r), VI(q)), VI(p)), CI(n))), ToF(CI(n))))
+			})
+		})
+	})
+	c.For(r, CI(0), CI(n), func() {
+		c.For(q, CI(0), CI(n), func() {
+			c.For(p, CI(0), CI(n), func() {
+				c.Store(sum, VI(p), CF(0))
+				c.For(s, CI(0), CI(n), func() {
+					c.Store(sum, VI(p), Add(At(sum, VI(p)),
+						Mul(At(A, idx3(VI(r), VI(q), VI(s))), At2(C4, VI(s), VI(p), n))))
+				})
+			})
+			c.For(p, CI(0), CI(n), func() {
+				c.Store(A, idx3(VI(r), VI(q), VI(p)), At(sum, VI(p)))
+			})
+		})
+	})
+}

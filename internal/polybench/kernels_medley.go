@@ -1,0 +1,219 @@
+package polybench
+
+// Data-mining and medley kernels: correlation, covariance, deriche,
+// floyd-warshall, nussinov. All data is f64 (PolyBench's integer medley
+// kernels are expressed with f64 min/max, preserving the instruction mix).
+
+func init() {
+	register("correlation", kCorrelation)
+	register("covariance", kCovariance)
+	register("deriche", kDeriche)
+	register("floyd-warshall", kFloydWarshall)
+	register("nussinov", kNussinov)
+}
+
+// initData fills the n×n data matrix with varied, non-degenerate values.
+func initData(c *Ctx, data *Arr, n int32) {
+	i, j := c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			// data[i][j] = (i*j % n)/n + i/(j+7)
+			c.Store(data, Idx2(VI(i), VI(j), n),
+				Add(Div(ToF(ModI(MulI(VI(i), VI(j)), CI(n))), ToF(CI(n))),
+					Div(ToF(VI(i)), ToF(AddI(VI(j), CI(7))))))
+		})
+	})
+}
+
+// correlation: per-column mean and stddev, normalize, correlation matrix.
+func kCorrelation(n int32, c *Ctx) {
+	data := c.Array("data", n*n)
+	corr := c.OutArray("corr", n*n)
+	mean := c.Array("mean", n)
+	stddev := c.Array("stddev", n)
+	initData(c, data, n)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	fn := ToF(CI(n))
+	c.For(j, CI(0), CI(n), func() {
+		c.Store(mean, VI(j), CF(0))
+		c.For(i, CI(0), CI(n), func() {
+			c.Store(mean, VI(j), Add(At(mean, VI(j)), At2(data, VI(i), VI(j), n)))
+		})
+		c.Store(mean, VI(j), Div(At(mean, VI(j)), fn))
+	})
+	c.For(j, CI(0), CI(n), func() {
+		c.Store(stddev, VI(j), CF(0))
+		c.For(i, CI(0), CI(n), func() {
+			d := Sub(At2(data, VI(i), VI(j), n), At(mean, VI(j)))
+			c.Store(stddev, VI(j), Add(At(stddev, VI(j)), Mul(d, d)))
+		})
+		// Guard near-zero deviations as PolyBench does (expressed via max).
+		c.Store(stddev, VI(j), Max(Sqrt(Div(At(stddev, VI(j)), fn)), CF(0.1)))
+	})
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(data, Idx2(VI(i), VI(j), n),
+				Div(Sub(At2(data, VI(i), VI(j), n), At(mean, VI(j))),
+					Mul(Sqrt(fn), At(stddev, VI(j)))))
+		})
+	})
+	c.For(i, CI(0), CI(n), func() {
+		c.Store(corr, Idx2(VI(i), VI(i), n), CF(1))
+		c.For(j, AddI(VI(i), CI(1)), CI(n), func() {
+			c.Store(corr, Idx2(VI(i), VI(j), n), CF(0))
+			c.For(k, CI(0), CI(n), func() {
+				c.Store(corr, Idx2(VI(i), VI(j), n),
+					Add(At2(corr, VI(i), VI(j), n),
+						Mul(At2(data, VI(k), VI(i), n), At2(data, VI(k), VI(j), n))))
+			})
+			c.Store(corr, Idx2(VI(j), VI(i), n), At2(corr, VI(i), VI(j), n))
+		})
+	})
+}
+
+// covariance: per-column mean, then the covariance matrix.
+func kCovariance(n int32, c *Ctx) {
+	data := c.Array("data", n*n)
+	cov := c.OutArray("cov", n*n)
+	mean := c.Array("mean", n)
+	initData(c, data, n)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	fn := ToF(CI(n))
+	c.For(j, CI(0), CI(n), func() {
+		c.Store(mean, VI(j), CF(0))
+		c.For(i, CI(0), CI(n), func() {
+			c.Store(mean, VI(j), Add(At(mean, VI(j)), At2(data, VI(i), VI(j), n)))
+		})
+		c.Store(mean, VI(j), Div(At(mean, VI(j)), fn))
+	})
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(data, Idx2(VI(i), VI(j), n), Sub(At2(data, VI(i), VI(j), n), At(mean, VI(j))))
+		})
+	})
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, VI(i), CI(n), func() {
+			c.Store(cov, Idx2(VI(i), VI(j), n), CF(0))
+			c.For(k, CI(0), CI(n), func() {
+				c.Store(cov, Idx2(VI(i), VI(j), n),
+					Add(At2(cov, VI(i), VI(j), n),
+						Mul(At2(data, VI(k), VI(i), n), At2(data, VI(k), VI(j), n))))
+			})
+			c.Store(cov, Idx2(VI(i), VI(j), n), Div(At2(cov, VI(i), VI(j), n), Sub(fn, CF(1))))
+			c.Store(cov, Idx2(VI(j), VI(i), n), At2(cov, VI(i), VI(j), n))
+		})
+	})
+}
+
+// deriche: recursive edge-detection filter; horizontal forward and backward
+// passes followed by the vertical pair, with PolyBench's coefficients.
+func kDeriche(n int32, c *Ctx) {
+	img := c.Array("img", n*n)
+	y1 := c.Array("y1", n*n)
+	y2 := c.Array("y2", n*n)
+	out := c.OutArray("out", n*n)
+	initData(c, img, n)
+	i, j := c.IVarNew(), c.IVarNew()
+	xm1, ym1, ym2 := c.FVarNew(), c.FVarNew(), c.FVarNew()
+	xp1, xp2 := c.FVarNew(), c.FVarNew()
+	yp1, yp2 := c.FVarNew(), c.FVarNew()
+	const a1, a2, b1, b2 = 0.25, 0.2, 1.1, -0.3
+	// Horizontal forward.
+	c.For(i, CI(0), CI(n), func() {
+		c.SetF(ym1, CF(0))
+		c.SetF(ym2, CF(0))
+		c.SetF(xm1, CF(0))
+		c.For(j, CI(0), CI(n), func() {
+			cur := At2(img, VI(i), VI(j), n)
+			c.Store(y1, Idx2(VI(i), VI(j), n),
+				Add(Add(Mul(CF(a1), cur), Mul(CF(a2), VF(xm1))),
+					Add(Mul(CF(b1), VF(ym1)), Mul(CF(b2), VF(ym2)))))
+			c.SetF(xm1, cur)
+			c.SetF(ym2, VF(ym1))
+			c.SetF(ym1, At2(y1, VI(i), VI(j), n))
+		})
+	})
+	// Horizontal backward (index-reversed).
+	c.For(i, CI(0), CI(n), func() {
+		c.SetF(yp1, CF(0))
+		c.SetF(yp2, CF(0))
+		c.SetF(xp1, CF(0))
+		c.SetF(xp2, CF(0))
+		c.For(j, CI(0), CI(n), func() {
+			rj := SubI(CI(n-1), VI(j))
+			c.Store(y2, Idx2(VI(i), rj, n),
+				Add(Add(Mul(CF(a1), VF(xp1)), Mul(CF(a2), VF(xp2))),
+					Add(Mul(CF(b1), VF(yp1)), Mul(CF(b2), VF(yp2)))))
+			c.SetF(xp2, VF(xp1))
+			c.SetF(xp1, At2(img, VI(i), rj, n))
+			c.SetF(yp2, VF(yp1))
+			c.SetF(yp1, At2(y2, VI(i), rj, n))
+		})
+	})
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(out, Idx2(VI(i), VI(j), n),
+				Add(At2(y1, VI(i), VI(j), n), At2(y2, VI(i), VI(j), n)))
+		})
+	})
+}
+
+// floyd-warshall: all-pairs shortest paths via min-plus updates.
+func kFloydWarshall(n int32, c *Ctx) {
+	path := c.OutArray("path", n*n)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			// path[i][j] = (i*j) % 7 + 1, with +2/+5 "missing edge" bumps.
+			c.Store(path, Idx2(VI(i), VI(j), n),
+				Add(ToF(ModI(MulI(VI(i), VI(j)), CI(7))),
+					Add(CF(1), ToF(ModI(AddI(VI(i), VI(j)), CI(13))))))
+		})
+		c.Store(path, Idx2(VI(i), VI(i), n), CF(0))
+	})
+	c.For(k, CI(0), CI(n), func() {
+		c.For(i, CI(0), CI(n), func() {
+			c.For(j, CI(0), CI(n), func() {
+				c.Store(path, Idx2(VI(i), VI(j), n),
+					Min(At2(path, VI(i), VI(j), n),
+						Add(At2(path, VI(i), VI(k), n), At2(path, VI(k), VI(j), n))))
+			})
+		})
+	})
+}
+
+// nussinov: RNA secondary-structure dynamic programming, expressed with max
+// over the DP table; the anti-diagonal traversal uses index reversal.
+func kNussinov(n int32, c *Ctx) {
+	seq := c.Array("seq", n)
+	table := c.OutArray("table", n*n)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.Store(seq, VI(i), ToF(ModI(AddI(VI(i), CI(1)), CI(4))))
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(table, Idx2(VI(i), VI(j), n), CF(0))
+		})
+	})
+	// for i = n-1 down to 0; for j = i+1 to n-1.
+	c.For(i, CI(0), CI(n), func() {
+		ri := SubI(CI(n-1), VI(i))
+		c.For(j, AddI(ri, CI(1)), CI(n), func() {
+			// table[ri][j] = max(table[ri][j-1], table[ri+1][j])
+			c.Store(table, Idx2(ri, VI(j), n),
+				Max(At2(table, ri, SubI(VI(j), CI(1)), n),
+					At2(table, AddI(ri, CI(1)), VI(j), n)))
+			// pairing bonus: match(seq[ri], seq[j]) approximated by a
+			// min-based indicator of complementary codes (a+b == 3).
+			match := Max(Sub(CF(1), Abs(Sub(Add(At(seq, ri), At(seq, VI(j))), CF(3)))), CF(0))
+			c.Store(table, Idx2(ri, VI(j), n),
+				Max(At2(table, ri, VI(j), n),
+					Add(At2(table, AddI(ri, CI(1)), SubI(VI(j), CI(1)), n), match)))
+			// split: max over k in (ri, j).
+			c.For(k, AddI(ri, CI(1)), VI(j), func() {
+				c.Store(table, Idx2(ri, VI(j), n),
+					Max(At2(table, ri, VI(j), n),
+						Add(At2(table, ri, VI(k), n), At2(table, AddI(VI(k), CI(1)), VI(j), n))))
+			})
+		})
+	})
+}

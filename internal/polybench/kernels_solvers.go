@@ -1,0 +1,200 @@
+package polybench
+
+// The linear-solver kernels: factorizations and substitutions. Inputs are
+// made diagonally dominant so pivots never vanish.
+
+func init() {
+	register("cholesky", kCholesky)
+	register("durbin", kDurbin)
+	register("gramschmidt", kGramschmidt)
+	register("lu", kLu)
+	register("ludcmp", kLudcmp)
+	register("trisolv", kTrisolv)
+}
+
+// initSPD fills A with a symmetric, strictly diagonally dominant matrix.
+func initSPD(c *Ctx, A *Arr, n int32) {
+	i, j := c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			// A[i][j] = ((i+j) % n) / (2n)
+			c.Store(A, Idx2(VI(i), VI(j), n),
+				Div(ToF(ModI(AddI(VI(i), VI(j)), CI(n))), ToF(CI(2*n))))
+		})
+		// Dominant diagonal: A[i][i] = n.
+		c.Store(A, Idx2(VI(i), VI(i), n), ToF(CI(n)))
+	})
+}
+
+// cholesky: in-place lower-triangular factorization A = L L^T.
+func kCholesky(n int32, c *Ctx) {
+	A := c.OutArray("A", n*n)
+	initSPD(c, A, n)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), VI(i), func() {
+			c.For(k, CI(0), VI(j), func() {
+				c.Store(A, Idx2(VI(i), VI(j), n),
+					Sub(At2(A, VI(i), VI(j), n), Mul(At2(A, VI(i), VI(k), n), At2(A, VI(j), VI(k), n))))
+			})
+			c.Store(A, Idx2(VI(i), VI(j), n), Div(At2(A, VI(i), VI(j), n), At2(A, VI(j), VI(j), n)))
+		})
+		c.For(k, CI(0), VI(i), func() {
+			c.Store(A, Idx2(VI(i), VI(i), n),
+				Sub(At2(A, VI(i), VI(i), n), Mul(At2(A, VI(i), VI(k), n), At2(A, VI(i), VI(k), n))))
+		})
+		c.Store(A, Idx2(VI(i), VI(i), n), Sqrt(At2(A, VI(i), VI(i), n)))
+	})
+}
+
+// durbin: Levinson-Durbin recursion for Toeplitz systems.
+func kDurbin(n int32, c *Ctx) {
+	r := c.Array("r", n)
+	y := c.OutArray("y", n)
+	z := c.Array("z", n)
+	i, k := c.IVarNew(), c.IVarNew()
+	alpha, beta, sum := c.FVarNew(), c.FVarNew(), c.FVarNew()
+	// r[i] = (n+1-i) / (2n), decreasing and < 1 keeps the recursion stable.
+	c.For(i, CI(0), CI(n), func() {
+		c.Store(r, VI(i), Div(ToF(SubI(CI(n+1), VI(i))), ToF(CI(2*n))))
+	})
+	c.Store(y, CI(0), Mul(CF(-1), At(r, CI(0))))
+	c.SetF(beta, CF(1))
+	c.SetF(alpha, Mul(CF(-1), At(r, CI(0))))
+	c.For(k, CI(1), CI(n), func() {
+		c.SetF(beta, Mul(Sub(CF(1), Mul(VF(alpha), VF(alpha))), VF(beta)))
+		c.SetF(sum, CF(0))
+		c.For(i, CI(0), VI(k), func() {
+			c.SetF(sum, Add(VF(sum), Mul(At(r, SubI(SubI(VI(k), VI(i)), CI(1))), At(y, VI(i)))))
+		})
+		c.SetF(alpha, Mul(CF(-1), Div(Add(At(r, VI(k)), VF(sum)), VF(beta))))
+		c.For(i, CI(0), VI(k), func() {
+			c.Store(z, VI(i), Add(At(y, VI(i)), Mul(VF(alpha), At(y, SubI(SubI(VI(k), VI(i)), CI(1))))))
+		})
+		c.For(i, CI(0), VI(k), func() {
+			c.Store(y, VI(i), At(z, VI(i)))
+		})
+		c.Store(y, VI(k), VF(alpha))
+	})
+}
+
+// gramschmidt: QR decomposition by modified Gram-Schmidt.
+func kGramschmidt(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	Q := c.OutArray("Q", n*n)
+	R := c.OutArray("R", n*n)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	nrm := c.FVarNew()
+	// Init: identity-dominant to keep columns independent.
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(A, Idx2(VI(i), VI(j), n), initAt(VI(i), VI(j), 1, n))
+			c.Store(R, Idx2(VI(i), VI(j), n), CF(0))
+		})
+		c.Store(A, Idx2(VI(i), VI(i), n), ToF(CI(n)))
+	})
+	c.For(k, CI(0), CI(n), func() {
+		c.SetF(nrm, CF(0))
+		c.For(i, CI(0), CI(n), func() {
+			c.SetF(nrm, Add(VF(nrm), Mul(At2(A, VI(i), VI(k), n), At2(A, VI(i), VI(k), n))))
+		})
+		c.Store(R, Idx2(VI(k), VI(k), n), Sqrt(VF(nrm)))
+		c.For(i, CI(0), CI(n), func() {
+			c.Store(Q, Idx2(VI(i), VI(k), n), Div(At2(A, VI(i), VI(k), n), At2(R, VI(k), VI(k), n)))
+		})
+		c.For(j, AddI(VI(k), CI(1)), CI(n), func() {
+			c.Store(R, Idx2(VI(k), VI(j), n), CF(0))
+			c.For(i, CI(0), CI(n), func() {
+				c.Store(R, Idx2(VI(k), VI(j), n),
+					Add(At2(R, VI(k), VI(j), n), Mul(At2(Q, VI(i), VI(k), n), At2(A, VI(i), VI(j), n))))
+			})
+			c.For(i, CI(0), CI(n), func() {
+				c.Store(A, Idx2(VI(i), VI(j), n),
+					Sub(At2(A, VI(i), VI(j), n), Mul(At2(Q, VI(i), VI(k), n), At2(R, VI(k), VI(j), n))))
+			})
+		})
+	})
+}
+
+// lu: in-place LU decomposition without pivoting.
+func kLu(n int32, c *Ctx) {
+	A := c.OutArray("A", n*n)
+	initSPD(c, A, n)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), VI(i), func() {
+			c.For(k, CI(0), VI(j), func() {
+				c.Store(A, Idx2(VI(i), VI(j), n),
+					Sub(At2(A, VI(i), VI(j), n), Mul(At2(A, VI(i), VI(k), n), At2(A, VI(k), VI(j), n))))
+			})
+			c.Store(A, Idx2(VI(i), VI(j), n), Div(At2(A, VI(i), VI(j), n), At2(A, VI(j), VI(j), n)))
+		})
+		c.For(j, VI(i), CI(n), func() {
+			c.For(k, CI(0), VI(i), func() {
+				c.Store(A, Idx2(VI(i), VI(j), n),
+					Sub(At2(A, VI(i), VI(j), n), Mul(At2(A, VI(i), VI(k), n), At2(A, VI(k), VI(j), n))))
+			})
+		})
+	})
+}
+
+// ludcmp: LU decomposition followed by forward and backward substitution.
+func kLudcmp(n int32, c *Ctx) {
+	A := c.Array("A", n*n)
+	b := c.Array("b", n)
+	x := c.OutArray("x", n)
+	y := c.Array("y", n)
+	initSPD(c, A, n)
+	initVector(c, b, n, 1)
+	i, j, k := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	w := c.FVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), VI(i), func() {
+			c.SetF(w, At2(A, VI(i), VI(j), n))
+			c.For(k, CI(0), VI(j), func() {
+				c.SetF(w, Sub(VF(w), Mul(At2(A, VI(i), VI(k), n), At2(A, VI(k), VI(j), n))))
+			})
+			c.Store(A, Idx2(VI(i), VI(j), n), Div(VF(w), At2(A, VI(j), VI(j), n)))
+		})
+		c.For(j, VI(i), CI(n), func() {
+			c.SetF(w, At2(A, VI(i), VI(j), n))
+			c.For(k, CI(0), VI(i), func() {
+				c.SetF(w, Sub(VF(w), Mul(At2(A, VI(i), VI(k), n), At2(A, VI(k), VI(j), n))))
+			})
+			c.Store(A, Idx2(VI(i), VI(j), n), VF(w))
+		})
+	})
+	c.For(i, CI(0), CI(n), func() {
+		c.SetF(w, At(b, VI(i)))
+		c.For(j, CI(0), VI(i), func() {
+			c.SetF(w, Sub(VF(w), Mul(At2(A, VI(i), VI(j), n), At(y, VI(j)))))
+		})
+		c.Store(y, VI(i), VF(w))
+	})
+	// Backward substitution, expressed with the transform i' = n-1-i.
+	c.For(i, CI(0), CI(n), func() {
+		ri := SubI(CI(n-1), VI(i))
+		c.SetF(w, At(y, ri))
+		c.For(j, AddI(ri, CI(1)), CI(n), func() {
+			c.SetF(w, Sub(VF(w), Mul(At2(A, ri, VI(j), n), At(x, VI(j)))))
+		})
+		c.Store(x, ri, Div(VF(w), At2(A, ri, ri, n)))
+	})
+}
+
+// trisolv: forward substitution for a lower-triangular system.
+func kTrisolv(n int32, c *Ctx) {
+	L := c.Array("L", n*n)
+	x := c.OutArray("x", n)
+	b := c.Array("b", n)
+	initSPD(c, L, n)
+	initVector(c, b, n, 1)
+	i, j := c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.Store(x, VI(i), At(b, VI(i)))
+		c.For(j, CI(0), VI(i), func() {
+			c.Store(x, VI(i), Sub(At(x, VI(i)), Mul(At2(L, VI(i), VI(j), n), At(x, VI(j)))))
+		})
+		c.Store(x, VI(i), Div(At(x, VI(i)), At2(L, VI(i), VI(i), n)))
+	})
+}

@@ -1,0 +1,234 @@
+package polybench
+
+// The stencil kernels. Time-step counts are fixed small values; the problem
+// size n scales the spatial grid, as in PolyBench's dataset presets.
+
+const stencilSteps = 4
+
+func init() {
+	register("jacobi-1d", kJacobi1d)
+	register("jacobi-2d", kJacobi2d)
+	register("seidel-2d", kSeidel2d)
+	register("fdtd-2d", kFdtd2d)
+	register("heat-3d", kHeat3d)
+	register("adi", kAdi)
+}
+
+// jacobi-1d: A, B ping-pong averaging of three neighbours.
+func kJacobi1d(n int32, c *Ctx) {
+	A := c.OutArray("A", n)
+	B := c.OutArray("B", n)
+	i, t := c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.Store(A, VI(i), Div(ToF(AddI(VI(i), CI(2))), ToF(CI(n))))
+		c.Store(B, VI(i), Div(ToF(AddI(VI(i), CI(3))), ToF(CI(n))))
+	})
+	c.For(t, CI(0), CI(stencilSteps), func() {
+		c.For(i, CI(1), CI(n-1), func() {
+			c.Store(B, VI(i), Mul(CF(0.33333),
+				Add(At(A, SubI(VI(i), CI(1))), Add(At(A, VI(i)), At(A, AddI(VI(i), CI(1)))))))
+		})
+		c.For(i, CI(1), CI(n-1), func() {
+			c.Store(A, VI(i), Mul(CF(0.33333),
+				Add(At(B, SubI(VI(i), CI(1))), Add(At(B, VI(i)), At(B, AddI(VI(i), CI(1)))))))
+		})
+	})
+}
+
+// jacobi-2d: five-point stencil on two ping-pong grids.
+func kJacobi2d(n int32, c *Ctx) {
+	A := c.OutArray("A", n*n)
+	B := c.OutArray("B", n*n)
+	i, j, t := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(A, Idx2(VI(i), VI(j), n), initAt(VI(i), VI(j), 2, n))
+			c.Store(B, Idx2(VI(i), VI(j), n), initAt(VI(i), VI(j), 3, n))
+		})
+	})
+	five := func(dst, src *Arr) {
+		c.For(i, CI(1), CI(n-1), func() {
+			c.For(j, CI(1), CI(n-1), func() {
+				c.Store(dst, Idx2(VI(i), VI(j), n), Mul(CF(0.2),
+					Add(At2(src, VI(i), VI(j), n),
+						Add(At2(src, VI(i), SubI(VI(j), CI(1)), n),
+							Add(At2(src, VI(i), AddI(VI(j), CI(1)), n),
+								Add(At2(src, SubI(VI(i), CI(1)), VI(j), n),
+									At2(src, AddI(VI(i), CI(1)), VI(j), n)))))))
+			})
+		})
+	}
+	c.For(t, CI(0), CI(stencilSteps), func() {
+		five(B, A)
+		five(A, B)
+	})
+}
+
+// seidel-2d: in-place nine-point Gauss-Seidel sweep.
+func kSeidel2d(n int32, c *Ctx) {
+	A := c.OutArray("A", n*n)
+	i, j, t := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(A, Idx2(VI(i), VI(j), n), initAt(VI(i), VI(j), 2, n))
+		})
+	})
+	c.For(t, CI(0), CI(stencilSteps), func() {
+		c.For(i, CI(1), CI(n-1), func() {
+			c.For(j, CI(1), CI(n-1), func() {
+				sum := Add(At2(A, SubI(VI(i), CI(1)), SubI(VI(j), CI(1)), n),
+					Add(At2(A, SubI(VI(i), CI(1)), VI(j), n),
+						Add(At2(A, SubI(VI(i), CI(1)), AddI(VI(j), CI(1)), n),
+							Add(At2(A, VI(i), SubI(VI(j), CI(1)), n),
+								Add(At2(A, VI(i), VI(j), n),
+									Add(At2(A, VI(i), AddI(VI(j), CI(1)), n),
+										Add(At2(A, AddI(VI(i), CI(1)), SubI(VI(j), CI(1)), n),
+											Add(At2(A, AddI(VI(i), CI(1)), VI(j), n),
+												At2(A, AddI(VI(i), CI(1)), AddI(VI(j), CI(1)), n)))))))))
+				c.Store(A, Idx2(VI(i), VI(j), n), Div(sum, CF(9)))
+			})
+		})
+	})
+}
+
+// fdtd-2d: 2-D finite-difference time-domain kernel over three fields.
+func kFdtd2d(n int32, c *Ctx) {
+	ex := c.OutArray("ex", n*n)
+	ey := c.OutArray("ey", n*n)
+	hz := c.OutArray("hz", n*n)
+	i, j, t := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(ex, Idx2(VI(i), VI(j), n), initAt(VI(i), VI(j), 1, n))
+			c.Store(ey, Idx2(VI(i), VI(j), n), initAt(VI(i), VI(j), 2, n))
+			c.Store(hz, Idx2(VI(i), VI(j), n), initAt(VI(i), VI(j), 3, n))
+		})
+	})
+	c.For(t, CI(0), CI(stencilSteps), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(ey, Idx2(CI(0), VI(j), n), ToF(VI(t)))
+		})
+		c.For(i, CI(1), CI(n), func() {
+			c.For(j, CI(0), CI(n), func() {
+				c.Store(ey, Idx2(VI(i), VI(j), n),
+					Sub(At2(ey, VI(i), VI(j), n),
+						Mul(CF(0.5), Sub(At2(hz, VI(i), VI(j), n), At2(hz, SubI(VI(i), CI(1)), VI(j), n)))))
+			})
+		})
+		c.For(i, CI(0), CI(n), func() {
+			c.For(j, CI(1), CI(n), func() {
+				c.Store(ex, Idx2(VI(i), VI(j), n),
+					Sub(At2(ex, VI(i), VI(j), n),
+						Mul(CF(0.5), Sub(At2(hz, VI(i), VI(j), n), At2(hz, VI(i), SubI(VI(j), CI(1)), n)))))
+			})
+		})
+		c.For(i, CI(0), CI(n-1), func() {
+			c.For(j, CI(0), CI(n-1), func() {
+				c.Store(hz, Idx2(VI(i), VI(j), n),
+					Sub(At2(hz, VI(i), VI(j), n),
+						Mul(CF(0.7),
+							Add(Sub(At2(ex, VI(i), AddI(VI(j), CI(1)), n), At2(ex, VI(i), VI(j), n)),
+								Sub(At2(ey, AddI(VI(i), CI(1)), VI(j), n), At2(ey, VI(i), VI(j), n))))))
+			})
+		})
+	})
+}
+
+// heat-3d: seven-point 3-D stencil on ping-pong grids.
+func kHeat3d(n int32, c *Ctx) {
+	A := c.OutArray("A", n*n*n)
+	B := c.OutArray("B", n*n*n)
+	i, j, k, t := c.IVarNew(), c.IVarNew(), c.IVarNew(), c.IVarNew()
+	idx3 := func(a, b, d IExpr) IExpr { return AddI(MulI(AddI(MulI(a, CI(n)), b), CI(n)), d) }
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.For(k, CI(0), CI(n), func() {
+				v := Div(ToF(AddI(AddI(VI(i), VI(j)), SubI(CI(n), VI(k)))), ToF(CI(10*n)))
+				c.Store(A, idx3(VI(i), VI(j), VI(k)), v)
+				c.Store(B, idx3(VI(i), VI(j), VI(k)), v)
+			})
+		})
+	})
+	seven := func(dst, src *Arr) {
+		c.For(i, CI(1), CI(n-1), func() {
+			c.For(j, CI(1), CI(n-1), func() {
+				c.For(k, CI(1), CI(n-1), func() {
+					lap := func(p, m IExpr, q, r IExpr, s, u IExpr) FExpr {
+						return Sub(Add(At(src, idx3(p, q, s)), At(src, idx3(m, r, u))),
+							Mul(CF(2), At(src, idx3(VI(i), VI(j), VI(k)))))
+					}
+					c.Store(dst, idx3(VI(i), VI(j), VI(k)),
+						Add(At(src, idx3(VI(i), VI(j), VI(k))),
+							Mul(CF(0.125),
+								Add(lap(AddI(VI(i), CI(1)), SubI(VI(i), CI(1)), VI(j), VI(j), VI(k), VI(k)),
+									Add(lap(VI(i), VI(i), AddI(VI(j), CI(1)), SubI(VI(j), CI(1)), VI(k), VI(k)),
+										lap(VI(i), VI(i), VI(j), VI(j), AddI(VI(k), CI(1)), SubI(VI(k), CI(1))))))))
+				})
+			})
+		})
+	}
+	c.For(t, CI(0), CI(2), func() {
+		seven(B, A)
+		seven(A, B)
+	})
+}
+
+// adi: alternating-direction implicit integration, simplified sweeps with
+// the backward passes expressed through index reversal.
+func kAdi(n int32, c *Ctx) {
+	u := c.OutArray("u", n*n)
+	v := c.Array("v", n*n)
+	p := c.Array("p", n*n)
+	q := c.Array("q", n*n)
+	i, j, t := c.IVarNew(), c.IVarNew(), c.IVarNew()
+	c.For(i, CI(0), CI(n), func() {
+		c.For(j, CI(0), CI(n), func() {
+			c.Store(u, Idx2(VI(i), VI(j), n), Div(ToF(AddI(VI(i), AddI(VI(j), CI(2)))), ToF(CI(n))))
+		})
+	})
+	const a, b2, d = 0.2, 0.6, 0.2
+	c.For(t, CI(0), CI(2), func() {
+		// Column sweep building v.
+		c.For(i, CI(1), CI(n-1), func() {
+			c.Store(v, Idx2(CI(0), VI(i), n), CF(1))
+			c.Store(p, Idx2(VI(i), CI(0), n), CF(0))
+			c.Store(q, Idx2(VI(i), CI(0), n), CF(1))
+			c.For(j, CI(1), CI(n-1), func() {
+				c.Store(p, Idx2(VI(i), VI(j), n),
+					Div(CF(-d), Add(Mul(CF(a), At2(p, VI(i), SubI(VI(j), CI(1)), n)), CF(b2))))
+				c.Store(q, Idx2(VI(i), VI(j), n),
+					Div(Sub(At2(u, VI(j), VI(i), n),
+						Mul(CF(a), At2(q, VI(i), SubI(VI(j), CI(1)), n))),
+						Add(Mul(CF(a), At2(p, VI(i), SubI(VI(j), CI(1)), n)), CF(b2))))
+			})
+			c.Store(v, Idx2(CI(n-1), VI(i), n), CF(1))
+			c.For(j, CI(1), CI(n-1), func() {
+				rj := SubI(CI(n-1), VI(j)) // backward pass
+				c.Store(v, Idx2(rj, VI(i), n),
+					Add(Mul(At2(p, VI(i), rj, n), At2(v, AddI(rj, CI(1)), VI(i), n)),
+						At2(q, VI(i), rj, n)))
+			})
+		})
+		// Row sweep rebuilding u from v.
+		c.For(i, CI(1), CI(n-1), func() {
+			c.Store(u, Idx2(VI(i), CI(0), n), CF(1))
+			c.Store(p, Idx2(VI(i), CI(0), n), CF(0))
+			c.Store(q, Idx2(VI(i), CI(0), n), CF(1))
+			c.For(j, CI(1), CI(n-1), func() {
+				c.Store(p, Idx2(VI(i), VI(j), n),
+					Div(CF(-a), Add(Mul(CF(d), At2(p, VI(i), SubI(VI(j), CI(1)), n)), CF(b2))))
+				c.Store(q, Idx2(VI(i), VI(j), n),
+					Div(Sub(At2(v, VI(i), VI(j), n),
+						Mul(CF(d), At2(q, VI(i), SubI(VI(j), CI(1)), n))),
+						Add(Mul(CF(d), At2(p, VI(i), SubI(VI(j), CI(1)), n)), CF(b2))))
+			})
+			c.Store(u, Idx2(VI(i), CI(n-1), n), CF(1))
+			c.For(j, CI(1), CI(n-1), func() {
+				rj := SubI(CI(n-1), VI(j))
+				c.Store(u, Idx2(VI(i), rj, n),
+					Add(Mul(At2(p, VI(i), rj, n), At2(u, VI(i), AddI(rj, CI(1)), n)),
+						At2(q, VI(i), rj, n)))
+			})
+		})
+	})
+}

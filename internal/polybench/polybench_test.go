@@ -1,0 +1,81 @@
+package polybench
+
+import (
+	"math"
+	"testing"
+
+	"wasabi/internal/binary"
+	"wasabi/internal/validate"
+)
+
+// TestKernelCount checks the full PolyBench suite is present.
+func TestKernelCount(t *testing.T) {
+	if got := len(Kernels()); got != 30 {
+		names := make([]string, 0)
+		for _, k := range Kernels() {
+			names = append(names, k.Name)
+		}
+		t.Fatalf("have %d kernels, want 30: %v", got, names)
+	}
+}
+
+// TestKernelsValidateAndMatchReference builds every kernel module, validates
+// it, round-trips it through the binary codec, runs it on the interpreter,
+// and compares the checksum bit-for-bit against the Go reference evaluation.
+func TestKernelsValidateAndMatchReference(t *testing.T) {
+	const n = 12
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			m := k.Module(n)
+			if err := validate.Module(m); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			data, err := binary.Encode(m)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			m2, err := binary.Decode(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			got, printed, err := Run(m2, nil)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			want := k.Reference(n)
+			if math.IsNaN(want) || math.IsInf(want, 0) {
+				t.Fatalf("reference checksum is not finite: %v", want)
+			}
+			if got != want {
+				t.Errorf("checksum = %v, reference = %v", got, want)
+			}
+			if len(printed) != 1 || printed[0] != want {
+				t.Errorf("printed %v, want [%v]", printed, want)
+			}
+		})
+	}
+}
+
+// TestKernelSizesScale sanity-checks that module size grows with n for a
+// representative kernel (the structure is n-independent; only loop bounds
+// and memory pages change, so growth should be modest).
+func TestKernelSizesScale(t *testing.T) {
+	k, ok := ByName("gemm")
+	if !ok {
+		t.Fatal("gemm not registered")
+	}
+	small := k.Module(8)
+	large := k.Module(64)
+	if small.CountInstrs() != large.CountInstrs() {
+		t.Errorf("instruction count should not depend on n: %d vs %d",
+			small.CountInstrs(), large.CountInstrs())
+	}
+	if len(large.Memories) == 0 || len(small.Memories) == 0 {
+		t.Fatal("kernels must declare memory")
+	}
+	if large.Memories[0].Min <= small.Memories[0].Min {
+		t.Errorf("memory should grow with n: %d vs %d pages",
+			small.Memories[0].Min, large.Memories[0].Min)
+	}
+}

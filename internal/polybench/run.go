@@ -1,0 +1,47 @@
+package polybench
+
+import (
+	"fmt"
+
+	"wasabi/internal/builder"
+	"wasabi/internal/interp"
+	"wasabi/internal/wasm"
+)
+
+// HostImports returns the env imports PolyBench modules need. Printed values
+// are appended to *printed, mirroring the paper's use of printed intermediate
+// results as the faithfulness oracle (RQ2).
+func HostImports(printed *[]float64) interp.Imports {
+	return interp.Imports{
+		"env": {
+			"print_f64": &interp.HostFunc{
+				Type: builder.Sig(builder.V(wasm.F64), nil),
+				Fn: func(_ *interp.Instance, args []interp.Value) ([]interp.Value, error) {
+					if printed != nil {
+						*printed = append(*printed, interp.AsF64(args[0]))
+					}
+					return nil, nil
+				},
+			},
+		},
+	}
+}
+
+// Run instantiates a kernel module and executes its "kernel" export,
+// returning the checksum and everything printed through env.print_f64.
+func Run(m *wasm.Module, extraImports interp.Imports) (float64, []float64, error) {
+	var printed []float64
+	imports := HostImports(&printed)
+	for mod, fields := range extraImports {
+		imports[mod] = fields
+	}
+	inst, err := interp.Instantiate(m, imports)
+	if err != nil {
+		return 0, nil, fmt.Errorf("polybench: instantiate: %w", err)
+	}
+	res, err := inst.Invoke("kernel")
+	if err != nil {
+		return 0, nil, fmt.Errorf("polybench: run: %w", err)
+	}
+	return interp.AsF64(res[0]), printed, nil
+}

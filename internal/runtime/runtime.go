@@ -1,0 +1,363 @@
+// Package runtime is the Wasabi runtime (the right-hand side of Figure 2 in
+// the paper): it provides the imported low-level hook functions to the
+// instrumented module and dispatches them to the high-level hooks of the
+// user's analysis. On the way it re-joins split i64 values, resolves
+// indirect-call table indices to the actually called function, and replays
+// the end hooks of blocks traversed by br_table branches, whose set is only
+// known at runtime (paper §2.4.5).
+package runtime
+
+import (
+	"fmt"
+
+	"wasabi/internal/analysis"
+	"wasabi/internal/core"
+	"wasabi/internal/interp"
+	"wasabi/internal/wasm"
+)
+
+// Runtime dispatches low-level hook calls to one analysis.
+type Runtime struct {
+	meta *core.Metadata
+	inst *interp.Instance // bound after instantiation, for table resolution
+
+	// Pre-bound high-level hook callbacks; nil when the analysis does not
+	// implement the corresponding interface.
+	nop         func(analysis.Location)
+	unreachable func(analysis.Location)
+	ifHook      func(analysis.Location, bool)
+	br          func(analysis.Location, analysis.BranchTarget)
+	brIf        func(analysis.Location, analysis.BranchTarget, bool)
+	brTable     func(analysis.Location, []analysis.BranchTarget, analysis.BranchTarget, uint32)
+	begin       func(analysis.Location, analysis.BlockKind)
+	end         func(analysis.Location, analysis.BlockKind, analysis.Location)
+	constHook   func(analysis.Location, analysis.Value)
+	drop        func(analysis.Location, analysis.Value)
+	selectHook  func(analysis.Location, bool, analysis.Value, analysis.Value)
+	unary       func(analysis.Location, string, analysis.Value, analysis.Value)
+	binary      func(analysis.Location, string, analysis.Value, analysis.Value, analysis.Value)
+	local       func(analysis.Location, string, uint32, analysis.Value)
+	global      func(analysis.Location, string, uint32, analysis.Value)
+	load        func(analysis.Location, string, analysis.MemArg, analysis.Value)
+	store       func(analysis.Location, string, analysis.MemArg, analysis.Value)
+	memSize     func(analysis.Location, uint32)
+	memGrow     func(analysis.Location, uint32, uint32)
+	callPre     func(analysis.Location, int, []analysis.Value, int64)
+	callPost    func(analysis.Location, []analysis.Value)
+	returnHook  func(analysis.Location, []analysis.Value)
+	start       func(analysis.Location)
+}
+
+// New creates a runtime dispatching to the given analysis. If the analysis
+// implements analysis.ModuleInfoReceiver it receives the module info now.
+func New(meta *core.Metadata, a any) *Runtime {
+	r := &Runtime{meta: meta}
+	if v, ok := a.(analysis.NopHooker); ok {
+		r.nop = v.Nop
+	}
+	if v, ok := a.(analysis.UnreachableHooker); ok {
+		r.unreachable = v.Unreachable
+	}
+	if v, ok := a.(analysis.IfHooker); ok {
+		r.ifHook = v.If
+	}
+	if v, ok := a.(analysis.BrHooker); ok {
+		r.br = v.Br
+	}
+	if v, ok := a.(analysis.BrIfHooker); ok {
+		r.brIf = v.BrIf
+	}
+	if v, ok := a.(analysis.BrTableHooker); ok {
+		r.brTable = v.BrTable
+	}
+	if v, ok := a.(analysis.BeginHooker); ok {
+		r.begin = v.Begin
+	}
+	if v, ok := a.(analysis.EndHooker); ok {
+		r.end = v.End
+	}
+	if v, ok := a.(analysis.ConstHooker); ok {
+		r.constHook = v.Const
+	}
+	if v, ok := a.(analysis.DropHooker); ok {
+		r.drop = v.Drop
+	}
+	if v, ok := a.(analysis.SelectHooker); ok {
+		r.selectHook = v.Select
+	}
+	if v, ok := a.(analysis.UnaryHooker); ok {
+		r.unary = v.Unary
+	}
+	if v, ok := a.(analysis.BinaryHooker); ok {
+		r.binary = v.Binary
+	}
+	if v, ok := a.(analysis.LocalHooker); ok {
+		r.local = v.Local
+	}
+	if v, ok := a.(analysis.GlobalHooker); ok {
+		r.global = v.Global
+	}
+	if v, ok := a.(analysis.LoadHooker); ok {
+		r.load = v.Load
+	}
+	if v, ok := a.(analysis.StoreHooker); ok {
+		r.store = v.Store
+	}
+	if v, ok := a.(analysis.MemorySizeHooker); ok {
+		r.memSize = v.MemorySize
+	}
+	if v, ok := a.(analysis.MemoryGrowHooker); ok {
+		r.memGrow = v.MemoryGrow
+	}
+	if v, ok := a.(analysis.CallPreHooker); ok {
+		r.callPre = v.CallPre
+	}
+	if v, ok := a.(analysis.CallPostHooker); ok {
+		r.callPost = v.CallPost
+	}
+	if v, ok := a.(analysis.ReturnHooker); ok {
+		r.returnHook = v.Return
+	}
+	if v, ok := a.(analysis.StartHooker); ok {
+		r.start = v.Start
+	}
+	if v, ok := a.(analysis.ModuleInfoReceiver); ok {
+		v.SetModuleInfo(&meta.Info)
+	}
+	return r
+}
+
+// BindInstance gives the runtime access to the instantiated module, needed
+// to resolve indirect-call table indices. Must be called before execution
+// when the analysis uses the call hook on modules with indirect calls.
+func (r *Runtime) BindInstance(inst *interp.Instance) { r.inst = inst }
+
+// Imports returns the host imports providing every generated low-level hook
+// under the core.HookModule namespace. Merge them with the program's own
+// imports before instantiation.
+func (r *Runtime) Imports() interp.Imports {
+	fields := make(map[string]any, len(r.meta.Hooks))
+	for i := range r.meta.Hooks {
+		spec := r.meta.Hooks[i] // copy: closures must not share the loop var's address
+		fields[spec.Name] = &interp.HostFunc{
+			Type: spec.WasmType(),
+			Fn: func(inst *interp.Instance, args []interp.Value) ([]interp.Value, error) {
+				if r.inst == nil {
+					// Self-bind on first call: hooks can fire during the
+					// start function, before BindInstance could run.
+					r.inst = inst
+				}
+				r.dispatch(&spec, args)
+				return nil, nil
+			},
+		}
+	}
+	return interp.Imports{core.HookModule: fields}
+}
+
+// argReader decodes the raw lowered argument vector of a hook call.
+type argReader struct {
+	args []interp.Value
+	pos  int
+}
+
+func (ar *argReader) i32() int32 { v := int32(uint32(ar.args[ar.pos])); ar.pos++; return v }
+
+func (ar *argReader) u32() uint32 { v := uint32(ar.args[ar.pos]); ar.pos++; return v }
+
+// value reads one logical value of type t, re-joining i64 halves.
+func (ar *argReader) value(t wasm.ValType) analysis.Value {
+	if t == wasm.I64 {
+		lo := uint64(uint32(ar.args[ar.pos]))
+		hi := uint64(uint32(ar.args[ar.pos+1]))
+		ar.pos += 2
+		return analysis.Value{Type: wasm.I64, Bits: hi<<32 | lo}
+	}
+	v := analysis.Value{Type: t, Bits: ar.args[ar.pos]}
+	ar.pos++
+	return v
+}
+
+func (ar *argReader) values(ts []wasm.ValType) []analysis.Value {
+	if len(ts) == 0 {
+		return nil
+	}
+	vs := make([]analysis.Value, len(ts))
+	for i, t := range ts {
+		vs[i] = ar.value(t)
+	}
+	return vs
+}
+
+// dispatch decodes one low-level hook call and invokes the matching
+// high-level hook, if the analysis implements it.
+func (r *Runtime) dispatch(spec *core.HookSpec, args []interp.Value) {
+	ar := &argReader{args: args}
+	loc := analysis.Location{Func: int(ar.i32()), Instr: int(ar.i32())}
+
+	switch spec.Kind {
+	case analysis.KindNop:
+		if r.nop != nil {
+			r.nop(loc)
+		}
+	case analysis.KindUnreachable:
+		if r.unreachable != nil {
+			r.unreachable(loc)
+		}
+	case analysis.KindIf:
+		if r.ifHook != nil {
+			r.ifHook(loc, ar.u32() != 0)
+		}
+	case analysis.KindBr:
+		if r.br != nil {
+			label := ar.u32()
+			instr := int(ar.i32())
+			r.br(loc, analysis.BranchTarget{Label: label, Location: analysis.Location{Func: loc.Func, Instr: instr}})
+		}
+	case analysis.KindBrIf:
+		if r.brIf != nil {
+			label := ar.u32()
+			instr := int(ar.i32())
+			cond := ar.u32() != 0
+			r.brIf(loc, analysis.BranchTarget{Label: label, Location: analysis.Location{Func: loc.Func, Instr: instr}}, cond)
+		}
+	case analysis.KindBrTable:
+		r.dispatchBrTable(loc, ar)
+	case analysis.KindBegin:
+		if r.begin != nil {
+			r.begin(loc, spec.Block)
+		}
+	case analysis.KindEnd:
+		if r.end != nil {
+			begin := int(ar.i32())
+			r.end(loc, spec.Block, analysis.Location{Func: loc.Func, Instr: begin})
+		}
+	case analysis.KindConst:
+		if r.constHook != nil {
+			r.constHook(loc, ar.value(spec.Types[0]))
+		}
+	case analysis.KindDrop:
+		if r.drop != nil {
+			r.drop(loc, ar.value(spec.Types[0]))
+		}
+	case analysis.KindSelect:
+		if r.selectHook != nil {
+			cond := ar.u32() != 0
+			first := ar.value(spec.Types[1])
+			second := ar.value(spec.Types[2])
+			r.selectHook(loc, cond, first, second)
+		}
+	case analysis.KindUnary:
+		if r.unary != nil {
+			in := ar.value(spec.Types[0])
+			out := ar.value(spec.Types[1])
+			r.unary(loc, spec.Op.String(), in, out)
+		}
+	case analysis.KindBinary:
+		if r.binary != nil {
+			a := ar.value(spec.Types[0])
+			b := ar.value(spec.Types[1])
+			res := ar.value(spec.Types[2])
+			r.binary(loc, spec.Op.String(), a, b, res)
+		}
+	case analysis.KindLocal:
+		if r.local != nil {
+			idx := ar.u32()
+			r.local(loc, spec.Op.String(), idx, ar.value(spec.Types[1]))
+		}
+	case analysis.KindGlobal:
+		if r.global != nil {
+			idx := ar.u32()
+			r.global(loc, spec.Op.String(), idx, ar.value(spec.Types[1]))
+		}
+	case analysis.KindLoad:
+		if r.load != nil {
+			offset := ar.u32()
+			addr := ar.u32()
+			r.load(loc, spec.Op.String(), analysis.MemArg{Addr: addr, Offset: offset}, ar.value(spec.Types[2]))
+		}
+	case analysis.KindStore:
+		if r.store != nil {
+			offset := ar.u32()
+			addr := ar.u32()
+			r.store(loc, spec.Op.String(), analysis.MemArg{Addr: addr, Offset: offset}, ar.value(spec.Types[2]))
+		}
+	case analysis.KindMemorySize:
+		if r.memSize != nil {
+			r.memSize(loc, ar.u32())
+		}
+	case analysis.KindMemoryGrow:
+		if r.memGrow != nil {
+			delta := ar.u32()
+			r.memGrow(loc, delta, ar.u32())
+		}
+	case analysis.KindCall:
+		r.dispatchCall(loc, spec, ar)
+	case analysis.KindReturn:
+		if r.returnHook != nil {
+			r.returnHook(loc, ar.values(spec.Types))
+		}
+	case analysis.KindStart:
+		if r.start != nil {
+			r.start(loc)
+		}
+	}
+}
+
+func (r *Runtime) dispatchCall(loc analysis.Location, spec *core.HookSpec, ar *argReader) {
+	if spec.Post {
+		if r.callPost != nil {
+			r.callPost(loc, ar.values(spec.Types))
+		}
+		return
+	}
+	if r.callPre == nil {
+		return
+	}
+	first := ar.u32()
+	args := ar.values(spec.Types[1:])
+	if !spec.Indirect {
+		r.callPre(loc, int(first), args, -1)
+		return
+	}
+	// Indirect call: resolve the runtime table index to the actually called
+	// function (pre-computed information, paper §2.3) and map the
+	// instrumented index back to the original index space.
+	target := -1
+	if r.inst != nil {
+		if fidx := r.inst.ResolveTable(first); fidx >= 0 {
+			target = r.meta.OriginalFuncIdx(int(fidx))
+		}
+	}
+	r.callPre(loc, target, args, int64(first))
+}
+
+func (r *Runtime) dispatchBrTable(loc analysis.Location, ar *argReader) {
+	metaIdx := int(ar.i32())
+	idx := ar.u32()
+	if metaIdx < 0 || metaIdx >= len(r.meta.BrTables) {
+		panic(fmt.Sprintf("runtime: br_table metadata index %d out of range", metaIdx))
+	}
+	info := &r.meta.BrTables[metaIdx]
+
+	taken := info.Default
+	if int(idx) < len(info.Targets) {
+		taken = info.Targets[idx]
+	}
+	// Fire the end hooks of all blocks left by the taken branch; this is the
+	// runtime half of the dynamic block-nesting mechanism (paper §2.4.5).
+	if r.end != nil {
+		for _, e := range taken.Ends {
+			r.end(analysis.Location{Func: loc.Func, Instr: e.End}, e.Kind,
+				analysis.Location{Func: loc.Func, Instr: e.Begin})
+		}
+	}
+	if r.brTable != nil {
+		table := make([]analysis.BranchTarget, len(info.Targets))
+		for i, t := range info.Targets {
+			table[i] = analysis.BranchTarget{Label: t.Label, Location: analysis.Location{Func: loc.Func, Instr: t.Instr}}
+		}
+		deflt := analysis.BranchTarget{Label: info.Default.Label, Location: analysis.Location{Func: loc.Func, Instr: info.Default.Instr}}
+		r.brTable(loc, table, deflt, idx)
+	}
+}

@@ -1,0 +1,227 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"wasabi/internal/analysis"
+	"wasabi/internal/builder"
+	"wasabi/internal/core"
+	"wasabi/internal/interp"
+	wruntime "wasabi/internal/runtime"
+	"wasabi/internal/wasm"
+)
+
+// nestingAnalysis checks the dynamic block-nesting invariant (paper §2.4.5):
+// every end event must match the innermost open begin event, regardless of
+// whether the block is left by falling through, br, br_if, br_table, or
+// return.
+type nestingAnalysis struct {
+	stack  []analysis.Location
+	errors []string
+	events int
+}
+
+func (n *nestingAnalysis) Begin(loc analysis.Location, kind analysis.BlockKind) {
+	n.events++
+	n.stack = append(n.stack, loc)
+}
+
+func (n *nestingAnalysis) End(loc analysis.Location, kind analysis.BlockKind, begin analysis.Location) {
+	n.events++
+	if len(n.stack) == 0 {
+		n.errors = append(n.errors, "end without open begin")
+		return
+	}
+	top := n.stack[len(n.stack)-1]
+	n.stack = n.stack[:len(n.stack)-1]
+	if top != begin {
+		n.errors = append(n.errors, "end/begin mismatch: got begin "+begin.String()+", open was "+top.String())
+	}
+}
+
+func runWith(t *testing.T, m *wasm.Module, a any, entry string, arg int32) {
+	t.Helper()
+	instrumented, md, err := core.Instrument(m, core.Options{Hooks: analysis.HooksOf(a)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := wruntime.New(md, a)
+	inst, err := interp.Instantiate(instrumented, rt.Imports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Invoke(entry, interp.I32(arg)); err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+}
+
+// TestBlockNestingBalanced drives a module through every block-exit path and
+// checks begin/end events stay perfectly nested.
+func TestBlockNestingBalanced(t *testing.T) {
+	b := builder.New()
+	f := b.Func("f", builder.V(wasm.I32), builder.V(wasm.I32))
+	// Nested blocks with br out of two levels.
+	f.Block().Block().Loop()
+	f.Get(0).I32(3).Op(wasm.OpI32GtS).BrIf(2) // conditional exit over loop+block
+	f.Get(0).I32(1).Op(wasm.OpI32Eq).BrIf(1)  // another
+	f.Br(1)                                   // unconditional exit of loop+block
+	f.End().End().End()
+	// br_table leaving a dynamic number of blocks.
+	f.Block().Block().Block()
+	f.Get(0).I32(3).Op(wasm.OpI32RemU)
+	f.BrTable([]uint32{0, 1}, 2)
+	f.End().End().End()
+	// if/else arms.
+	f.Get(0).I32(1).Op(wasm.OpI32And)
+	f.If().Op(wasm.OpNop).Else().Op(wasm.OpNop).End()
+	// Early return for some inputs.
+	f.Get(0).I32(7).Op(wasm.OpI32Eq)
+	f.If().I32(99).Return().End()
+	f.Get(0)
+	f.Done()
+	m := b.Build()
+
+	for arg := int32(0); arg < 10; arg++ {
+		a := &nestingAnalysis{}
+		runWith(t, m, a, "f", arg)
+		for _, e := range a.errors {
+			t.Errorf("arg %d: %s", arg, e)
+		}
+		if len(a.stack) != 0 {
+			t.Errorf("arg %d: %d blocks left open (begin without end)", arg, len(a.stack))
+		}
+		if a.events == 0 {
+			t.Errorf("arg %d: no events", arg)
+		}
+	}
+}
+
+// valueChecker verifies the dispatcher's value decoding: every observed
+// value must match what the program actually computes, including re-joined
+// i64 halves and float bit patterns.
+type valueChecker struct {
+	t      *testing.T
+	consts []analysis.Value
+	locals []analysis.Value
+}
+
+func (v *valueChecker) Const(loc analysis.Location, val analysis.Value) {
+	v.consts = append(v.consts, val)
+}
+
+func (v *valueChecker) Local(loc analysis.Location, op string, idx uint32, val analysis.Value) {
+	v.locals = append(v.locals, val)
+}
+
+func TestValueDecoding(t *testing.T) {
+	b := builder.New()
+	f := b.Func("f", builder.V(wasm.I32), builder.V(wasm.I32))
+	l64 := f.Local(wasm.I64)
+	lf32 := f.Local(wasm.F32)
+	lf64 := f.Local(wasm.F64)
+	f.I64(-2).Set(l64)                    // i64 crossing as two halves
+	f.I64(0x7FFF_FFFF_1234_5678).Set(l64) // large positive i64
+	f.F32(1.5).Set(lf32)
+	f.F64(-2.25).Set(lf64)
+	f.Get(0)
+	f.Done()
+	m := b.Build()
+
+	v := &valueChecker{t: t}
+	runWith(t, m, v, "f", 0)
+
+	wantConsts := []struct {
+		t wasm.ValType
+		i int64
+		f float64
+	}{
+		{wasm.I64, -2, 0},
+		{wasm.I64, 0x7FFF_FFFF_1234_5678, 0},
+		{wasm.F32, 0, 1.5},
+		{wasm.F64, 0, -2.25},
+	}
+	if len(v.consts) != len(wantConsts) {
+		t.Fatalf("saw %d consts: %v", len(v.consts), v.consts)
+	}
+	for i, w := range wantConsts {
+		got := v.consts[i]
+		if got.Type != w.t {
+			t.Errorf("const %d type %s, want %s", i, got.Type, w.t)
+			continue
+		}
+		switch w.t {
+		case wasm.I64:
+			if got.I64() != w.i {
+				t.Errorf("const %d = %d, want %d", i, got.I64(), w.i)
+			}
+		case wasm.F32:
+			if float64(got.F32()) != w.f {
+				t.Errorf("const %d = %v, want %v", i, got.F32(), w.f)
+			}
+		case wasm.F64:
+			if got.F64() != w.f {
+				t.Errorf("const %d = %v, want %v", i, got.F64(), w.f)
+			}
+		}
+	}
+	// local hooks see the same values (read back from the local); the four
+	// sets plus the final local.get of the parameter.
+	if len(v.locals) != 5 {
+		t.Fatalf("saw %d locals: %v", len(v.locals), v.locals)
+	}
+	if v.locals[1].I64() != 0x7FFF_FFFF_1234_5678 {
+		t.Errorf("local i64 = %#x", v.locals[1].I64())
+	}
+}
+
+// callOrderAnalysis checks call_pre/call_post pairing and argument decoding
+// across an i64-heavy signature.
+type callOrderAnalysis struct {
+	depth    int
+	maxDepth int
+	preArgs  [][]analysis.Value
+	bad      []string
+}
+
+func (c *callOrderAnalysis) CallPre(loc analysis.Location, target int, args []analysis.Value, tableIdx int64) {
+	c.depth++
+	if c.depth > c.maxDepth {
+		c.maxDepth = c.depth
+	}
+	c.preArgs = append(c.preArgs, args)
+}
+
+func (c *callOrderAnalysis) CallPost(loc analysis.Location, results []analysis.Value) {
+	c.depth--
+	if c.depth < 0 {
+		c.bad = append(c.bad, "call_post without call_pre")
+	}
+}
+
+func TestCallPrePostPairing(t *testing.T) {
+	b := builder.New()
+	callee := b.Func("callee", builder.V(wasm.I64, wasm.F64, wasm.I32), builder.V(wasm.I64))
+	callee.Get(0)
+	callee.Done()
+	f := b.Func("f", builder.V(wasm.I32), builder.V(wasm.I32))
+	f.I64(1 << 40).F64(2.5).Get(0).Call(callee.Index)
+	f.Op(wasm.OpI32WrapI64)
+	f.Done()
+	m := b.Build()
+
+	a := &callOrderAnalysis{}
+	runWith(t, m, a, "f", 9)
+	if len(a.bad) > 0 {
+		t.Errorf("pairing errors: %v", a.bad)
+	}
+	if a.depth != 0 {
+		t.Errorf("unbalanced call depth: %d", a.depth)
+	}
+	if len(a.preArgs) != 1 {
+		t.Fatalf("expected 1 call, saw %d", len(a.preArgs))
+	}
+	args := a.preArgs[0]
+	if len(args) != 3 || args[0].I64() != 1<<40 || args[1].F64() != 2.5 || args[2].I32() != 9 {
+		t.Errorf("decoded args = %v", args)
+	}
+}

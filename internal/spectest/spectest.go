@@ -1,0 +1,263 @@
+// Package spectest holds a corpus of small WebAssembly programs exercising
+// every instruction group, each with expected results. It plays the role of
+// the official specification test suite in the paper's RQ2 evaluation: every
+// program is run original and fully instrumented, and the results must
+// match. The corpus doubles as an interpreter conformance suite.
+package spectest
+
+import (
+	"wasabi/internal/builder"
+	"wasabi/internal/wasm"
+)
+
+// Case is one corpus program: a module with an exported i32->i32 "run"
+// function and expected outputs for a set of inputs.
+type Case struct {
+	Name   string
+	Module func() *wasm.Module
+	// IO maps inputs to expected outputs. TrapsOn lists inputs that must
+	// trap (identically, before and after instrumentation).
+	IO      map[int32]int32
+	TrapsOn []int32
+}
+
+// Corpus returns all cases.
+func Corpus() []Case {
+	return []Case{
+		arithCase(),
+		i64Case(),
+		floatCase(),
+		controlCase(),
+		brTableCase(),
+		memoryCase(),
+		callCase(),
+		globalSelectCase(),
+		trapCase(),
+		loopNestCase(),
+	}
+}
+
+func arithCase() Case {
+	return Case{
+		Name: "i32-arith",
+		Module: func() *wasm.Module {
+			b := builder.New()
+			f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+			// ((x*3 + 7) ^ (x << 2)) rotl 1, mixing signed/unsigned ops
+			f.Get(0).I32(3).Op(wasm.OpI32Mul).I32(7).Op(wasm.OpI32Add)
+			f.Get(0).I32(2).Op(wasm.OpI32Shl)
+			f.Op(wasm.OpI32Xor).I32(1).Op(wasm.OpI32Rotl)
+			f.Get(0).I32(31).Op(wasm.OpI32ShrU).Op(wasm.OpI32Or)
+			f.Done()
+			return b.Build()
+		},
+		IO: map[int32]int32{0: 14, 1: 28, -1: -15, 1000: 2110},
+	}
+}
+
+func i64Case() Case {
+	return Case{
+		Name: "i64-roundtrip",
+		Module: func() *wasm.Module {
+			b := builder.New()
+			f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+			l := f.Local(wasm.I64)
+			// Widen, multiply into the high half, shift back down.
+			f.Get(0).Op(wasm.OpI64ExtendI32S)
+			f.I64(0x1_0000_0003).Op(wasm.OpI64Mul).Set(l)
+			f.Get(l).I64(32).Op(wasm.OpI64ShrS).Op(wasm.OpI32WrapI64)
+			f.Get(l).Op(wasm.OpI32WrapI64).Op(wasm.OpI32Add)
+			f.Done()
+			return b.Build()
+		},
+		// For negative x the low half borrows into the high half:
+		// -3 * (2^32+3) has high word -4 and low word -9.
+		IO: map[int32]int32{0: 0, 1: 4, 7: 28, -3: -13},
+	}
+}
+
+func floatCase() Case {
+	return Case{
+		Name: "float-mix",
+		Module: func() *wasm.Module {
+			b := builder.New()
+			f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+			// trunc(sqrt(|x|) * 10) + f32 path
+			f.Get(0).Op(wasm.OpF64ConvertI32S).Op(wasm.OpF64Abs).Op(wasm.OpF64Sqrt)
+			f.F64(10).Op(wasm.OpF64Mul).Op(wasm.OpF64Floor).Op(wasm.OpI32TruncF64S)
+			f.Get(0).Op(wasm.OpF32ConvertI32S).F32(0.5).Op(wasm.OpF32Mul).Op(wasm.OpF32Nearest).Op(wasm.OpI32TruncF32S)
+			f.Op(wasm.OpI32Add)
+			f.Done()
+			return b.Build()
+		},
+		IO: map[int32]int32{0: 0, 4: 22, 16: 48, 100: 150},
+	}
+}
+
+func controlCase() Case {
+	return Case{
+		Name: "if-else-br",
+		Module: func() *wasm.Module {
+			b := builder.New()
+			f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+			out := f.Local(wasm.I32)
+			f.Block()
+			f.Get(0).I32(0).Op(wasm.OpI32LtS)
+			f.If().I32(-100).Set(out).Br(1).End()
+			f.Get(0).I32(10).Op(wasm.OpI32GtS)
+			f.IfT(wasm.I32).I32(2).Else().I32(3).End()
+			f.Get(0).Op(wasm.OpI32Mul).Set(out)
+			f.End()
+			f.Get(out)
+			f.Done()
+			return b.Build()
+		},
+		IO: map[int32]int32{-5: -100, 5: 15, 11: 22, 0: 0},
+	}
+}
+
+func brTableCase() Case {
+	return Case{
+		Name: "br-table",
+		Module: func() *wasm.Module {
+			b := builder.New()
+			f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+			out := f.Local(wasm.I32)
+			f.Block().Block().Block().Block()
+			f.Get(0)
+			f.BrTable([]uint32{0, 1, 2}, 3)
+			f.End().I32(100).Set(out).Br(2)
+			f.End().I32(200).Set(out).Br(1)
+			f.End().I32(300).Set(out).Br(0)
+			f.End()
+			f.Get(out)
+			f.Done()
+			return b.Build()
+		},
+		IO: map[int32]int32{0: 100, 1: 200, 2: 300, 3: 0, 50: 0, -1: 0},
+	}
+}
+
+func memoryCase() Case {
+	return Case{
+		Name: "memory-widths",
+		Module: func() *wasm.Module {
+			b := builder.New()
+			b.Memory(1)
+			b.Data(100, []byte{0xFF, 0x01, 0x80, 0x7F})
+			f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+			// Sign/zero extension through every width at data offset 100+x.
+			f.Get(0).Load(wasm.OpI32Load8S, 100)
+			f.Get(0).Load(wasm.OpI32Load8U, 100)
+			f.Op(wasm.OpI32Add)
+			f.Get(0).Load(wasm.OpI32Load16S, 100)
+			f.Op(wasm.OpI32Add)
+			// store16 then reload to check truncation
+			f.I32(200).Get(0).I32(0x12345).Op(wasm.OpI32Add).Store(wasm.OpI32Store16, 0)
+			f.I32(200).Load(wasm.OpI32Load16U, 0)
+			f.Op(wasm.OpI32Add)
+			f.Done()
+			return b.Build()
+		},
+		IO: map[int32]int32{0: 0x2345 + (-1 + 255 + 0x1FF), 1: 0x2346 + (1 + 1 + (-32767))},
+	}
+}
+
+func callCase() Case {
+	return Case{
+		Name: "calls",
+		Module: func() *wasm.Module {
+			b := builder.New()
+			b.Table(2)
+			double := b.Func("double", builder.V(wasm.I32), builder.V(wasm.I32))
+			double.Get(0).I32(2).Op(wasm.OpI32Mul)
+			double.Done()
+			square := b.Func("square", builder.V(wasm.I32), builder.V(wasm.I32))
+			square.Get(0).Get(0).Op(wasm.OpI32Mul)
+			square.Done()
+			b.Elem(0, double.Index, square.Index)
+			f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+			// double(x) + table[x&1](x)
+			f.Get(0).Call(double.Index)
+			f.Get(0).Get(0).I32(1).Op(wasm.OpI32And)
+			f.CallIndirect(builder.V(wasm.I32), builder.V(wasm.I32))
+			f.Op(wasm.OpI32Add)
+			f.Done()
+			return b.Build()
+		},
+		IO: map[int32]int32{0: 0, 2: 8, 3: 15, 10: 40},
+	}
+}
+
+func globalSelectCase() Case {
+	return Case{
+		Name: "globals-select-drop",
+		Module: func() *wasm.Module {
+			b := builder.New()
+			g := b.GlobalI32(true, 5)
+			g64 := b.GlobalI64(true, 100)
+			f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+			f.GGet(g).Get(0).Op(wasm.OpI32Add).GSet(g)
+			f.GGet(g64).I64(2).Op(wasm.OpI64Mul).GSet(g64)
+			f.I32(111).Drop()
+			f.GGet(g)
+			f.GGet(g64).Op(wasm.OpI32WrapI64)
+			f.Get(0).I32(0).Op(wasm.OpI32GeS)
+			f.Select()
+			f.Done()
+			return b.Build()
+		},
+		// Globals persist across calls within one instance; inputs are
+		// applied in ascending order by the corpus runner, so expectations
+		// account for accumulated state. With inputs -1, 2:
+		//   run(-1): g=4,  g64=200 -> select picks g64 -> 200
+		//   run(2):  g=6,  g64=400 -> select picks g   -> 6
+		IO: map[int32]int32{-1: 200, 2: 6},
+	}
+}
+
+func trapCase() Case {
+	return Case{
+		Name: "traps",
+		Module: func() *wasm.Module {
+			b := builder.New()
+			b.Memory(1)
+			f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+			// x == 0 -> division by zero; x == 1 -> OOB load; x == 2 ->
+			// unreachable; else 7/x + mem[0].
+			f.Get(0).I32(1).Op(wasm.OpI32Eq)
+			f.If().I32(-1).Load(wasm.OpI32Load, 0).Drop().End()
+			f.Get(0).I32(2).Op(wasm.OpI32Eq)
+			f.If().Op(wasm.OpUnreachable).End()
+			f.I32(7).Get(0).Op(wasm.OpI32DivS)
+			f.I32(0).Load(wasm.OpI32Load, 0).Op(wasm.OpI32Add)
+			f.Done()
+			return b.Build()
+		},
+		IO:      map[int32]int32{7: 1, -7: -1, 3: 2},
+		TrapsOn: []int32{0, 1, 2},
+	}
+}
+
+func loopNestCase() Case {
+	return Case{
+		Name: "nested-loops",
+		Module: func() *wasm.Module {
+			b := builder.New()
+			f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+			i := f.Local(wasm.I32)
+			j := f.Local(wasm.I32)
+			acc := f.Local(wasm.I32)
+			f.ForI32(i, func(fb *builder.FuncBuilder) { fb.Get(0) }, func(fb *builder.FuncBuilder) {
+				fb.ForI32(j, func(fb *builder.FuncBuilder) { fb.Get(i) }, func(fb *builder.FuncBuilder) {
+					fb.Get(acc).Get(j).Op(wasm.OpI32Add).I32(1).Op(wasm.OpI32Add).Set(acc)
+				})
+			})
+			f.Get(acc)
+			f.Done()
+			return b.Build()
+		},
+		// acc = sum over i<n of (i*(i-1)/2 + i) = triangular sums.
+		IO: map[int32]int32{0: 0, 1: 0, 2: 1, 5: 20, 10: 165},
+	}
+}

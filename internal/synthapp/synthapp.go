@@ -1,0 +1,307 @@
+// Package synthapp generates large, code-diverse WebAssembly modules that
+// stand in for the paper's real-world binaries (PSPDFKit, 9.6 MB, and the
+// Unreal Engine Zen Garden demo, 39.5 MB), which are closed-source and not
+// redistributable. What the paper's RQ3–RQ5 need from them is (a) sheer
+// binary size, to measure instrumentation time and throughput, (b) a diverse
+// instruction mix — unlike PolyBench's numeric loops — which is what makes
+// their relative overheads lower in Figures 8 and 9, and (c) diverse
+// function signatures (the Unreal binary calls functions with up to 22
+// arguments), which is what makes on-demand monomorphization of call hooks
+// essential (§4.5). The generator reproduces all three properties
+// deterministically from a seed.
+package synthapp
+
+import (
+	"wasabi/internal/builder"
+	"wasabi/internal/interp"
+	"wasabi/internal/wasm"
+)
+
+// Config parameterizes the generated application.
+type Config struct {
+	// TargetBytes is the approximate encoded size of the module.
+	TargetBytes int
+	// Seed makes generation deterministic.
+	Seed uint64
+	// TableSize bounds the indirect-call table (also the number of entry
+	// functions reachable from main).
+	TableSize int
+	// Helpers is the size of the helper-function pool with randomized
+	// multi-argument signatures (drives call-hook monomorphization).
+	Helpers int
+	// MaxExtraArgs bounds the number of randomly-typed parameters a helper
+	// takes beyond its leading i32 depth parameter.
+	MaxExtraArgs int
+}
+
+func (c *Config) fill() {
+	if c.TargetBytes <= 0 {
+		c.TargetBytes = 1 << 20
+	}
+	if c.TableSize <= 0 {
+		c.TableSize = 64
+	}
+	if c.Helpers <= 0 {
+		c.Helpers = 40
+	}
+	if c.MaxExtraArgs <= 0 {
+		c.MaxExtraArgs = 6
+	}
+}
+
+// rng is a splitmix64 generator: deterministic, seedable, stdlib-free.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+var valTypes = []wasm.ValType{wasm.I32, wasm.I64, wasm.F32, wasm.F64}
+
+// callee describes a callable generated function.
+type callee struct {
+	idx uint32
+	sig wasm.FuncType // params[0] is always the i32 depth parameter
+}
+
+// Generate builds the module. Every function's first parameter is an i32
+// "depth" value; calls always pass depth>>4 and are guarded by depth>0, so
+// recursion work is bounded. The exported "main" (i32) -> i32 drives a
+// bounded workload over the function table; the module is executable,
+// terminating, and trap-free for any argument.
+func Generate(cfg Config) *wasm.Module {
+	cfg.fill()
+	r := &rng{s: cfg.Seed ^ 0xC0FFEE}
+
+	b := builder.New()
+	b.Memory(1)
+	gAcc := b.GlobalI32(true, 0)
+	gBig := b.GlobalI64(true, 1)
+
+	g := &bodyGen{r: r, gAcc: gAcc, gBig: gBig}
+
+	// Helper pool with diverse signatures. Helpers only call earlier
+	// helpers, so the call graph is a DAG of depth ≤ Helpers, and the
+	// shrinking depth argument bounds the dynamic call tree.
+	for h := 0; h < cfg.Helpers; h++ {
+		params := []wasm.ValType{wasm.I32}
+		for e := r.intn(cfg.MaxExtraArgs + 1); e > 0; e-- {
+			params = append(params, valTypes[r.intn(4)])
+		}
+		result := valTypes[r.intn(4)]
+		sig := builder.Sig(params, builder.V(result))
+		fb := b.Func("", sig.Params, sig.Results)
+		g.genBody(fb, sig)
+		g.pool = append(g.pool, callee{idx: fb.Done(), sig: sig})
+	}
+
+	// Entry functions, all (i32) -> i32 so they can share the table.
+	// Rough encoded-size model: ~2.4 bytes per instruction plus overhead.
+	const bytesPerInstr = 2.4
+	budget := float64(cfg.TargetBytes)
+	entrySig := builder.Sig(builder.V(wasm.I32), builder.V(wasm.I32))
+	var entries []uint32
+	for budget > 0 {
+		fb := b.Func("", entrySig.Params, entrySig.Results)
+		n := g.genBody(fb, entrySig)
+		entries = append(entries, fb.Done())
+		budget -= float64(n)*bytesPerInstr + 16
+	}
+
+	tableSize := cfg.TableSize
+	if tableSize > len(entries) {
+		tableSize = len(entries)
+	}
+	b.Table(uint32(tableSize))
+	b.Elem(0, entries[:tableSize]...)
+
+	// main(n): acc = Σ_{i<n} table[i % tableSize](i)
+	fb := b.Func("main", builder.V(wasm.I32), builder.V(wasm.I32))
+	i := fb.Local(wasm.I32)
+	acc := fb.Local(wasm.I32)
+	fb.ForI32(i, func(fb *builder.FuncBuilder) { fb.Get(0) }, func(fb *builder.FuncBuilder) {
+		fb.Get(acc)
+		fb.Get(i)
+		fb.Get(i).I32(int32(tableSize)).Op(wasm.OpI32RemU)
+		fb.CallIndirect(builder.V(wasm.I32), builder.V(wasm.I32))
+		fb.Op(wasm.OpI32Add).Set(acc)
+	})
+	fb.Get(acc)
+	fb.Done()
+	return b.Build()
+}
+
+// bodyGen emits randomized, trap-free function bodies.
+type bodyGen struct {
+	r          *rng
+	gAcc, gBig uint32
+	pool       []callee
+}
+
+// genBody fills fb for a function with the given signature (params[0] is the
+// i32 depth parameter) and returns the emitted instruction count.
+func (g *bodyGen) genBody(fb *builder.FuncBuilder, sig wasm.FuncType) int {
+	r := g.r
+	t := fb.Local(wasm.I32)
+	l64 := fb.Local(wasm.I64)
+	lf := fb.Local(wasm.F32)
+	ld := fb.Local(wasm.F64)
+	cnt := fb.Local(wasm.I32)
+
+	before := fb.Len()
+	// Seed the scratch locals from the parameters.
+	fb.Get(0).I32(0x5bd1e995).Op(wasm.OpI32Mul).Set(t)
+	for p := 1; p < len(sig.Params); p++ {
+		switch sig.Params[p] {
+		case wasm.I32:
+			fb.Get(t).Get(uint32(p)).Op(wasm.OpI32Xor).Set(t)
+		case wasm.I64:
+			fb.Get(l64).Get(uint32(p)).Op(wasm.OpI64Add).Set(l64)
+		case wasm.F32:
+			fb.Get(lf).Get(uint32(p)).Op(wasm.OpF32Add).Set(lf)
+		case wasm.F64:
+			fb.Get(ld).Get(uint32(p)).Op(wasm.OpF64Add).Set(ld)
+		}
+	}
+
+	snippets := 6 + r.intn(24)
+	calls := 0
+	for s := 0; s < snippets; s++ {
+		switch r.intn(10) {
+		case 0: // i32 arithmetic chain
+			fb.Get(t).I32(int32(r.next())).Op(pick(r, wasm.OpI32Add, wasm.OpI32Xor, wasm.OpI32And, wasm.OpI32Or))
+			fb.Get(0).Op(pick(r, wasm.OpI32Add, wasm.OpI32Sub, wasm.OpI32Mul))
+			fb.I32(int32(1 + r.intn(31))).Op(pick(r, wasm.OpI32Shl, wasm.OpI32ShrU, wasm.OpI32Rotl))
+			fb.Set(t)
+		case 1: // i64 traffic (exercises hook splitting)
+			fb.Get(t).Op(wasm.OpI64ExtendI32U)
+			fb.I64(int64(r.next())).Op(pick(r, wasm.OpI64Mul, wasm.OpI64Add, wasm.OpI64Xor))
+			fb.Get(l64).Op(wasm.OpI64Add).Set(l64)
+			fb.Get(l64).Op(wasm.OpI32WrapI64).Get(t).Op(wasm.OpI32Xor).Set(t)
+		case 2: // float math (no trapping conversions)
+			fb.Get(t).Op(wasm.OpF64ConvertI32S)
+			fb.F64(1 + float64(r.intn(100))).Op(pick(r, wasm.OpF64Add, wasm.OpF64Mul, wasm.OpF64Sub, wasm.OpF64Div))
+			fb.Op(wasm.OpF64Sqrt).Get(ld).Op(wasm.OpF64Add).Set(ld)
+			fb.Get(t).Op(wasm.OpF32ConvertI32S).Get(lf).Op(wasm.OpF32Add).Set(lf)
+		case 3: // memory round-trip, masked to the first page
+			fb.Get(t).I32(0xFF8).Op(wasm.OpI32And)
+			fb.Get(t).Store(wasm.OpI32Store, 16)
+			fb.Get(t).I32(0xFF8).Op(wasm.OpI32And)
+			fb.Load(wasm.OpI32Load, 16).Get(t).Op(wasm.OpI32Add).Set(t)
+		case 4: // if/else
+			fb.Get(t).I32(1).Op(wasm.OpI32And)
+			fb.If()
+			fb.Get(t).I32(3).Op(wasm.OpI32Mul).I32(1).Op(wasm.OpI32Add).Set(t)
+			fb.Else()
+			fb.Get(t).I32(1).Op(wasm.OpI32ShrU).Set(t)
+			fb.End()
+		case 5: // bounded loop
+			fb.I32(0).Set(cnt)
+			fb.Block().Loop()
+			fb.Get(cnt).I32(int32(2 + r.intn(6))).Op(wasm.OpI32GeS).BrIf(1)
+			fb.Get(t).Get(cnt).Op(wasm.OpI32Add).I32(0x45d9f3b).Op(wasm.OpI32Xor).Set(t)
+			fb.Get(cnt).I32(1).Op(wasm.OpI32Add).Set(cnt)
+			fb.Br(0)
+			fb.End().End()
+		case 6: // br_table over 3 arms
+			fb.Block().Block().Block().Block()
+			fb.Get(t).I32(3).Op(wasm.OpI32RemU)
+			fb.BrTable([]uint32{0, 1, 2}, 2)
+			fb.End()
+			fb.Get(t).I32(13).Op(wasm.OpI32Add).Set(t)
+			fb.Br(1)
+			fb.End()
+			fb.Get(t).I32(7).Op(wasm.OpI32Sub).Set(t)
+			fb.Br(0)
+			fb.End()
+			fb.Get(t).I32(5).Op(wasm.OpI32Xor).Set(t)
+			fb.End()
+		case 7: // globals, select, drop
+			fb.GGet(g.gAcc).Get(t).Op(wasm.OpI32Add).GSet(g.gAcc)
+			fb.GGet(g.gBig).I64(3).Op(wasm.OpI64Mul).GSet(g.gBig)
+			fb.Get(t).Get(0).Get(t).I32(0).Op(wasm.OpI32LtS).Select().Set(t)
+			fb.Get(t).I32(2).Op(wasm.OpI32Mul).Drop()
+		case 8: // guarded call into the helper pool; the depth argument
+			// shrinks by 4 bits per level, bounding the dynamic call tree
+			if len(g.pool) > 0 && calls < 2 {
+				calls++
+				g.emitCall(fb, t, l64, lf, ld)
+			} else {
+				fb.Get(t).I32(1).Op(wasm.OpI32Add).Set(t)
+			}
+		default: // nop plus a comparison-driven select
+			fb.Op(wasm.OpNop)
+			fb.Get(t).I32(1).Op(wasm.OpI32Add)
+			fb.Get(t)
+			fb.Get(t).Get(0).Op(pick(r, wasm.OpI32LtS, wasm.OpI32GtU, wasm.OpI32Eq))
+			fb.Select().Set(t)
+		}
+	}
+
+	// Produce the result from the matching scratch local.
+	switch sig.Results[0] {
+	case wasm.I32:
+		fb.Get(t)
+	case wasm.I64:
+		fb.Get(l64)
+	case wasm.F32:
+		fb.Get(lf)
+	case wasm.F64:
+		fb.Get(ld)
+	}
+	return fb.Len() - before + 1
+}
+
+// emitCall calls a random pool function: if (depth > 0) { fold(call(depth>>4,
+// scratch args...)) }.
+func (g *bodyGen) emitCall(fb *builder.FuncBuilder, t, l64, lf, ld uint32) {
+	c := g.pool[g.r.intn(len(g.pool))]
+	fb.Get(0).I32(0).Op(wasm.OpI32GtS)
+	fb.If()
+	fb.Get(0).I32(4).Op(wasm.OpI32ShrU) // shrinking depth argument
+	for _, p := range c.sig.Params[1:] {
+		switch p {
+		case wasm.I32:
+			fb.Get(t)
+		case wasm.I64:
+			fb.Get(l64)
+		case wasm.F32:
+			fb.Get(lf)
+		case wasm.F64:
+			fb.Get(ld)
+		}
+	}
+	fb.Call(c.idx)
+	switch c.sig.Results[0] {
+	case wasm.I32:
+		fb.Get(t).Op(wasm.OpI32Add).Set(t)
+	case wasm.I64:
+		fb.Get(l64).Op(wasm.OpI64Xor).Set(l64)
+	case wasm.F32:
+		fb.Get(lf).Op(wasm.OpF32Add).Set(lf)
+	case wasm.F64:
+		fb.Get(ld).Op(wasm.OpF64Add).Set(ld)
+	}
+	fb.End()
+}
+
+func pick(r *rng, ops ...wasm.Opcode) wasm.Opcode { return ops[r.intn(len(ops))] }
+
+// Run executes the generated module's main with the given n.
+func Run(m *wasm.Module, n int32) (int32, error) {
+	inst, err := interp.Instantiate(m, nil)
+	if err != nil {
+		return 0, err
+	}
+	res, err := inst.Invoke("main", interp.I32(n))
+	if err != nil {
+		return 0, err
+	}
+	return interp.AsI32(res[0]), nil
+}

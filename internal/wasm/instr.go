@@ -1,0 +1,145 @@
+package wasm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// MemArg is the immediate of a load or store: an alignment hint (log2 of the
+// natural alignment) and a static byte offset added to the dynamic address.
+type MemArg struct {
+	Align  uint32
+	Offset uint32
+}
+
+// Instr is a single WebAssembly instruction. The struct is a flattened
+// union: which immediate fields are meaningful depends on Op. Structured
+// control flow is kept linear, exactly as in the binary format: block, loop,
+// if, else, and end appear as individual instructions.
+//
+//	Op              meaningful fields
+//	block/loop/if   Block
+//	br, br_if       Idx (relative label)
+//	br_table        Table (targets), Idx (default target)
+//	call            Idx (function index)
+//	call_indirect   Idx (type index)
+//	local.*         Idx (local index)
+//	global.*        Idx (global index)
+//	loads/stores    Mem
+//	i32.const       I64 (sign-extended 32-bit payload)
+//	i64.const       I64
+//	f32.const       F32
+//	f64.const       F64
+type Instr struct {
+	Op    Opcode
+	Block BlockType
+	Idx   uint32
+	Table []uint32
+	Mem   MemArg
+	I64   int64
+	F32   float32
+	F64   float64
+}
+
+// Convenience constructors used heavily by the builder, the instrumenter,
+// and tests. They keep call sites short and make the immediates explicit.
+
+// I32Const returns an i32.const instruction.
+func I32Const(v int32) Instr { return Instr{Op: OpI32Const, I64: int64(v)} }
+
+// I64ConstInstr returns an i64.const instruction.
+func I64ConstInstr(v int64) Instr { return Instr{Op: OpI64Const, I64: v} }
+
+// F32ConstInstr returns an f32.const instruction.
+func F32ConstInstr(v float32) Instr { return Instr{Op: OpF32Const, F32: v} }
+
+// F64ConstInstr returns an f64.const instruction.
+func F64ConstInstr(v float64) Instr { return Instr{Op: OpF64Const, F64: v} }
+
+// LocalGet returns a local.get instruction.
+func LocalGet(idx uint32) Instr { return Instr{Op: OpLocalGet, Idx: idx} }
+
+// LocalSet returns a local.set instruction.
+func LocalSet(idx uint32) Instr { return Instr{Op: OpLocalSet, Idx: idx} }
+
+// LocalTee returns a local.tee instruction.
+func LocalTee(idx uint32) Instr { return Instr{Op: OpLocalTee, Idx: idx} }
+
+// GlobalGet returns a global.get instruction.
+func GlobalGet(idx uint32) Instr { return Instr{Op: OpGlobalGet, Idx: idx} }
+
+// GlobalSet returns a global.set instruction.
+func GlobalSet(idx uint32) Instr { return Instr{Op: OpGlobalSet, Idx: idx} }
+
+// Call returns a call instruction.
+func Call(funcIdx uint32) Instr { return Instr{Op: OpCall, Idx: funcIdx} }
+
+// Op1 returns an instruction with no immediates.
+func Op1(op Opcode) Instr { return Instr{Op: op} }
+
+// Block returns a block instruction with the given block type.
+func BlockInstr(bt BlockType) Instr { return Instr{Op: OpBlock, Block: bt} }
+
+// Loop returns a loop instruction with the given block type.
+func LoopInstr(bt BlockType) Instr { return Instr{Op: OpLoop, Block: bt} }
+
+// IfInstr returns an if instruction with the given block type.
+func IfInstr(bt BlockType) Instr { return Instr{Op: OpIf, Block: bt} }
+
+// Br returns a br instruction targeting the given relative label.
+func Br(label uint32) Instr { return Instr{Op: OpBr, Idx: label} }
+
+// BrIf returns a br_if instruction targeting the given relative label.
+func BrIf(label uint32) Instr { return Instr{Op: OpBrIf, Idx: label} }
+
+// End returns an end instruction.
+func End() Instr { return Instr{Op: OpEnd} }
+
+// ConstValue returns the constant payload of a const instruction as raw
+// 64-bit value bits (i32 zero-extended from its 32-bit pattern, floats as
+// their IEEE 754 bit patterns).
+func (in Instr) ConstValue() uint64 {
+	switch in.Op {
+	case OpI32Const:
+		return uint64(uint32(in.I64))
+	case OpI64Const:
+		return uint64(in.I64)
+	case OpF32Const:
+		return uint64(math.Float32bits(in.F32))
+	case OpF64Const:
+		return math.Float64bits(in.F64)
+	}
+	panic("wasm: ConstValue on non-const instruction " + in.Op.String())
+}
+
+func (in Instr) String() string {
+	var sb strings.Builder
+	sb.WriteString(in.Op.String())
+	switch in.Op {
+	case OpBlock, OpLoop, OpIf:
+		if in.Block != BlockEmpty {
+			fmt.Fprintf(&sb, " (result %s)", in.Block)
+		}
+	case OpBr, OpBrIf, OpCall, OpCallIndirect, OpLocalGet, OpLocalSet, OpLocalTee, OpGlobalGet, OpGlobalSet:
+		fmt.Fprintf(&sb, " %d", in.Idx)
+	case OpBrTable:
+		for _, t := range in.Table {
+			fmt.Fprintf(&sb, " %d", t)
+		}
+		fmt.Fprintf(&sb, " %d", in.Idx)
+	case OpI32Const:
+		fmt.Fprintf(&sb, " %d", int32(in.I64))
+	case OpI64Const:
+		fmt.Fprintf(&sb, " %d", in.I64)
+	case OpF32Const:
+		fmt.Fprintf(&sb, " %v", in.F32)
+	case OpF64Const:
+		fmt.Fprintf(&sb, " %v", in.F64)
+	default:
+		if in.Op.IsLoad() || in.Op.IsStore() {
+			fmt.Fprintf(&sb, " offset=%d align=%d", in.Mem.Offset, in.Mem.Align)
+		}
+	}
+	return sb.String()
+}

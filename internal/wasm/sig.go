@@ -1,0 +1,96 @@
+package wasm
+
+// NumericSig returns the operand and result types of a fixed-signature
+// numeric opcode (comparisons, arithmetic, conversions, constants). It
+// reports ok=false for polymorphic, control, variable, and memory opcodes,
+// whose types depend on context.
+func NumericSig(op Opcode) (in, out []ValType, ok bool) {
+	switch {
+	case op.IsConst():
+		return nil, []ValType{constType(op)}, true
+	case op == OpI32Eqz:
+		return []ValType{I32}, []ValType{I32}, true
+	case op == OpI64Eqz:
+		return []ValType{I64}, []ValType{I32}, true
+	case op >= OpI32Eq && op <= OpI32GeU:
+		return []ValType{I32, I32}, []ValType{I32}, true
+	case op >= OpI64Eq && op <= OpI64GeU:
+		return []ValType{I64, I64}, []ValType{I32}, true
+	case op >= OpF32Eq && op <= OpF32Ge:
+		return []ValType{F32, F32}, []ValType{I32}, true
+	case op >= OpF64Eq && op <= OpF64Ge:
+		return []ValType{F64, F64}, []ValType{I32}, true
+	case op >= OpI32Clz && op <= OpI32Popcnt:
+		return []ValType{I32}, []ValType{I32}, true
+	case op >= OpI32Add && op <= OpI32Rotr:
+		return []ValType{I32, I32}, []ValType{I32}, true
+	case op >= OpI64Clz && op <= OpI64Popcnt:
+		return []ValType{I64}, []ValType{I64}, true
+	case op >= OpI64Add && op <= OpI64Rotr:
+		return []ValType{I64, I64}, []ValType{I64}, true
+	case op >= OpF32Abs && op <= OpF32Sqrt:
+		return []ValType{F32}, []ValType{F32}, true
+	case op >= OpF32Add && op <= OpF32Copysign:
+		return []ValType{F32, F32}, []ValType{F32}, true
+	case op >= OpF64Abs && op <= OpF64Sqrt:
+		return []ValType{F64}, []ValType{F64}, true
+	case op >= OpF64Add && op <= OpF64Copysign:
+		return []ValType{F64, F64}, []ValType{F64}, true
+	case op >= OpI32WrapI64 && op <= OpF64ReinterpretI64:
+		from, to := conversionTypes(op)
+		return []ValType{from}, []ValType{to}, true
+	}
+	return nil, nil, false
+}
+
+func constType(op Opcode) ValType {
+	switch op {
+	case OpI32Const:
+		return I32
+	case OpI64Const:
+		return I64
+	case OpF32Const:
+		return F32
+	case OpF64Const:
+		return F64
+	}
+	panic("wasm: constType on non-const opcode")
+}
+
+func conversionTypes(op Opcode) (from, to ValType) {
+	switch op {
+	case OpI32WrapI64:
+		return I64, I32
+	case OpI32TruncF32S, OpI32TruncF32U:
+		return F32, I32
+	case OpI32TruncF64S, OpI32TruncF64U:
+		return F64, I32
+	case OpI64ExtendI32S, OpI64ExtendI32U:
+		return I32, I64
+	case OpI64TruncF32S, OpI64TruncF32U:
+		return F32, I64
+	case OpI64TruncF64S, OpI64TruncF64U:
+		return F64, I64
+	case OpF32ConvertI32S, OpF32ConvertI32U:
+		return I32, F32
+	case OpF32ConvertI64S, OpF32ConvertI64U:
+		return I64, F32
+	case OpF32DemoteF64:
+		return F64, F32
+	case OpF64ConvertI32S, OpF64ConvertI32U:
+		return I32, F64
+	case OpF64ConvertI64S, OpF64ConvertI64U:
+		return I64, F64
+	case OpF64PromoteF32:
+		return F32, F64
+	case OpI32ReinterpretF32:
+		return F32, I32
+	case OpI64ReinterpretF64:
+		return F64, I64
+	case OpF32ReinterpretI32:
+		return I32, F32
+	case OpF64ReinterpretI64:
+		return I64, F64
+	}
+	panic("wasm: conversionTypes on non-conversion opcode " + op.String())
+}

@@ -1,0 +1,175 @@
+// Package wasm defines the abstract syntax of WebAssembly (MVP, binary format
+// version 1) modules: value and function types, the full instruction set, and
+// the module structure. It is the common vocabulary shared by the binary
+// codec, the validator, the interpreter, and the Wasabi instrumenter.
+package wasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValType is one of the four WebAssembly primitive value types. The constants
+// use the binary-format encodings so they can be written to the wire directly.
+type ValType byte
+
+const (
+	I32 ValType = 0x7F
+	I64 ValType = 0x7E
+	F32 ValType = 0x7D
+	F64 ValType = 0x7C
+)
+
+// Valid reports whether t is one of the four primitive types.
+func (t ValType) Valid() bool {
+	switch t {
+	case I32, I64, F32, F64:
+		return true
+	}
+	return false
+}
+
+func (t ValType) String() string {
+	switch t {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	}
+	return fmt.Sprintf("valtype(0x%02x)", byte(t))
+}
+
+// FuncType is a function signature: a vector of parameter types and a vector
+// of result types. The MVP binary format restricts results to at most one,
+// which the validator enforces; the AST supports the general shape.
+type FuncType struct {
+	Params  []ValType
+	Results []ValType
+}
+
+// Equal reports whether two function types are structurally identical.
+func (ft FuncType) Equal(other FuncType) bool {
+	if len(ft.Params) != len(other.Params) || len(ft.Results) != len(other.Results) {
+		return false
+	}
+	for i, p := range ft.Params {
+		if p != other.Params[i] {
+			return false
+		}
+	}
+	for i, r := range ft.Results {
+		if r != other.Results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string key identifying the signature, suitable for
+// map lookup (used by on-demand monomorphization).
+func (ft FuncType) Key() string {
+	var sb strings.Builder
+	for _, p := range ft.Params {
+		sb.WriteString(p.String())
+		sb.WriteByte('_')
+	}
+	sb.WriteString("->")
+	for _, r := range ft.Results {
+		sb.WriteByte('_')
+		sb.WriteString(r.String())
+	}
+	return sb.String()
+}
+
+func (ft FuncType) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, p := range ft.Params {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteString("] -> [")
+	for i, r := range ft.Results {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(r.String())
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// BlockType describes the result arity of a structured control instruction.
+// In the MVP it is either empty (0x40) or a single value type.
+type BlockType byte
+
+// BlockEmpty is the block type of a block producing no value.
+const BlockEmpty BlockType = 0x40
+
+// Results returns the result types of the block (empty or one type).
+func (bt BlockType) Results() []ValType {
+	if bt == BlockEmpty {
+		return nil
+	}
+	return []ValType{ValType(bt)}
+}
+
+func (bt BlockType) String() string {
+	if bt == BlockEmpty {
+		return ""
+	}
+	return ValType(bt).String()
+}
+
+// ExternKind distinguishes the four kinds of imports and exports.
+type ExternKind byte
+
+const (
+	ExternFunc   ExternKind = 0x00
+	ExternTable  ExternKind = 0x01
+	ExternMemory ExternKind = 0x02
+	ExternGlobal ExternKind = 0x03
+)
+
+func (k ExternKind) String() string {
+	switch k {
+	case ExternFunc:
+		return "func"
+	case ExternTable:
+		return "table"
+	case ExternMemory:
+		return "memory"
+	case ExternGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("externkind(0x%02x)", byte(k))
+}
+
+// Limits bound the size of a table or memory, in elements or 64 KiB pages.
+type Limits struct {
+	Min    uint32
+	Max    uint32
+	HasMax bool
+}
+
+// GlobalType pairs a value type with mutability.
+type GlobalType struct {
+	Type    ValType
+	Mutable bool
+}
+
+func (gt GlobalType) String() string {
+	if gt.Mutable {
+		return "(mut " + gt.Type.String() + ")"
+	}
+	return gt.Type.String()
+}
+
+// PageSize is the WebAssembly linear memory page size in bytes.
+const PageSize = 65536

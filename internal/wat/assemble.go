@@ -1,0 +1,286 @@
+package wat
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wasabi/internal/wasm"
+)
+
+// assembleBody turns the raw token stream of a function body into locals and
+// instructions, resolving names against the module-level symbol tables.
+func (p *parser) assembleBody(m *wasm.Module, pf pendingFunc) ([]wasm.Instr, []wasm.ValType, error) {
+	b := &bodyAsm{parser: p, m: m, toks: pf.body, locals: pf.params}
+	numParams := len(p.typeOf[uint32(m.NumImportedFuncs()+pf.defined)].Params)
+
+	// Leading (local $x t) groups.
+	var localTypes []wasm.ValType
+	for b.pos < len(b.toks) && b.toks[b.pos].kind == '(' {
+		if b.pos+1 >= len(b.toks) || b.toks[b.pos+1].text != "local" {
+			break
+		}
+		b.pos += 2
+		for b.pos < len(b.toks) && b.toks[b.pos].kind != ')' {
+			t := b.toks[b.pos]
+			name := ""
+			if strings.HasPrefix(t.text, "$") {
+				name = t.text
+				b.pos++
+				t = b.toks[b.pos]
+			}
+			vt, ok := valType(t.text)
+			if !ok {
+				return nil, nil, fmt.Errorf("bad local type %q", t.text)
+			}
+			if name != "" {
+				b.locals[name] = uint32(numParams + len(localTypes))
+			}
+			localTypes = append(localTypes, vt)
+			b.pos++
+		}
+		b.pos++ // ')'
+	}
+
+	var body []wasm.Instr
+	for b.pos < len(b.toks) {
+		in, err := b.instr()
+		if err != nil {
+			return nil, nil, err
+		}
+		body = append(body, in)
+	}
+	body = append(body, wasm.End())
+	return body, localTypes, nil
+}
+
+type bodyAsm struct {
+	*parser
+	m      *wasm.Module
+	toks   []token
+	pos    int
+	locals map[string]uint32
+}
+
+func (b *bodyAsm) tok() (token, error) {
+	if b.pos >= len(b.toks) {
+		return token{}, fmt.Errorf("unexpected end of function body")
+	}
+	t := b.toks[b.pos]
+	b.pos++
+	return t, nil
+}
+
+// blockType parses an optional (result t) annotation.
+func (b *bodyAsm) blockType() (wasm.BlockType, error) {
+	if b.pos+1 < len(b.toks) && b.toks[b.pos].kind == '(' && b.toks[b.pos+1].text == "result" {
+		b.pos += 2
+		t, err := b.tok()
+		if err != nil {
+			return 0, err
+		}
+		vt, ok := valType(t.text)
+		if !ok {
+			return 0, fmt.Errorf("bad block result type %q", t.text)
+		}
+		if t, err := b.tok(); err != nil || t.kind != ')' {
+			return 0, fmt.Errorf("unterminated (result)")
+		}
+		return wasm.BlockType(vt), nil
+	}
+	return wasm.BlockEmpty, nil
+}
+
+func (b *bodyAsm) index(names map[string]uint32) (uint32, error) {
+	t, err := b.tok()
+	if err != nil {
+		return 0, err
+	}
+	return b.resolve(t.text, names)
+}
+
+func (b *bodyAsm) intImm(bits int) (int64, error) {
+	t, err := b.tok()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(t.text, 0, 64)
+	if err != nil {
+		// Allow unsigned spellings of negative bit patterns.
+		u, uerr := strconv.ParseUint(t.text, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad integer %q", t.text)
+		}
+		v = int64(u)
+	}
+	if bits == 32 {
+		v = int64(int32(v))
+	}
+	return v, nil
+}
+
+func (b *bodyAsm) floatImm() (float64, error) {
+	t, err := b.tok()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad float %q", t.text)
+	}
+	return v, nil
+}
+
+// memArg parses optional offset=N and align=N annotations; align defaults
+// to the natural alignment of the access.
+func (b *bodyAsm) memArg(op wasm.Opcode) (wasm.MemArg, error) {
+	_, size := op.LoadStoreType()
+	align := uint32(0)
+	for s := size; s > 1; s >>= 1 {
+		align++
+	}
+	ma := wasm.MemArg{Align: align}
+	for b.pos < len(b.toks) && b.toks[b.pos].kind == 'a' {
+		t := b.toks[b.pos]
+		switch {
+		case strings.HasPrefix(t.text, "offset="):
+			v, err := strconv.ParseUint(t.text[7:], 0, 32)
+			if err != nil {
+				return ma, fmt.Errorf("bad offset %q", t.text)
+			}
+			ma.Offset = uint32(v)
+			b.pos++
+		case strings.HasPrefix(t.text, "align="):
+			v, err := strconv.ParseUint(t.text[6:], 0, 32)
+			if err != nil {
+				return ma, fmt.Errorf("bad align %q", t.text)
+			}
+			// The text format gives alignment in bytes; store log2.
+			log := uint32(0)
+			for a := uint32(v); a > 1; a >>= 1 {
+				log++
+			}
+			ma.Align = log
+			b.pos++
+		default:
+			return ma, nil
+		}
+	}
+	return ma, nil
+}
+
+func (b *bodyAsm) instr() (wasm.Instr, error) {
+	t, err := b.tok()
+	if err != nil {
+		return wasm.Instr{}, err
+	}
+	if t.kind != 'a' {
+		return wasm.Instr{}, fmt.Errorf("expected instruction, got %q (folded expressions are not supported in bodies)", t.text)
+	}
+	name := t.text
+	op, ok := wasm.OpcodeByName(name)
+	if !ok {
+		return wasm.Instr{}, fmt.Errorf("unknown instruction %q", name)
+	}
+	in := wasm.Instr{Op: op}
+	switch op {
+	case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+		bt, err := b.blockType()
+		if err != nil {
+			return in, err
+		}
+		in.Block = bt
+	case wasm.OpBr, wasm.OpBrIf:
+		v, err := b.intImm(32)
+		if err != nil {
+			return in, err
+		}
+		in.Idx = uint32(v)
+	case wasm.OpBrTable:
+		var targets []uint32
+		for b.pos < len(b.toks) && b.toks[b.pos].kind == 'a' {
+			if _, err := strconv.ParseUint(b.toks[b.pos].text, 10, 32); err != nil {
+				break
+			}
+			v, _ := strconv.ParseUint(b.toks[b.pos].text, 10, 32)
+			targets = append(targets, uint32(v))
+			b.pos++
+		}
+		if len(targets) == 0 {
+			return in, fmt.Errorf("br_table needs at least a default target")
+		}
+		in.Table = targets[:len(targets)-1]
+		in.Idx = targets[len(targets)-1]
+	case wasm.OpCall:
+		idx, err := b.index(b.funcNames)
+		if err != nil {
+			return in, err
+		}
+		in.Idx = idx
+	case wasm.OpCallIndirect:
+		ft, err := b.foldedSig()
+		if err != nil {
+			return in, err
+		}
+		in.Idx = b.m.AddType(ft)
+	case wasm.OpLocalGet, wasm.OpLocalSet, wasm.OpLocalTee:
+		idx, err := b.index(b.locals)
+		if err != nil {
+			return in, err
+		}
+		in.Idx = idx
+	case wasm.OpGlobalGet, wasm.OpGlobalSet:
+		idx, err := b.index(b.globalNames)
+		if err != nil {
+			return in, err
+		}
+		in.Idx = idx
+	case wasm.OpI32Const:
+		v, err := b.intImm(32)
+		if err != nil {
+			return in, err
+		}
+		in.I64 = v
+	case wasm.OpI64Const:
+		v, err := b.intImm(64)
+		if err != nil {
+			return in, err
+		}
+		in.I64 = v
+	case wasm.OpF32Const:
+		v, err := b.floatImm()
+		if err != nil {
+			return in, err
+		}
+		in.F32 = float32(v)
+	case wasm.OpF64Const:
+		v, err := b.floatImm()
+		if err != nil {
+			return in, err
+		}
+		in.F64 = v
+	default:
+		if op.IsLoad() || op.IsStore() {
+			ma, err := b.memArg(op)
+			if err != nil {
+				return in, err
+			}
+			in.Mem = ma
+		}
+	}
+	return in, nil
+}
+
+// foldedSig parses the (param ...)* (result ...)? annotation of
+// call_indirect using the shared sig parser over the body's token window.
+func (b *bodyAsm) foldedSig() (wasm.FuncType, error) {
+	// Reuse the module-level sig parser by splicing: create a sub-parser
+	// over the remaining body tokens.
+	sub := &parser{toks: b.toks, pos: b.pos, funcNames: b.funcNames, globalNames: b.globalNames, typeOf: b.typeOf}
+	ft, err := sub.sig(nil)
+	if err != nil {
+		return ft, err
+	}
+	b.pos = sub.pos
+	return ft, nil
+}

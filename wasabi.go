@@ -1,0 +1,136 @@
+// Package wasabi is a Go reproduction of "Wasabi: A Framework for
+// Dynamically Analyzing WebAssembly" (Lehmann & Pradel, ASPLOS 2019).
+//
+// Wasabi instruments a WebAssembly binary ahead of time so that every
+// selected instruction additionally calls an analysis hook, then dispatches
+// those low-level hooks to a high-level analysis API of 23 hooks. The
+// quickstart:
+//
+//	sess, err := wasabi.Analyze(module, myAnalysis)   // selective instrumentation
+//	inst, err := sess.Instantiate(programImports)     // hooks + program imports
+//	inst.Invoke("main")                               // hooks fire into myAnalysis
+//
+// An analysis is any value implementing a subset of the hook interfaces in
+// internal/analysis (re-exported here), e.g. wasabi.BinaryHooker for the
+// paper's cryptominer detector (Figure 1).
+package wasabi
+
+import (
+	"fmt"
+
+	"wasabi/internal/analysis"
+	"wasabi/internal/binary"
+	"wasabi/internal/core"
+	"wasabi/internal/interp"
+	wruntime "wasabi/internal/runtime"
+	"wasabi/internal/wasm"
+)
+
+// Re-exported core types, so analyses and embedders only import this package.
+type (
+	// Location identifies an instruction (function index, instruction index).
+	Location = analysis.Location
+	// Value is a typed WebAssembly value.
+	Value = analysis.Value
+	// MemArg describes a memory access (address + static offset).
+	MemArg = analysis.MemArg
+	// BranchTarget pairs a raw branch label with its resolved location.
+	BranchTarget = analysis.BranchTarget
+	// BlockKind names block kinds seen by begin/end hooks.
+	BlockKind = analysis.BlockKind
+	// ModuleInfo is the static module information handed to analyses.
+	ModuleInfo = analysis.ModuleInfo
+	// HookSet selects instruction classes for selective instrumentation.
+	HookSet = analysis.HookSet
+	// Metadata is the static instrumentation output consumed by the runtime.
+	Metadata = core.Metadata
+
+	// The hook interfaces an analysis may implement.
+	NopHooker         = analysis.NopHooker
+	UnreachableHooker = analysis.UnreachableHooker
+	IfHooker          = analysis.IfHooker
+	BrHooker          = analysis.BrHooker
+	BrIfHooker        = analysis.BrIfHooker
+	BrTableHooker     = analysis.BrTableHooker
+	BeginHooker       = analysis.BeginHooker
+	EndHooker         = analysis.EndHooker
+	ConstHooker       = analysis.ConstHooker
+	DropHooker        = analysis.DropHooker
+	SelectHooker      = analysis.SelectHooker
+	UnaryHooker       = analysis.UnaryHooker
+	BinaryHooker      = analysis.BinaryHooker
+	LocalHooker       = analysis.LocalHooker
+	GlobalHooker      = analysis.GlobalHooker
+	LoadHooker        = analysis.LoadHooker
+	StoreHooker       = analysis.StoreHooker
+	MemorySizeHooker  = analysis.MemorySizeHooker
+	MemoryGrowHooker  = analysis.MemoryGrowHooker
+	CallPreHooker     = analysis.CallPreHooker
+	CallPostHooker    = analysis.CallPostHooker
+	ReturnHooker      = analysis.ReturnHooker
+	StartHooker       = analysis.StartHooker
+)
+
+// Session bundles an instrumented module with the runtime for one analysis.
+type Session struct {
+	Module   *wasm.Module // the instrumented module
+	Meta     *core.Metadata
+	Analysis any
+
+	rt *wruntime.Runtime
+}
+
+// Analyze instruments m selectively for the hooks the analysis implements
+// and prepares a runtime session. The input module is not modified.
+func Analyze(m *wasm.Module, a any) (*Session, error) {
+	return AnalyzeWithOptions(m, a, core.ForAnalysis(a))
+}
+
+// AnalyzeWithOptions is Analyze with explicit instrumentation options (e.g.
+// forcing full instrumentation regardless of the analysis).
+func AnalyzeWithOptions(m *wasm.Module, a any, opts core.Options) (*Session, error) {
+	instrumented, meta, err := core.Instrument(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		Module:   instrumented,
+		Meta:     meta,
+		Analysis: a,
+		rt:       wruntime.New(meta, a),
+	}, nil
+}
+
+// AnalyzeBytes is Analyze for a binary-encoded module.
+func AnalyzeBytes(wasmBytes []byte, a any) (*Session, error) {
+	m, err := binary.Decode(wasmBytes)
+	if err != nil {
+		return nil, fmt.Errorf("wasabi: decode: %w", err)
+	}
+	return Analyze(m, a)
+}
+
+// Instantiate instantiates the instrumented module on the bundled
+// interpreter, merging the program's own imports with the generated hook
+// imports, and binds the instance to the runtime (needed to resolve
+// indirect-call targets).
+func (s *Session) Instantiate(programImports interp.Imports) (*interp.Instance, error) {
+	merged := interp.Imports{}
+	for mod, fields := range programImports {
+		merged[mod] = fields
+	}
+	for mod, fields := range s.rt.Imports() {
+		merged[mod] = fields
+	}
+	inst, err := interp.Instantiate(s.Module, merged)
+	if err != nil {
+		return nil, err
+	}
+	s.rt.BindInstance(inst)
+	return inst, nil
+}
+
+// EncodedModule returns the instrumented module in the binary format.
+func (s *Session) EncodedModule() ([]byte, error) {
+	return binary.Encode(s.Module)
+}
