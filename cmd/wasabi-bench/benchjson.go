@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"wasabi"
+	"wasabi/internal/analyses"
+	"wasabi/internal/analysis"
+	"wasabi/internal/binary"
+	"wasabi/internal/core"
+	"wasabi/internal/interp"
+	"wasabi/internal/polybench"
+	"wasabi/internal/synthapp"
+)
+
+// BenchResult is one benchmark's machine-readable record.
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchReport is the schema of BENCH_instrument.json: the recorded seed
+// baseline (fixed once, from the pre-optimization tree) and the current
+// tree's numbers, so the perf trajectory is machine-readable across PRs.
+type BenchReport struct {
+	// SeedBaseline holds the seed-tree numbers for the headline benchmark,
+	// measured before the allocation-free instrumentation pipeline landed.
+	SeedBaseline map[string]BenchResult `json:"seed_baseline"`
+	Current      map[string]BenchResult `json:"current"`
+}
+
+// seedBaseline records the pre-optimization numbers of the headline Table 5
+// benchmark (1 MiB synthetic app, full instrumentation): 2.4 s/op at
+// 0.35 MB/s with 676 MB and 1.77 M allocations per op.
+var seedBaseline = map[string]BenchResult{
+	"Table5_InstrumentApp": {
+		NsPerOp:     2.4e9,
+		MBPerS:      0.35,
+		BytesPerOp:  676608872,
+		AllocsPerOp: 1769776,
+	},
+}
+
+func toResult(r testing.BenchmarkResult, bytesProcessed int64) BenchResult {
+	br := BenchResult{
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if bytesProcessed > 0 && r.NsPerOp() > 0 {
+		br.MBPerS = float64(bytesProcessed) / 1e6 / (float64(r.NsPerOp()) / 1e9)
+	}
+	return br
+}
+
+// writeBenchJSON runs the Table 5 / Figure 9 benchmarks via
+// testing.Benchmark and writes BENCH_instrument.json.
+func writeBenchJSON(path string) error {
+	cur := map[string]BenchResult{}
+
+	gemm, ok := polybench.ByName("gemm")
+	if !ok {
+		return fmt.Errorf("gemm kernel missing")
+	}
+	gm := gemm.Module(16)
+	gemmBytes, err := binary.Encode(gm)
+	if err != nil {
+		return err
+	}
+
+	app := synthapp.Generate(synthapp.Config{TargetBytes: 1 << 20, Seed: 11})
+	appBytes, err := binary.Encode(app)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(os.Stderr, "bench: Table5_InstrumentPolyBench")
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Instrument(gm, core.Options{Hooks: analysis.AllHooks, SkipValidation: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cur["Table5_InstrumentPolyBench"] = toResult(r, int64(len(gemmBytes)))
+
+	fmt.Fprintln(os.Stderr, "bench: Table5_InstrumentApp")
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Instrument(app, core.Options{Hooks: analysis.AllHooks, SkipValidation: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cur["Table5_InstrumentApp"] = toResult(r, int64(len(appBytes)))
+
+	fmt.Fprintln(os.Stderr, "bench: Fig9_Baseline")
+	inst, err := interp.Instantiate(gm, polybench.HostImports(nil))
+	if err != nil {
+		return err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := inst.Invoke("kernel"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cur["Fig9_Baseline"] = toResult(r, 0)
+
+	for _, hook := range []struct {
+		name string
+		set  analysis.HookSet
+	}{
+		{"load", analysis.Set(analysis.KindLoad)},
+		{"binary", analysis.Set(analysis.KindBinary)},
+		{"all", analysis.AllHooks},
+	} {
+		fmt.Fprintf(os.Stderr, "bench: Fig9_PerHook/%s\n", hook.name)
+		sess, err := wasabi.AnalyzeWithOptions(gm, &analyses.Empty{}, core.Options{Hooks: hook.set})
+		if err != nil {
+			return err
+		}
+		hinst, err := sess.Instantiate(polybench.HostImports(nil))
+		if err != nil {
+			return err
+		}
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hinst.Invoke("kernel"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cur["Fig9_PerHook/"+hook.name] = toResult(r, 0)
+	}
+
+	report := BenchReport{SeedBaseline: seedBaseline, Current: cur}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
+	return nil
+}

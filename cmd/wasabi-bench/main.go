@@ -5,6 +5,7 @@
 // Usage:
 //
 //	wasabi-bench -experiment table4|rq2|table5|fig8|mono|fig9|all [-full]
+//	wasabi-bench -json BENCH_instrument.json
 package main
 
 import (
@@ -21,7 +22,16 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale binary sizes (9.6 MB / 39.5 MB; slow)")
 	polyN := flag.Int("n", 0, "override PolyBench problem size")
 	reps := flag.Int("reps", 0, "override timing repetitions")
+	jsonOut := flag.String("json", "", "run the Table 5 / Fig 9 benchmarks and write machine-readable results (e.g. BENCH_instrument.json); skips the experiments")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "wasabi-bench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *full {

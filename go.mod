@@ -1,0 +1,3 @@
+module wasabi
+
+go 1.22

@@ -27,8 +27,9 @@ func buildRichModule() *wasm.Module {
 		Funcs: []wasm.Func{
 			{TypeIdx: 0, Body: []wasm.Instr{wasm.End()}},
 			{
-				TypeIdx: 1,
-				Locals:  []wasm.ValType{wasm.I32, wasm.I32, wasm.F64, wasm.I64},
+				TypeIdx:   1,
+				Locals:    []wasm.ValType{wasm.I32, wasm.I32, wasm.F64, wasm.I64},
+				BrTargets: []uint32{0, 1, 2},
 				Body: []wasm.Instr{
 					wasm.BlockInstr(wasm.BlockType(wasm.I64)),
 					wasm.LoopInstr(wasm.BlockEmpty),
@@ -36,7 +37,7 @@ func buildRichModule() *wasm.Module {
 					wasm.IfInstr(wasm.BlockEmpty),
 					wasm.Br(1),
 					{Op: wasm.OpElse},
-					{Op: wasm.OpBrTable, Table: []uint32{0, 1, 2}, Idx: 3},
+					wasm.BrTableInstr(3, 0, 3), // targets 0,1,2 in BrTargets
 					wasm.End(),
 					wasm.End(),
 					wasm.LocalGet(1),
@@ -48,7 +49,7 @@ func buildRichModule() *wasm.Module {
 					wasm.F64ConstInstr(-0.0),
 					wasm.Op1(wasm.OpDrop),
 					wasm.I32Const(-123456),
-					{Op: wasm.OpI64Load, Mem: wasm.MemArg{Align: 3, Offset: 1 << 16}},
+					wasm.MemInstr(wasm.OpI64Load, 3, 1<<16),
 					wasm.Op1(wasm.OpDrop),
 					wasm.I32Const(0),
 					{Op: wasm.OpCallIndirect, Idx: 2},
@@ -168,10 +169,10 @@ func TestQuickConstRoundTrip(t *testing.T) {
 			wasm.F64ConstInstr(math.Float64frombits(dbits)), wasm.Op1(wasm.OpDrop),
 		}
 		got := roundTrip(body)
-		return got[0].I64 == v &&
-			int32(got[2].I64) == w &&
-			math.Float32bits(got[4].F32) == fbits &&
-			math.Float64bits(got[6].F64) == dbits
+		return got[0].ConstI64() == v &&
+			got[2].ConstI32() == w &&
+			math.Float32bits(got[4].ConstF32()) == fbits &&
+			math.Float64bits(got[6].ConstF64()) == dbits
 	}, nil); err != nil {
 		t.Error(err)
 	}

@@ -3,7 +3,6 @@ package binary
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"wasabi/internal/leb128"
 	"wasabi/internal/wasm"
@@ -398,12 +397,14 @@ func decodeCode(r *reader, m *wasm.Module) error {
 				locals = append(locals, t)
 			}
 		}
-		instrs, err := body.instrsUntilEndOfInput()
+		var brTargets []uint32
+		instrs, err := body.instrsUntilEndOfInput(&brTargets)
 		if err != nil {
 			return fmt.Errorf("binary: code body %d: %w", i, err)
 		}
 		m.Funcs[i].Locals = locals
 		m.Funcs[i].Body = instrs
+		m.Funcs[i].BrTargets = brTargets
 		r.pos = end
 	}
 	return r.err
@@ -449,12 +450,15 @@ func decodeCustom(r *reader, m *wasm.Module) error {
 	return nil
 }
 
-// expr reads a constant expression terminated by end (inclusive).
+// expr reads a constant expression terminated by end (inclusive). Constant
+// expressions cannot legally contain br_table, so targets read here go into
+// a discarded pool (validation rejects such expressions anyway).
 func (r *reader) expr() ([]wasm.Instr, error) {
 	var instrs []wasm.Instr
+	var pool []uint32
 	depth := 0
 	for {
-		in, err := r.instr()
+		in, err := r.instr(&pool)
 		if err != nil {
 			return nil, err
 		}
@@ -473,10 +477,11 @@ func (r *reader) expr() ([]wasm.Instr, error) {
 
 // instrsUntilEndOfInput reads instructions until the input is exhausted
 // (used for code bodies, whose length is given by the size prefix).
-func (r *reader) instrsUntilEndOfInput() ([]wasm.Instr, error) {
+// br_table targets are appended to the function's pool.
+func (r *reader) instrsUntilEndOfInput(brTargets *[]uint32) ([]wasm.Instr, error) {
 	var instrs []wasm.Instr
 	for !r.done() {
-		in, err := r.instr()
+		in, err := r.instr(brTargets)
 		if err != nil {
 			return nil, err
 		}
@@ -491,7 +496,7 @@ func (r *reader) instrsUntilEndOfInput() ([]wasm.Instr, error) {
 	return instrs, nil
 }
 
-func (r *reader) instr() (wasm.Instr, error) {
+func (r *reader) instr(brTargets *[]uint32) (wasm.Instr, error) {
 	op := wasm.Opcode(r.byte())
 	if r.err != nil {
 		return wasm.Instr{}, r.err
@@ -514,11 +519,14 @@ func (r *reader) instr() (wasm.Instr, error) {
 	case wasm.OpBrTable:
 		n := r.u32()
 		if r.err == nil {
-			in.Table = make([]uint32, 0, capHint(n))
+			off := len(*brTargets)
 			for i := uint32(0); i < n && r.err == nil; i++ {
-				in.Table = append(in.Table, r.u32())
+				*brTargets = append(*brTargets, r.u32())
 			}
-			in.Idx = r.u32()
+			deflt := r.u32()
+			if r.err == nil {
+				in = wasm.BrTableInstr(deflt, off, int(n))
+			}
 		}
 	case wasm.OpCallIndirect:
 		in.Idx = r.u32()
@@ -530,13 +538,13 @@ func (r *reader) instr() (wasm.Instr, error) {
 			return in, fmt.Errorf("binary: memory instruction reserved byte is 0x%02x", rsvd)
 		}
 	case wasm.OpI32Const:
-		in.I64 = int64(r.s32())
+		in.Bits = uint64(uint32(r.s32()))
 	case wasm.OpI64Const:
-		in.I64 = r.s64()
+		in.Bits = uint64(r.s64())
 	case wasm.OpF32Const:
 		b := r.bytes(4)
 		if r.err == nil {
-			in.F32 = math.Float32frombits(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+			in.Bits = uint64(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
 		}
 	case wasm.OpF64Const:
 		b := r.bytes(8)
@@ -545,12 +553,13 @@ func (r *reader) instr() (wasm.Instr, error) {
 			for i := 0; i < 8; i++ {
 				bits |= uint64(b[i]) << (8 * i)
 			}
-			in.F64 = math.Float64frombits(bits)
+			in.Bits = bits
 		}
 	default:
 		if op.IsLoad() || op.IsStore() {
-			in.Mem.Align = r.u32()
-			in.Mem.Offset = r.u32()
+			align := r.u32()
+			offset := r.u32()
+			in = wasm.MemInstr(op, align, offset)
 		}
 	}
 	return in, r.err

@@ -6,7 +6,6 @@ package binary
 
 import (
 	"fmt"
-	"math"
 
 	"wasabi/internal/leb128"
 	"wasabi/internal/wasm"
@@ -31,72 +30,91 @@ const (
 	secData     = 11
 )
 
-// Encode serializes a module to the WebAssembly binary format.
+// Encode serializes a module to the WebAssembly binary format. Section
+// bodies are assembled first and the output buffer is then allocated at its
+// exact final size, so serializing even a large (instrumented) module
+// performs no buffer regrowth.
 func Encode(m *wasm.Module) ([]byte, error) {
-	out := make([]byte, 0, 4096)
-	out = append(out, header...)
+	type section struct {
+		id   byte
+		body []byte
+	}
+	sections := make([]section, 0, 12)
+	add := func(id byte, body []byte) {
+		sections = append(sections, section{id, body})
+	}
 
 	if len(m.Types) > 0 {
-		out = appendSection(out, secType, encodeTypes(m))
+		add(secType, encodeTypes(m))
 	}
 	if len(m.Imports) > 0 {
 		b, err := encodeImports(m)
 		if err != nil {
 			return nil, err
 		}
-		out = appendSection(out, secImport, b)
+		add(secImport, b)
 	}
 	if len(m.Funcs) > 0 {
-		out = appendSection(out, secFunction, encodeFuncDecls(m))
+		add(secFunction, encodeFuncDecls(m))
 	}
 	if len(m.Tables) > 0 {
-		out = appendSection(out, secTable, encodeTables(m))
+		add(secTable, encodeTables(m))
 	}
 	if len(m.Memories) > 0 {
-		out = appendSection(out, secMemory, encodeMemories(m))
+		add(secMemory, encodeMemories(m))
 	}
 	if len(m.Globals) > 0 {
 		b, err := encodeGlobals(m)
 		if err != nil {
 			return nil, err
 		}
-		out = appendSection(out, secGlobal, b)
+		add(secGlobal, b)
 	}
 	if len(m.Exports) > 0 {
-		out = appendSection(out, secExport, encodeExports(m))
+		add(secExport, encodeExports(m))
 	}
 	if m.Start != nil {
-		out = appendSection(out, secStart, leb128.AppendU32(nil, *m.Start))
+		add(secStart, leb128.AppendU32(nil, *m.Start))
 	}
 	if len(m.Elems) > 0 {
 		b, err := encodeElems(m)
 		if err != nil {
 			return nil, err
 		}
-		out = appendSection(out, secElem, b)
+		add(secElem, b)
 	}
 	if len(m.Funcs) > 0 {
 		b, err := encodeCode(m)
 		if err != nil {
 			return nil, err
 		}
-		out = appendSection(out, secCode, b)
+		add(secCode, b)
 	}
 	if len(m.Datas) > 0 {
 		b, err := encodeDatas(m)
 		if err != nil {
 			return nil, err
 		}
-		out = appendSection(out, secData, b)
+		add(secData, b)
 	}
 	if len(m.FuncNames) > 0 {
-		out = appendSection(out, secCustom, encodeNameSection(m))
+		add(secCustom, encodeNameSection(m))
 	}
 	for _, c := range m.Customs {
 		var b []byte
 		b = appendName(b, c.Name)
 		b = append(b, c.Data...)
-		out = appendSection(out, secCustom, b)
+		add(secCustom, b)
+	}
+
+	total := len(header)
+	for _, s := range sections {
+		total += 1 + leb128.SizeU32(uint32(len(s.body))) + len(s.body)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, header...)
+	for _, s := range sections {
+		out = appendSection(out, s.id, s.body)
 	}
 	return out, nil
 }
@@ -255,50 +273,143 @@ func encodeDatas(m *wasm.Module) ([]byte, error) {
 	return b, nil
 }
 
+// encodeCode serializes the code section. A cheap measure pass computes the
+// exact encoded size of every function body first, so the section buffer is
+// allocated once at its final size and each body is encoded directly into it
+// (no per-function staging buffer, no regrowth).
 func encodeCode(m *wasm.Module) ([]byte, error) {
-	b := leb128.AppendU32(nil, uint32(len(m.Funcs)))
-	var body []byte
+	total := leb128.SizeU32(uint32(len(m.Funcs)))
+	sizes := make([]int, len(m.Funcs))
 	for i := range m.Funcs {
 		f := &m.Funcs[i]
-		body = body[:0]
-		// Locals are run-length encoded by type.
-		var runs [][2]uint32 // (count, type byte)
-		for _, lt := range f.Locals {
-			if len(runs) > 0 && runs[len(runs)-1][1] == uint32(lt) {
-				runs[len(runs)-1][0]++
-			} else {
-				runs = append(runs, [2]uint32{1, uint32(lt)})
-			}
-		}
-		body = leb128.AppendU32(body, uint32(len(runs)))
-		for _, r := range runs {
-			body = leb128.AppendU32(body, r[0])
-			body = append(body, byte(r[1]))
-		}
-		var err error
-		body, err = appendInstrs(body, f.Body)
+		n, err := funcBodySize(f)
 		if err != nil {
 			return nil, fmt.Errorf("binary: function %d: %w", i, err)
 		}
-		b = leb128.AppendU32(b, uint32(len(body)))
-		b = append(b, body...)
+		sizes[i] = n
+		total += leb128.SizeU32(uint32(n)) + n
+	}
+	b := make([]byte, 0, total)
+	b = leb128.AppendU32(b, uint32(len(m.Funcs)))
+	for i := range m.Funcs {
+		f := &m.Funcs[i]
+		b = leb128.AppendU32(b, uint32(sizes[i]))
+		b = appendLocals(b, f.Locals)
+		var err error
+		b, err = appendInstrs(b, f.Body, f.BrTargets)
+		if err != nil {
+			return nil, fmt.Errorf("binary: function %d: %w", i, err)
+		}
 	}
 	return b, nil
 }
 
+// localRuns calls fn once per run of the run-length encoding of locals.
+func localRuns(locals []wasm.ValType, fn func(count uint32, t wasm.ValType)) (numRuns int) {
+	i := 0
+	for i < len(locals) {
+		j := i + 1
+		for j < len(locals) && locals[j] == locals[i] {
+			j++
+		}
+		fn(uint32(j-i), locals[i])
+		numRuns++
+		i = j
+	}
+	return numRuns
+}
+
+func localsSize(locals []wasm.ValType) int {
+	n := 0
+	runs := localRuns(locals, func(count uint32, _ wasm.ValType) {
+		n += leb128.SizeU32(count) + 1
+	})
+	return leb128.SizeU32(uint32(runs)) + n
+}
+
+func appendLocals(b []byte, locals []wasm.ValType) []byte {
+	runs := localRuns(locals, func(uint32, wasm.ValType) {})
+	b = leb128.AppendU32(b, uint32(runs))
+	localRuns(locals, func(count uint32, t wasm.ValType) {
+		b = leb128.AppendU32(b, count)
+		b = append(b, byte(t))
+	})
+	return b
+}
+
+// funcBodySize returns the exact encoded size of a function body (locals
+// vector plus instructions), mirroring appendLocals + appendInstrs.
+func funcBodySize(f *wasm.Func) (int, error) {
+	n := localsSize(f.Locals)
+	for i := range f.Body {
+		sz, err := instrSize(&f.Body[i], f.BrTargets)
+		if err != nil {
+			return 0, err
+		}
+		n += sz
+	}
+	return n, nil
+}
+
+// instrSize returns the exact encoded size of one instruction, mirroring
+// appendInstr.
+func instrSize(in *wasm.Instr, brTargets []uint32) (int, error) {
+	op := in.Op
+	if !op.Known() {
+		return 0, fmt.Errorf("binary: unknown opcode 0x%02x", byte(op))
+	}
+	n := 1
+	switch op {
+	case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+		n++
+	case wasm.OpBr, wasm.OpBrIf, wasm.OpCall,
+		wasm.OpLocalGet, wasm.OpLocalSet, wasm.OpLocalTee,
+		wasm.OpGlobalGet, wasm.OpGlobalSet:
+		n += leb128.SizeU32(in.Idx)
+	case wasm.OpBrTable:
+		off, cnt := in.BrTableSpan()
+		if off+cnt > len(brTargets) {
+			return 0, fmt.Errorf("binary: br_table target span [%d:%d] exceeds pool (%d)", off, off+cnt, len(brTargets))
+		}
+		n += leb128.SizeU32(uint32(cnt))
+		for _, t := range brTargets[off : off+cnt] {
+			n += leb128.SizeU32(t)
+		}
+		n += leb128.SizeU32(in.Idx)
+	case wasm.OpCallIndirect:
+		n += leb128.SizeU32(in.Idx) + 1
+	case wasm.OpMemorySize, wasm.OpMemoryGrow:
+		n++
+	case wasm.OpI32Const:
+		n += leb128.SizeS32(in.ConstI32())
+	case wasm.OpI64Const:
+		n += leb128.SizeS64(in.ConstI64())
+	case wasm.OpF32Const:
+		n += 4
+	case wasm.OpF64Const:
+		n += 8
+	default:
+		if op.IsLoad() || op.IsStore() {
+			n += leb128.SizeU32(in.MemAlign()) + leb128.SizeU32(in.MemOffset())
+		}
+	}
+	return n, nil
+}
+
 // appendExpr encodes a constant expression, which must already be terminated
-// by an end instruction.
+// by an end instruction. Constant expressions cannot contain br_table, so no
+// target pool is needed.
 func appendExpr(b []byte, expr []wasm.Instr) ([]byte, error) {
 	if len(expr) == 0 || expr[len(expr)-1].Op != wasm.OpEnd {
 		return nil, fmt.Errorf("binary: expression not terminated by end")
 	}
-	return appendInstrs(b, expr)
+	return appendInstrs(b, expr, nil)
 }
 
-func appendInstrs(b []byte, instrs []wasm.Instr) ([]byte, error) {
+func appendInstrs(b []byte, instrs []wasm.Instr, brTargets []uint32) ([]byte, error) {
 	for i := range instrs {
 		var err error
-		b, err = appendInstr(b, &instrs[i])
+		b, err = appendInstr(b, &instrs[i], brTargets)
 		if err != nil {
 			return nil, err
 		}
@@ -306,7 +417,7 @@ func appendInstrs(b []byte, instrs []wasm.Instr) ([]byte, error) {
 	return b, nil
 }
 
-func appendInstr(b []byte, in *wasm.Instr) ([]byte, error) {
+func appendInstr(b []byte, in *wasm.Instr, brTargets []uint32) ([]byte, error) {
 	op := in.Op
 	if !op.Known() {
 		return nil, fmt.Errorf("binary: unknown opcode 0x%02x", byte(op))
@@ -320,8 +431,12 @@ func appendInstr(b []byte, in *wasm.Instr) ([]byte, error) {
 		wasm.OpGlobalGet, wasm.OpGlobalSet:
 		b = leb128.AppendU32(b, in.Idx)
 	case wasm.OpBrTable:
-		b = leb128.AppendU32(b, uint32(len(in.Table)))
-		for _, t := range in.Table {
+		off, cnt := in.BrTableSpan()
+		if off+cnt > len(brTargets) {
+			return nil, fmt.Errorf("binary: br_table target span [%d:%d] exceeds pool (%d)", off, off+cnt, len(brTargets))
+		}
+		b = leb128.AppendU32(b, uint32(cnt))
+		for _, t := range brTargets[off : off+cnt] {
 			b = leb128.AppendU32(b, t)
 		}
 		b = leb128.AppendU32(b, in.Idx) // default target
@@ -331,21 +446,20 @@ func appendInstr(b []byte, in *wasm.Instr) ([]byte, error) {
 	case wasm.OpMemorySize, wasm.OpMemoryGrow:
 		b = append(b, 0x00) // reserved memory index
 	case wasm.OpI32Const:
-		b = leb128.AppendS32(b, int32(in.I64))
+		b = leb128.AppendS32(b, in.ConstI32())
 	case wasm.OpI64Const:
-		b = leb128.AppendS64(b, in.I64)
+		b = leb128.AppendS64(b, in.ConstI64())
 	case wasm.OpF32Const:
-		bits := math.Float32bits(in.F32)
+		bits := uint32(in.Bits)
 		b = append(b, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
 	case wasm.OpF64Const:
-		bits := math.Float64bits(in.F64)
 		for s := 0; s < 64; s += 8 {
-			b = append(b, byte(bits>>s))
+			b = append(b, byte(in.Bits>>s))
 		}
 	default:
 		if op.IsLoad() || op.IsStore() {
-			b = leb128.AppendU32(b, in.Mem.Align)
-			b = leb128.AppendU32(b, in.Mem.Offset)
+			b = leb128.AppendU32(b, in.MemAlign())
+			b = leb128.AppendU32(b, in.MemOffset())
 		}
 	}
 	return b, nil

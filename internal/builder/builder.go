@@ -139,6 +139,7 @@ type FuncBuilder struct {
 	numParams int
 	locals    []wasm.ValType
 	body      []wasm.Instr
+	brTargets []uint32
 }
 
 // Local declares a new local of type t and returns its index.
@@ -200,7 +201,7 @@ func (fb *FuncBuilder) CallIndirect(params, results []wasm.ValType) *FuncBuilder
 // Load appends a load with natural alignment and the given static offset.
 func (fb *FuncBuilder) Load(op wasm.Opcode, offset uint32) *FuncBuilder {
 	_, size := op.LoadStoreType()
-	return fb.Emit(wasm.Instr{Op: op, Mem: wasm.MemArg{Align: log2(size), Offset: offset}})
+	return fb.Emit(wasm.MemInstr(op, log2(size), offset))
 }
 
 // Store appends a store with natural alignment and the given static offset.
@@ -241,7 +242,7 @@ func (fb *FuncBuilder) BrIf(n uint32) *FuncBuilder { return fb.Emit(wasm.BrIf(n)
 
 // BrTable appends br_table with the given targets and default.
 func (fb *FuncBuilder) BrTable(targets []uint32, deflt uint32) *FuncBuilder {
-	return fb.Emit(wasm.Instr{Op: wasm.OpBrTable, Table: targets, Idx: deflt})
+	return fb.Emit(wasm.AppendBrTable(&fb.brTargets, targets, deflt))
 }
 
 // Return appends return.
@@ -286,6 +287,7 @@ func (fb *FuncBuilder) Done() uint32 {
 	f := &fb.b.m.Funcs[fb.defined]
 	f.Locals = fb.locals
 	f.Body = fb.body
+	f.BrTargets = fb.brTargets
 	return fb.Index
 }
 

@@ -293,9 +293,9 @@ func TestDeadCodeNotInstrumented(t *testing.T) {
 		if in.Op == wasm.OpCall {
 			calls++
 		}
-		if in.Op == wasm.OpI32Const && in.I64 == 2 && i+1 < len(body) {
+		if in.Op == wasm.OpI32Const && in.ConstI32() == 2 && i+1 < len(body) {
 			// The next instructions should be the original i32.const 3.
-			if body[i+1].Op != wasm.OpI32Const || body[i+1].I64 != 3 {
+			if body[i+1].Op != wasm.OpI32Const || body[i+1].ConstI32() != 3 {
 				deadConstHooked = true
 			}
 		}
@@ -353,7 +353,8 @@ func TestControlMatches(t *testing.T) {
 }
 
 func TestScratchAllocReuse(t *testing.T) {
-	a := newScratchAlloc(3)
+	var a scratchAlloc
+	a.reset(3)
 	x := a.take(wasm.I32)
 	y := a.take(wasm.I32)
 	z := a.take(wasm.F64)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"wasabi/internal/analysis"
 	"wasabi/internal/validate"
@@ -75,22 +76,46 @@ func Instrument(m *wasm.Module, opts Options) (*wasm.Module, *Metadata, error) {
 	}
 	results := make([]result, len(m.Funcs))
 
+	// Fan out over a fixed-size worker pool instead of a goroutine per
+	// function: each worker owns one pooled instrumenter whose buffers are
+	// reused across all functions it processes. Results are written by
+	// function index and hook ordering is finalized by name below, so the
+	// output is byte-identical regardless of scheduling (including par == 1).
 	par := opts.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for i := range m.Funcs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() { <-sem; wg.Done() }()
-			body, locals, brs, err := instrumentFunc(m, opts.Hooks, hooks, i, i == startDefined, brBase[i])
-			results[i] = result{body, locals, brs, err}
-		}(i)
+	if par > len(m.Funcs) {
+		par = len(m.Funcs)
 	}
-	wg.Wait()
+	work := func(fi *funcInstrumenter, next *atomic.Int64) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(m.Funcs) {
+				return
+			}
+			body, locals, brs, err := fi.instrumentFunc(i, i == startDefined, brBase[i])
+			results[i] = result{body, locals, brs, err}
+		}
+	}
+	var next atomic.Int64
+	if par <= 1 {
+		fi := acquireInstrumenter(m, opts.Hooks, hooks)
+		work(fi, &next)
+		releaseInstrumenter(fi)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fi := acquireInstrumenter(m, opts.Hooks, hooks)
+				work(fi, &next)
+				releaseInstrumenter(fi)
+			}()
+		}
+		wg.Wait()
+	}
 
 	brTables := make([]BrTableInfo, totalBrTables)
 	for i := range results {
@@ -226,6 +251,9 @@ func copyModule(m *wasm.Module) *wasm.Module {
 			TypeIdx: m.Funcs[i].TypeIdx,
 			Locals:  append([]wasm.ValType(nil), m.Funcs[i].Locals...),
 			Body:    m.Funcs[i].Body, // replaced by the instrumenter
+			// The instrumenter preserves br_table instructions verbatim, so
+			// their spans keep pointing into the original (read-only) pool.
+			BrTargets: m.Funcs[i].BrTargets,
 		}
 	}
 	if m.Start != nil {

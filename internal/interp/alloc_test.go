@@ -1,0 +1,84 @@
+package interp_test
+
+import (
+	"testing"
+
+	"wasabi/internal/builder"
+	"wasabi/internal/interp"
+	"wasabi/internal/wasm"
+)
+
+// buildLoopModule returns a module with an exported function running a small
+// loop with nested calls, exercising locals, stack, labels, and the
+// cross-frame result path.
+func buildLoopModule(t *testing.T) *wasm.Module {
+	t.Helper()
+	b := builder.New()
+
+	leaf := b.Func("leaf", builder.V(wasm.I32), builder.V(wasm.I32))
+	leaf.Get(0).I32(3).Op(wasm.OpI32Mul)
+	leaf.Done()
+
+	f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+	acc := f.Local(wasm.I32)
+	i := f.Local(wasm.I32)
+	f.Block().Loop()
+	f.Get(i).Get(0).Op(wasm.OpI32GeU).BrIf(1)
+	f.Get(acc).Get(i).Call(leaf.Index).Op(wasm.OpI32Add).Set(acc)
+	f.Get(i).I32(1).Op(wasm.OpI32Add).Set(i)
+	f.Br(0)
+	f.End().End()
+	f.Get(acc)
+	f.Done()
+	return b.Build()
+}
+
+// TestInvokeAllocs guards the interpreter's frame-arena contract: once the
+// per-depth frames have grown to steady state, repeated Invoke calls — each
+// running a loop with nested wasm->wasm calls — allocate only the single
+// caller-owned result copy the public API promises (≤ 1 alloc per call).
+func TestInvokeAllocs(t *testing.T) {
+	m := buildLoopModule(t)
+	inst, err := interp.Instantiate(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the frame arena.
+	res, err := inst.Invoke("run", interp.I32(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := interp.AsI32(res[0]); got != 3*(49*50/2) {
+		t.Fatalf("run(50) = %d", got)
+	}
+	args := []interp.Value{interp.I32(50)}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := inst.Invoke("run", args...); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Errorf("Invoke allocates %.2f/call, want <= 1 (the result copy)", avg)
+	}
+}
+
+// TestFrameReuseCorrectness checks that frame reuse cannot leak state
+// between calls: locals beyond the arguments must be freshly zeroed, and
+// results of earlier calls must not bleed into later ones.
+func TestFrameReuseCorrectness(t *testing.T) {
+	m := buildLoopModule(t)
+	inst, err := interp.Instantiate(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := func(n int32) int32 { return 3 * (n - 1) * n / 2 }
+	for _, n := range []int32{50, 1, 13, 0, 50} {
+		res, err := inst.Invoke("run", interp.I32(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := interp.AsI32(res[0]); got != want(n) {
+			t.Errorf("run(%d) = %d, want %d", n, got, want(n))
+		}
+	}
+}

@@ -16,13 +16,26 @@ type label struct {
 	arity  int // values carried by a branch targeting this label
 }
 
-// exec runs one function body to completion and returns its results.
-// Traps propagate as panics and are recovered in call.
-func (inst *Instance) exec(cf *compiledFunc, args []Value) []Value {
-	locals := make([]Value, cf.numLocals)
-	copy(locals, args)
-	stack := make([]Value, 0, 32)
-	labels := make([]label, 1, 8)
+// exec runs one function body to completion and returns its results. Traps
+// propagate as panics and are recovered in call. The frame fr provides the
+// reusable locals/stack/labels/result buffers for this call depth; the
+// returned slice aliases fr.result and is only valid until the next call at
+// the same depth (Instance.call copies it before returning to embedders).
+func (inst *Instance) exec(cf *compiledFunc, args []Value, fr *frame) []Value {
+	if cap(fr.locals) < cf.numLocals {
+		fr.locals = make([]Value, cf.numLocals+16)
+	}
+	locals := fr.locals[:cf.numLocals]
+	n := copy(locals, args)
+	clear(locals[n:])
+	if fr.stack == nil {
+		fr.stack = make([]Value, 0, 32)
+	}
+	stack := fr.stack[:0]
+	if cap(fr.labels) < 1 {
+		fr.labels = make([]label, 0, 8)
+	}
+	labels := fr.labels[:1]
 	labels[0] = label{op: wasm.OpCall, pc: -1, endPC: len(cf.body) - 1, arity: len(cf.sig.Results)}
 
 	body := cf.body
@@ -36,6 +49,12 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value) []Value {
 	}
 
 	var result []Value
+	// setResult copies the function's results into the frame's reusable
+	// result buffer.
+	setResult := func(res []Value) {
+		result = append(fr.result[:0], res...)
+		fr.result = result
+	}
 	// branch performs a branch to the n-th enclosing label. It returns true
 	// when the branch leaves the function (the function-level label).
 	branch := func(n int) bool {
@@ -51,12 +70,19 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value) []Value {
 		stack = stack[:target.height+carried]
 		labels = labels[:len(labels)-1-n]
 		if len(labels) == 0 {
-			result = append([]Value(nil), stack...)
+			setResult(stack)
 			return true
 		}
 		pc = target.endPC + 1
 		return false
 	}
+
+	// Grown stack/label buffers are written back to the frame on exit so the
+	// next call at this depth starts at steady-state capacity.
+	defer func() {
+		fr.stack = stack[:0]
+		fr.labels = labels[:0]
+	}()
 
 	for {
 		in := &body[pc]
@@ -88,8 +114,8 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value) []Value {
 			lbl := labels[len(labels)-1]
 			labels = labels[:len(labels)-1]
 			if len(labels) == 0 {
-				res := stack[len(stack)-lbl.arity:]
-				return append([]Value(nil), res...)
+				setResult(stack[len(stack)-lbl.arity:])
+				return result
 			}
 		case wasm.OpBr:
 			if branch(int(in.Idx)) {
@@ -105,8 +131,8 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value) []Value {
 		case wasm.OpBrTable:
 			idx := uint32(pop())
 			n := in.Idx // default
-			if int(idx) < len(in.Table) {
-				n = in.Table[idx]
+			if off, cnt := in.BrTableSpan(); int(idx) < cnt {
+				n = cf.brTargets[off+int(idx)]
 			}
 			if branch(int(n)) {
 				return result
@@ -170,11 +196,11 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value) []Value {
 			switch {
 			case in.Op.IsLoad():
 				addr := uint32(pop())
-				push(inst.doLoad(in.Op, addr, in.Mem.Offset))
+				push(inst.doLoad(in.Op, addr, in.MemOffset()))
 			case in.Op.IsStore():
 				v := pop()
 				addr := uint32(pop())
-				inst.doStore(in.Op, addr, in.Mem.Offset, v)
+				inst.doStore(in.Op, addr, in.MemOffset(), v)
 			default:
 				stack = execNumeric(in.Op, stack)
 			}

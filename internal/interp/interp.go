@@ -71,11 +71,25 @@ type compiledFunc struct {
 	numParams int
 	numLocals int // params + declared locals
 	body      []wasm.Instr
-	matchEnd  []int32 // per instruction: matching end for block/loop/if
-	matchElse []int32 // per instruction: else pc for if, or -1
+	brTargets []uint32 // br_table target pool (Func.BrTargets)
+	matchEnd  []int32  // per instruction: matching end for block/loop/if
+	matchElse []int32  // per instruction: else pc for if, or -1
 }
 
-// Instance is an instantiated module ready for invocation.
+// frame is one reusable interpreter activation record: the locals, value
+// stack, label stack, and result buffer of a call at one nesting depth. The
+// instance keeps an arena of frames indexed by call depth, so repeated calls
+// allocate nothing once the arena's buffers have grown to steady state.
+type frame struct {
+	locals []Value
+	stack  []Value
+	labels []label
+	result []Value
+}
+
+// Instance is an instantiated module ready for invocation. An instance is
+// not safe for concurrent use: the frame arena (like globals and memory) is
+// per-instance mutable state.
 type Instance struct {
 	Module  *wasm.Module
 	Memory  *Memory
@@ -84,9 +98,21 @@ type Instance struct {
 
 	funcs []funcInst
 
+	// frames is the reusable frame arena, indexed by callDepth-1. It grows
+	// lazily with actual call depth, not to maxDepth.
+	frames []*frame
+
 	// callDepth guards against runaway recursion.
 	callDepth int
 	maxDepth  int
+}
+
+// frameAt returns the reusable frame for depth d, growing the arena lazily.
+func (inst *Instance) frameAt(d int) *frame {
+	for len(inst.frames) <= d {
+		inst.frames = append(inst.frames, &frame{})
+	}
+	return inst.frames[d]
 }
 
 // MaxCallDepthDefault bounds wasm call recursion.
@@ -249,6 +275,7 @@ func compile(sig wasm.FuncType, f *wasm.Func) (*compiledFunc, error) {
 		numParams: len(sig.Params),
 		numLocals: len(sig.Params) + len(f.Locals),
 		body:      f.Body,
+		brTargets: f.BrTargets,
 		matchEnd:  make([]int32, len(f.Body)),
 		matchElse: make([]int32, len(f.Body)),
 	}
@@ -260,6 +287,13 @@ func compile(sig wasm.FuncType, f *wasm.Func) (*compiledFunc, error) {
 	sawFuncEnd := false
 	for pc, in := range f.Body {
 		switch in.Op {
+		case wasm.OpBrTable:
+			// Check the target span against the pool here so a malformed
+			// module fails instantiation instead of panicking mid-execution.
+			if off, cnt := in.BrTableSpan(); off+cnt > len(f.BrTargets) {
+				return nil, fmt.Errorf("br_table at pc %d: target span [%d:%d] exceeds pool (%d)",
+					pc, off, off+cnt, len(f.BrTargets))
+			}
 		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
 			stack = append(stack, pc)
 		case wasm.OpElse:
@@ -332,7 +366,9 @@ func (inst *Instance) ResolveTable(i uint32) int64 {
 	return inst.Table.Elems[i]
 }
 
-// call invokes a function by index, catching traps.
+// call invokes a function by index, catching traps. The returned slice is a
+// copy owned by the caller: the internal result buffers live in the frame
+// arena and are reused by later calls.
 func (inst *Instance) call(idx uint32, args []Value) (results []Value, err error) {
 	savedDepth := inst.callDepth
 	defer func() {
@@ -347,7 +383,9 @@ func (inst *Instance) call(idx uint32, args []Value) (results []Value, err error
 			panic(r)
 		}
 	}()
-	results = inst.invoke(idx, args)
+	if res := inst.invoke(idx, args); len(res) > 0 {
+		results = append([]Value(nil), res...)
+	}
 	return results, nil
 }
 
@@ -371,7 +409,8 @@ func (inst *Instance) invoke(idx uint32, args []Value) []Value {
 	if inst.callDepth > inst.maxDepth {
 		trap(TrapStackExhausted)
 	}
-	res := inst.exec(fi.code, args)
+	fr := inst.frameAt(inst.callDepth - 1)
+	res := inst.exec(fi.code, args, fr)
 	inst.callDepth--
 	return res
 }

@@ -49,6 +49,31 @@ func AppendS32(dst []byte, v int32) []byte {
 	return AppendS64(dst, int64(v))
 }
 
+// SizeU32 returns the encoded length of AppendU32(nil, v) without encoding.
+func SizeU32(v uint32) int {
+	n := 1
+	for v >>= 7; v != 0; v >>= 7 {
+		n++
+	}
+	return n
+}
+
+// SizeS32 returns the encoded length of AppendS32(nil, v) without encoding.
+func SizeS32(v int32) int { return SizeS64(int64(v)) }
+
+// SizeS64 returns the encoded length of AppendS64(nil, v) without encoding.
+func SizeS64(v int64) int {
+	n := 1
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		if (v == 0 && b&0x40 == 0) || (v == -1 && b&0x40 != 0) {
+			return n
+		}
+		n++
+	}
+}
+
 // AppendS64 appends the signed LEB128 encoding of v to dst.
 func AppendS64(dst []byte, v int64) []byte {
 	for {

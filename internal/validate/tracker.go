@@ -40,20 +40,48 @@ func (f *ControlFrame) LabelTypes() []wasm.ValType {
 
 // Tracker type-checks one function body instruction by instruction.
 type Tracker struct {
-	mod    *wasm.Module
-	locals []wasm.ValType // params followed by declared locals
-	vals   []wasm.ValType
-	ctrl   []ControlFrame
+	mod       *wasm.Module
+	locals    []wasm.ValType // params followed by declared locals
+	brTargets []uint32       // the function's br_table target pool
+	vals      []wasm.ValType
+	ctrl      []ControlFrame
 }
 
 // NewTracker prepares type checking of a function with the given signature
 // and declared locals. The implicit function frame is pushed immediately.
-func NewTracker(mod *wasm.Module, sig wasm.FuncType, locals []wasm.ValType) *Tracker {
-	t := &Tracker{mod: mod}
-	t.locals = append(t.locals, sig.Params...)
-	t.locals = append(t.locals, locals...)
-	t.pushCtrl(wasm.OpCall, nil, sig.Results)
+// The brTargets pool is the function's br_table target pool (Func.BrTargets),
+// needed to type-check br_table instructions.
+func NewTracker(mod *wasm.Module, sig wasm.FuncType, locals []wasm.ValType, brTargets []uint32) *Tracker {
+	t := &Tracker{}
+	t.Reset(mod, sig, locals, brTargets)
 	return t
+}
+
+// Reset reinitializes the tracker for another function body, reusing the
+// locals, value-stack, and control-stack buffers. This keeps per-function
+// type tracking allocation-free when a tracker is reused across the many
+// functions of one instrumentation run.
+func (t *Tracker) Reset(mod *wasm.Module, sig wasm.FuncType, locals []wasm.ValType, brTargets []uint32) {
+	t.mod = mod
+	t.locals = append(t.locals[:0], sig.Params...)
+	t.locals = append(t.locals, locals...)
+	t.brTargets = brTargets
+	t.vals = t.vals[:0]
+	t.ctrl = t.ctrl[:0]
+	t.pushCtrl(wasm.OpCall, nil, sig.Results)
+}
+
+// Clear drops every module-derived reference (module, locals, br_table
+// pool, control-frame type slices) while keeping buffer capacity, so a
+// pooled tracker does not keep a finished module reachable. Reset must be
+// called before the tracker is used again.
+func (t *Tracker) Clear() {
+	t.mod = nil
+	t.brTargets = nil
+	t.locals = t.locals[:0]
+	t.vals = t.vals[:0]
+	clear(t.ctrl[:cap(t.ctrl)])
+	t.ctrl = t.ctrl[:0]
 }
 
 // Done reports whether the body is complete (the implicit function frame has
@@ -252,8 +280,12 @@ func (t *Tracker) Step(in wasm.Instr) error {
 		if err != nil {
 			return err
 		}
+		off, cnt := in.BrTableSpan()
+		if off+cnt > len(t.brTargets) {
+			return fmt.Errorf("validate: br_table target span exceeds pool (%d+%d > %d)", off, cnt, len(t.brTargets))
+		}
 		arity := len(dflt.LabelTypes())
-		for _, target := range in.Table {
+		for _, target := range in.BrTargets(t.brTargets) {
 			f, err := t.Frame(int(target))
 			if err != nil {
 				return err
@@ -386,7 +418,7 @@ func (t *Tracker) Step(in wasm.Instr) error {
 				return err
 			}
 			vt, size := op.LoadStoreType()
-			if err := checkAlign(in.Mem.Align, size, op); err != nil {
+			if err := checkAlign(in.MemAlign(), size, op); err != nil {
 				return err
 			}
 			if _, err := t.popExpect(wasm.I32); err != nil {
@@ -398,7 +430,7 @@ func (t *Tracker) Step(in wasm.Instr) error {
 				return err
 			}
 			vt, size := op.LoadStoreType()
-			if err := checkAlign(in.Mem.Align, size, op); err != nil {
+			if err := checkAlign(in.MemAlign(), size, op); err != nil {
 				return err
 			}
 			if _, err := t.popExpect(vt); err != nil {

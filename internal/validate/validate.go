@@ -235,7 +235,7 @@ func checkFunc(m *wasm.Module, defined int) error {
 		return fmt.Errorf("validate: type index %d out of range", f.TypeIdx)
 	}
 	sig := m.Types[f.TypeIdx]
-	tr := NewTracker(m, sig, f.Locals)
+	tr := NewTracker(m, sig, f.Locals, f.BrTargets)
 	for i := range f.Body {
 		if err := tr.Step(f.Body[i]); err != nil {
 			return fmt.Errorf("instr %d (%s): %w", i, f.Body[i].Op, err)

@@ -7,6 +7,14 @@ import (
 	"wasabi/internal/wasm"
 )
 
+// testBrPool is the shared br_table target pool of test bodies: entries
+// [0:2] = {0, 1} and [2:3] = {1}.
+var (
+	testBrPool  []uint32
+	brTable01   = wasm.AppendBrTable(&testBrPool, []uint32{0, 1}, 0)
+	brTable1of2 = wasm.AppendBrTable(&testBrPool, []uint32{1}, 0)
+)
+
 // mod wraps a single function body (type [i32] -> [i32], one extra f64
 // local) into a minimal module with memory, table, and a global.
 func mod(body ...wasm.Instr) *wasm.Module {
@@ -16,7 +24,7 @@ func mod(body ...wasm.Instr) *wasm.Module {
 			{}, // [] -> []
 		},
 		Funcs: []wasm.Func{
-			{TypeIdx: 0, Locals: []wasm.ValType{wasm.F64}, Body: body},
+			{TypeIdx: 0, Locals: []wasm.ValType{wasm.F64}, Body: body, BrTargets: testBrPool},
 			{TypeIdx: 1, Body: []wasm.Instr{wasm.End()}},
 		},
 		Tables:   []wasm.Limits{{Min: 1}},
@@ -90,14 +98,14 @@ func TestValidBodies(t *testing.T) {
 			wasm.LocalGet(0), wasm.End(),
 		},
 		"memory": {
-			wasm.I32Const(0), {Op: wasm.OpI32Load, Mem: wasm.MemArg{Align: 2}},
+			wasm.I32Const(0), wasm.MemInstr(wasm.OpI32Load, 2, 0),
 			wasm.End(),
 		},
 		"br_table": {
 			wasm.BlockInstr(wasm.BlockEmpty),
 			wasm.BlockInstr(wasm.BlockEmpty),
 			wasm.LocalGet(0),
-			{Op: wasm.OpBrTable, Table: []uint32{0, 1}, Idx: 0},
+			brTable01,
 			wasm.End(),
 			wasm.End(),
 			wasm.LocalGet(0),
@@ -171,7 +179,7 @@ func TestInvalidBodies(t *testing.T) {
 				wasm.BlockInstr(wasm.BlockType(wasm.I32)),
 				wasm.BlockInstr(wasm.BlockEmpty),
 				wasm.LocalGet(0),
-				{Op: wasm.OpBrTable, Table: []uint32{1}, Idx: 0},
+				brTable1of2,
 				wasm.End(),
 				wasm.LocalGet(0),
 				wasm.End(),
@@ -180,7 +188,7 @@ func TestInvalidBodies(t *testing.T) {
 			"arity",
 		},
 		"over-aligned load": {
-			[]wasm.Instr{wasm.I32Const(0), {Op: wasm.OpI32Load, Mem: wasm.MemArg{Align: 5}},
+			[]wasm.Instr{wasm.I32Const(0), wasm.MemInstr(wasm.OpI32Load, 5, 0),
 				wasm.End()},
 			"alignment",
 		},
@@ -259,7 +267,7 @@ func TestModuleLevelChecks(t *testing.T) {
 // depends on.
 func TestTrackerTopAndUnreachable(t *testing.T) {
 	m := mod(wasm.LocalGet(0), wasm.End())
-	tr := NewTracker(m, m.Types[0], m.Funcs[0].Locals)
+	tr := NewTracker(m, m.Types[0], m.Funcs[0].Locals, m.Funcs[0].BrTargets)
 	step := func(in wasm.Instr) {
 		t.Helper()
 		if err := tr.Step(in); err != nil {

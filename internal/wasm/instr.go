@@ -18,44 +18,43 @@ type MemArg struct {
 // control flow is kept linear, exactly as in the binary format: block, loop,
 // if, else, and end appear as individual instructions.
 //
+// The struct is deliberately 16 bytes and pointer-free: instrumentation
+// expands instruction streams by an order of magnitude, so the size of this
+// struct directly scales the instrumenter's memory traffic, and keeping it
+// free of pointers lets the garbage collector skip instruction buffers
+// entirely (no scanning, no write barriers on copies).
+//
 //	Op              meaningful fields
 //	block/loop/if   Block
 //	br, br_if       Idx (relative label)
-//	br_table        Table (targets), Idx (default target)
+//	br_table        Idx (default target), Bits (span into the Func.BrTargets pool)
 //	call            Idx (function index)
 //	call_indirect   Idx (type index)
 //	local.*         Idx (local index)
 //	global.*        Idx (global index)
-//	loads/stores    Mem
-//	i32.const       I64 (sign-extended 32-bit payload)
-//	i64.const       I64
-//	f32.const       F32
-//	f64.const       F64
+//	loads/stores    Bits (align<<32 | offset; see MemAlign/MemOffset)
+//	*.const         Bits (raw stack representation; see ConstValue)
 type Instr struct {
 	Op    Opcode
 	Block BlockType
 	Idx   uint32
-	Table []uint32
-	Mem   MemArg
-	I64   int64
-	F32   float32
-	F64   float64
+	Bits  uint64
 }
 
 // Convenience constructors used heavily by the builder, the instrumenter,
 // and tests. They keep call sites short and make the immediates explicit.
 
 // I32Const returns an i32.const instruction.
-func I32Const(v int32) Instr { return Instr{Op: OpI32Const, I64: int64(v)} }
+func I32Const(v int32) Instr { return Instr{Op: OpI32Const, Bits: uint64(uint32(v))} }
 
 // I64ConstInstr returns an i64.const instruction.
-func I64ConstInstr(v int64) Instr { return Instr{Op: OpI64Const, I64: v} }
+func I64ConstInstr(v int64) Instr { return Instr{Op: OpI64Const, Bits: uint64(v)} }
 
 // F32ConstInstr returns an f32.const instruction.
-func F32ConstInstr(v float32) Instr { return Instr{Op: OpF32Const, F32: v} }
+func F32ConstInstr(v float32) Instr { return Instr{Op: OpF32Const, Bits: uint64(math.Float32bits(v))} }
 
 // F64ConstInstr returns an f64.const instruction.
-func F64ConstInstr(v float64) Instr { return Instr{Op: OpF64Const, F64: v} }
+func F64ConstInstr(v float64) Instr { return Instr{Op: OpF64Const, Bits: math.Float64bits(v)} }
 
 // LocalGet returns a local.get instruction.
 func LocalGet(idx uint32) Instr { return Instr{Op: OpLocalGet, Idx: idx} }
@@ -96,24 +95,72 @@ func BrIf(label uint32) Instr { return Instr{Op: OpBrIf, Idx: label} }
 // End returns an end instruction.
 func End() Instr { return Instr{Op: OpEnd} }
 
-// ConstValue returns the constant payload of a const instruction as raw
-// 64-bit value bits (i32 zero-extended from its 32-bit pattern, floats as
-// their IEEE 754 bit patterns).
-func (in Instr) ConstValue() uint64 {
-	switch in.Op {
-	case OpI32Const:
-		return uint64(uint32(in.I64))
-	case OpI64Const:
-		return uint64(in.I64)
-	case OpF32Const:
-		return uint64(math.Float32bits(in.F32))
-	case OpF64Const:
-		return math.Float64bits(in.F64)
-	}
-	panic("wasm: ConstValue on non-const instruction " + in.Op.String())
+// MemInstr returns a load or store instruction with the given memory
+// immediate.
+func MemInstr(op Opcode, align, offset uint32) Instr {
+	return Instr{Op: op, Bits: uint64(align)<<32 | uint64(offset)}
 }
 
-func (in Instr) String() string {
+// MemAlign returns the alignment hint of a load or store.
+func (in Instr) MemAlign() uint32 { return uint32(in.Bits >> 32) }
+
+// MemOffset returns the static offset of a load or store.
+func (in Instr) MemOffset() uint32 { return uint32(in.Bits) }
+
+// AppendBrTable returns a br_table instruction whose (non-default) targets
+// are appended to the given per-function target pool (Func.BrTargets). The
+// instruction stores only the pool span, which keeps Instr pointer-free.
+func AppendBrTable(pool *[]uint32, targets []uint32, deflt uint32) Instr {
+	off := len(*pool)
+	*pool = append(*pool, targets...)
+	return BrTableInstr(deflt, off, len(targets))
+}
+
+// BrTableInstr returns a br_table instruction referencing the target-pool
+// span [off, off+n) with the given default label. This is the single place
+// the span packing is defined; decoders and tests must use it rather than
+// assembling Bits by hand.
+func BrTableInstr(deflt uint32, off, n int) Instr {
+	return Instr{Op: OpBrTable, Idx: deflt, Bits: uint64(uint32(off))<<32 | uint64(uint32(n))}
+}
+
+// BrTableSpan returns the offset and length of a br_table instruction's
+// target list within its function's BrTargets pool.
+func (in Instr) BrTableSpan() (off, n int) {
+	return int(uint32(in.Bits >> 32)), int(uint32(in.Bits))
+}
+
+// BrTargets resolves a br_table instruction's (non-default) targets in the
+// given per-function pool.
+func (in Instr) BrTargets(pool []uint32) []uint32 {
+	off, n := in.BrTableSpan()
+	return pool[off : off+n]
+}
+
+// ConstValue returns the constant payload of a const instruction as raw
+// 64-bit value bits (i32 zero-extended from its 32-bit pattern, floats as
+// their IEEE 754 bit patterns). Constructors and the decoder store the
+// payload in exactly this canonical form, so this is a plain field read.
+func (in Instr) ConstValue() uint64 { return in.Bits }
+
+// ConstI32 returns the payload of an i32.const.
+func (in Instr) ConstI32() int32 { return int32(uint32(in.Bits)) }
+
+// ConstI64 returns the payload of an i64.const.
+func (in Instr) ConstI64() int64 { return int64(in.Bits) }
+
+// ConstF32 returns the payload of an f32.const.
+func (in Instr) ConstF32() float32 { return math.Float32frombits(uint32(in.Bits)) }
+
+// ConstF64 returns the payload of an f64.const.
+func (in Instr) ConstF64() float64 { return math.Float64frombits(in.Bits) }
+
+func (in Instr) String() string { return in.StringWithPool(nil) }
+
+// StringWithPool renders the instruction in wat-like form. The pool is the
+// owning function's BrTargets pool, needed to print br_table targets; with a
+// nil pool br_table targets are elided.
+func (in Instr) StringWithPool(pool []uint32) string {
 	var sb strings.Builder
 	sb.WriteString(in.Op.String())
 	switch in.Op {
@@ -124,21 +171,25 @@ func (in Instr) String() string {
 	case OpBr, OpBrIf, OpCall, OpCallIndirect, OpLocalGet, OpLocalSet, OpLocalTee, OpGlobalGet, OpGlobalSet:
 		fmt.Fprintf(&sb, " %d", in.Idx)
 	case OpBrTable:
-		for _, t := range in.Table {
-			fmt.Fprintf(&sb, " %d", t)
+		if pool != nil {
+			for _, t := range in.BrTargets(pool) {
+				fmt.Fprintf(&sb, " %d", t)
+			}
+		} else if _, n := in.BrTableSpan(); n > 0 {
+			fmt.Fprintf(&sb, " [%d targets]", n)
 		}
 		fmt.Fprintf(&sb, " %d", in.Idx)
 	case OpI32Const:
-		fmt.Fprintf(&sb, " %d", int32(in.I64))
+		fmt.Fprintf(&sb, " %d", in.ConstI32())
 	case OpI64Const:
-		fmt.Fprintf(&sb, " %d", in.I64)
+		fmt.Fprintf(&sb, " %d", in.ConstI64())
 	case OpF32Const:
-		fmt.Fprintf(&sb, " %v", in.F32)
+		fmt.Fprintf(&sb, " %v", in.ConstF32())
 	case OpF64Const:
-		fmt.Fprintf(&sb, " %v", in.F64)
+		fmt.Fprintf(&sb, " %v", in.ConstF64())
 	default:
 		if in.Op.IsLoad() || in.Op.IsStore() {
-			fmt.Fprintf(&sb, " offset=%d align=%d", in.Mem.Offset, in.Mem.Align)
+			fmt.Fprintf(&sb, " offset=%d align=%d", in.MemOffset(), in.MemAlign())
 		}
 	}
 	return sb.String()

@@ -43,6 +43,14 @@ type Func struct {
 	TypeIdx uint32
 	Locals  []ValType // declared locals, excluding parameters
 	Body    []Instr   // terminated by an explicit end instruction
+
+	// BrTargets is the pool of br_table (non-default) target labels for this
+	// function's body: each br_table instruction stores a span into it (see
+	// Instr.BrTableSpan). Keeping the lists out of Instr makes instructions
+	// pointer-free, which the instrumenter's throughput depends on. The pool
+	// is append-only and may be shared between functions with identical
+	// bodies (e.g. a function and its instrumented copy).
+	BrTargets []uint32
 }
 
 // Global is a global variable with a constant initializer expression.

@@ -1,10 +1,30 @@
 package wasm
 
+// numericSigs memoizes numericSigOf for all 256 opcodes: the signatures are
+// static, and NumericSig sits on hot paths (the validator steps it once per
+// instruction, the instrumenter once per instrumented numeric instruction),
+// where allocating the type slices on every call dominates the profile.
+var numericSigs = func() (tbl [256]struct {
+	in, out []ValType
+	ok      bool
+}) {
+	for op := 0; op < 256; op++ {
+		tbl[op].in, tbl[op].out, tbl[op].ok = numericSigOf(Opcode(op))
+	}
+	return tbl
+}()
+
 // NumericSig returns the operand and result types of a fixed-signature
 // numeric opcode (comparisons, arithmetic, conversions, constants). It
 // reports ok=false for polymorphic, control, variable, and memory opcodes,
-// whose types depend on context.
+// whose types depend on context. The returned slices are shared and must not
+// be mutated.
 func NumericSig(op Opcode) (in, out []ValType, ok bool) {
+	e := &numericSigs[op]
+	return e.in, e.out, e.ok
+}
+
+func numericSigOf(op Opcode) (in, out []ValType, ok bool) {
 	switch {
 	case op.IsConst():
 		return nil, []ValType{constType(op)}, true

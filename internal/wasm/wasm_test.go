@@ -197,14 +197,23 @@ func TestBlockType(t *testing.T) {
 func TestInstrString(t *testing.T) {
 	cases := map[string]Instr{
 		"i32.const 42":              I32Const(42),
-		"br_table 1 2 0":            {Op: OpBrTable, Table: []uint32{1, 2}, Idx: 0},
+		"local.tee 5":               LocalTee(5),
 		"local.get 3":               LocalGet(3),
-		"i32.load offset=8 align=2": {Op: OpI32Load, Mem: MemArg{Align: 2, Offset: 8}},
+		"i32.load offset=8 align=2": MemInstr(OpI32Load, 2, 8),
 		"call 7":                    Call(7),
 	}
 	for want, in := range cases {
 		if got := in.String(); got != want {
 			t.Errorf("String = %q, want %q", got, want)
 		}
+	}
+
+	var pool []uint32
+	bt := AppendBrTable(&pool, []uint32{1, 2}, 0)
+	if got := bt.StringWithPool(pool); got != "br_table 1 2 0" {
+		t.Errorf("br_table StringWithPool = %q", got)
+	}
+	if got := bt.String(); got != "br_table [2 targets] 0" {
+		t.Errorf("br_table String = %q", got)
 	}
 }

@@ -8,9 +8,10 @@ import (
 	"wasabi/internal/wasm"
 )
 
-// assembleBody turns the raw token stream of a function body into locals and
-// instructions, resolving names against the module-level symbol tables.
-func (p *parser) assembleBody(m *wasm.Module, pf pendingFunc) ([]wasm.Instr, []wasm.ValType, error) {
+// assembleBody turns the raw token stream of a function body into locals,
+// instructions, and the function's br_table target pool, resolving names
+// against the module-level symbol tables.
+func (p *parser) assembleBody(m *wasm.Module, pf pendingFunc) ([]wasm.Instr, []wasm.ValType, []uint32, error) {
 	b := &bodyAsm{parser: p, m: m, toks: pf.body, locals: pf.params}
 	numParams := len(p.typeOf[uint32(m.NumImportedFuncs()+pf.defined)].Params)
 
@@ -31,7 +32,7 @@ func (p *parser) assembleBody(m *wasm.Module, pf pendingFunc) ([]wasm.Instr, []w
 			}
 			vt, ok := valType(t.text)
 			if !ok {
-				return nil, nil, fmt.Errorf("bad local type %q", t.text)
+				return nil, nil, nil, fmt.Errorf("bad local type %q", t.text)
 			}
 			if name != "" {
 				b.locals[name] = uint32(numParams + len(localTypes))
@@ -46,12 +47,12 @@ func (p *parser) assembleBody(m *wasm.Module, pf pendingFunc) ([]wasm.Instr, []w
 	for b.pos < len(b.toks) {
 		in, err := b.instr()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		body = append(body, in)
 	}
 	body = append(body, wasm.End())
-	return body, localTypes, nil
+	return body, localTypes, b.brTargets, nil
 }
 
 type bodyAsm struct {
@@ -60,6 +61,10 @@ type bodyAsm struct {
 	toks   []token
 	pos    int
 	locals map[string]uint32
+
+	// brTargets collects br_table target labels; it becomes the assembled
+	// function's BrTargets pool.
+	brTargets []uint32
 }
 
 func (b *bodyAsm) tok() (token, error) {
@@ -209,8 +214,7 @@ func (b *bodyAsm) instr() (wasm.Instr, error) {
 		if len(targets) == 0 {
 			return in, fmt.Errorf("br_table needs at least a default target")
 		}
-		in.Table = targets[:len(targets)-1]
-		in.Idx = targets[len(targets)-1]
+		in = wasm.AppendBrTable(&b.brTargets, targets[:len(targets)-1], targets[len(targets)-1])
 	case wasm.OpCall:
 		idx, err := b.index(b.funcNames)
 		if err != nil {
@@ -240,32 +244,32 @@ func (b *bodyAsm) instr() (wasm.Instr, error) {
 		if err != nil {
 			return in, err
 		}
-		in.I64 = v
+		in.Bits = uint64(uint32(v))
 	case wasm.OpI64Const:
 		v, err := b.intImm(64)
 		if err != nil {
 			return in, err
 		}
-		in.I64 = v
+		in.Bits = uint64(v)
 	case wasm.OpF32Const:
 		v, err := b.floatImm()
 		if err != nil {
 			return in, err
 		}
-		in.F32 = float32(v)
+		in = wasm.F32ConstInstr(float32(v))
 	case wasm.OpF64Const:
 		v, err := b.floatImm()
 		if err != nil {
 			return in, err
 		}
-		in.F64 = v
+		in = wasm.F64ConstInstr(v)
 	default:
 		if op.IsLoad() || op.IsStore() {
 			ma, err := b.memArg(op)
 			if err != nil {
 				return in, err
 			}
-			in.Mem = ma
+			in = wasm.MemInstr(op, ma.Align, ma.Offset)
 		}
 	}
 	return in, nil

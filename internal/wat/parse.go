@@ -264,12 +264,13 @@ func (p *parser) module() (*wasm.Module, error) {
 		}
 	}
 	for _, pending := range pendings {
-		body, locals, err := p.assembleBody(m, pending)
+		body, locals, brTargets, err := p.assembleBody(m, pending)
 		if err != nil {
 			return nil, err
 		}
 		m.Funcs[pending.defined].Locals = locals
 		m.Funcs[pending.defined].Body = body
+		m.Funcs[pending.defined].BrTargets = brTargets
 	}
 	return m, nil
 }

@@ -100,15 +100,15 @@ func (p *printer) printFunc(m *wasm.Module, defined int) {
 		switch in.Op {
 		case wasm.OpEnd, wasm.OpElse:
 			p.indent--
-			p.printf("%s", in)
+			p.printf("%s", in.StringWithPool(f.BrTargets))
 			if in.Op == wasm.OpElse {
 				p.indent++
 			}
 		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
-			p.printf("%s", in)
+			p.printf("%s", in.StringWithPool(f.BrTargets))
 			p.indent++
 		default:
-			p.printf("%s", in)
+			p.printf("%s", in.StringWithPool(f.BrTargets))
 		}
 	}
 	// The function-level end already popped the indent added after "(func".
