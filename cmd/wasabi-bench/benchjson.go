@@ -34,6 +34,31 @@ type BenchReport struct {
 	Current      map[string]BenchResult `json:"current"`
 }
 
+// Fig9Hook is one per-hook row of BENCH_fig9.json: absolute time and the
+// ratio to the uninstrumented baseline (the quantity Figure 9 plots).
+type Fig9Hook struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Ratio   float64 `json:"ratio"`
+}
+
+// Fig9Reference freezes a previous PR's headline interpreter numbers so a
+// regression is detectable without re-running old trees.
+type Fig9Reference struct {
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	BinaryRatio     float64 `json:"binary_ratio"`
+	AllRatio        float64 `json:"all_ratio"`
+}
+
+// Fig9Report is the schema of BENCH_fig9.json: interpreter progress tracked
+// like instrumentation progress (BENCH_instrument.json), one file per
+// concern. CI's bench smoke fails when BaselineNsPerOp regresses >2x against
+// the recorded file.
+type Fig9Report struct {
+	BaselineNsPerOp float64             `json:"baseline_ns_per_op"`
+	Hooks           map[string]Fig9Hook `json:"hooks"`
+	PR1Reference    Fig9Reference       `json:"pr1_reference"`
+}
+
 // seedBaseline records the pre-optimization numbers of the headline Table 5
 // benchmark (1 MiB synthetic app, full instrumentation): 2.4 s/op at
 // 0.35 MB/s with 676 MB and 1.77 M allocations per op.
@@ -44,6 +69,14 @@ var seedBaseline = map[string]BenchResult{
 		BytesPerOp:  676608872,
 		AllocsPerOp: 1769776,
 	},
+}
+
+// pr1Reference records the interpreter numbers after PR 1 (frame arena, no
+// threaded code yet): the baseline Fig 9 ratios the tentpole must beat.
+var pr1Reference = Fig9Reference{
+	BaselineNsPerOp: 921420,
+	BinaryRatio:     5.98,
+	AllRatio:        11.25,
 }
 
 func toResult(r testing.BenchmarkResult, bytesProcessed int64) BenchResult {
@@ -58,11 +91,44 @@ func toResult(r testing.BenchmarkResult, bytesProcessed int64) BenchResult {
 	return br
 }
 
-// writeBenchJSON runs the Table 5 / Figure 9 benchmarks via
-// testing.Benchmark and writes BENCH_instrument.json.
-func writeBenchJSON(path string) error {
-	cur := map[string]BenchResult{}
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
+	return nil
+}
 
+// fig9HookSets are the per-hook instrumentations measured for
+// BENCH_fig9.json, mirroring BenchmarkFig9_PerHook.
+var fig9HookSets = []struct {
+	name string
+	set  analysis.HookSet
+}{
+	{"nop", analysis.Set(analysis.KindNop)},
+	{"load", analysis.Set(analysis.KindLoad)},
+	{"store", analysis.Set(analysis.KindStore)},
+	{"const", analysis.Set(analysis.KindConst)},
+	{"binary", analysis.Set(analysis.KindBinary)},
+	{"local", analysis.Set(analysis.KindLocal)},
+	{"begin", analysis.Set(analysis.KindBegin)},
+	{"end", analysis.Set(analysis.KindEnd)},
+	{"all", analysis.AllHooks},
+}
+
+// instrumentHookNames selects which fig9HookSets rows are mirrored into
+// BENCH_instrument.json (its historical schema).
+var instrumentHookNames = map[string]bool{"load": true, "binary": true, "all": true}
+
+// writeBenchJSON runs the Table 5 / Figure 9 benchmarks via
+// testing.Benchmark and writes BENCH_instrument.json (instrPath) and/or
+// BENCH_fig9.json (fig9Path). Shared measurements are taken once.
+func writeBenchJSON(instrPath, fig9Path string) error {
 	gemm, ok := polybench.ByName("gemm")
 	if !ok {
 		return fmt.Errorf("gemm kernel missing")
@@ -73,40 +139,43 @@ func writeBenchJSON(path string) error {
 		return err
 	}
 
-	app := synthapp.Generate(synthapp.Config{TargetBytes: 1 << 20, Seed: 11})
-	appBytes, err := binary.Encode(app)
-	if err != nil {
-		return err
+	cur := map[string]BenchResult{}
+	if instrPath != "" {
+		app := synthapp.Generate(synthapp.Config{TargetBytes: 1 << 20, Seed: 11})
+		appBytes, err := binary.Encode(app)
+		if err != nil {
+			return err
+		}
+
+		fmt.Fprintln(os.Stderr, "bench: Table5_InstrumentPolyBench")
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Instrument(gm, core.Options{Hooks: analysis.AllHooks, SkipValidation: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cur["Table5_InstrumentPolyBench"] = toResult(r, int64(len(gemmBytes)))
+
+		fmt.Fprintln(os.Stderr, "bench: Table5_InstrumentApp")
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Instrument(app, core.Options{Hooks: analysis.AllHooks, SkipValidation: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cur["Table5_InstrumentApp"] = toResult(r, int64(len(appBytes)))
 	}
-
-	fmt.Fprintln(os.Stderr, "bench: Table5_InstrumentPolyBench")
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, _, err := core.Instrument(gm, core.Options{Hooks: analysis.AllHooks, SkipValidation: true}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	cur["Table5_InstrumentPolyBench"] = toResult(r, int64(len(gemmBytes)))
-
-	fmt.Fprintln(os.Stderr, "bench: Table5_InstrumentApp")
-	r = testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, _, err := core.Instrument(app, core.Options{Hooks: analysis.AllHooks, SkipValidation: true}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	cur["Table5_InstrumentApp"] = toResult(r, int64(len(appBytes)))
 
 	fmt.Fprintln(os.Stderr, "bench: Fig9_Baseline")
 	inst, err := interp.Instantiate(gm, polybench.HostImports(nil))
 	if err != nil {
 		return err
 	}
-	r = testing.Benchmark(func(b *testing.B) {
+	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := inst.Invoke("kernel"); err != nil {
@@ -114,16 +183,14 @@ func writeBenchJSON(path string) error {
 			}
 		}
 	})
-	cur["Fig9_Baseline"] = toResult(r, 0)
+	baseline := toResult(r, 0)
+	cur["Fig9_Baseline"] = baseline
 
-	for _, hook := range []struct {
-		name string
-		set  analysis.HookSet
-	}{
-		{"load", analysis.Set(analysis.KindLoad)},
-		{"binary", analysis.Set(analysis.KindBinary)},
-		{"all", analysis.AllHooks},
-	} {
+	hooks := map[string]Fig9Hook{}
+	for _, hook := range fig9HookSets {
+		if fig9Path == "" && !instrumentHookNames[hook.name] {
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "bench: Fig9_PerHook/%s\n", hook.name)
 		sess, err := wasabi.AnalyzeWithOptions(gm, &analyses.Empty{}, core.Options{Hooks: hook.set})
 		if err != nil {
@@ -141,18 +208,28 @@ func writeBenchJSON(path string) error {
 				}
 			}
 		})
-		cur["Fig9_PerHook/"+hook.name] = toResult(r, 0)
+		res := toResult(r, 0)
+		if instrumentHookNames[hook.name] {
+			cur["Fig9_PerHook/"+hook.name] = res
+		}
+		hooks[hook.name] = Fig9Hook{NsPerOp: res.NsPerOp, Ratio: res.NsPerOp / baseline.NsPerOp}
 	}
 
-	report := BenchReport{SeedBaseline: seedBaseline, Current: cur}
-	data, err := json.MarshalIndent(&report, "", "  ")
-	if err != nil {
-		return err
+	if instrPath != "" {
+		report := BenchReport{SeedBaseline: seedBaseline, Current: cur}
+		if err := writeJSONFile(instrPath, &report); err != nil {
+			return err
+		}
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
+	if fig9Path != "" {
+		report := Fig9Report{
+			BaselineNsPerOp: baseline.NsPerOp,
+			Hooks:           hooks,
+			PR1Reference:    pr1Reference,
+		}
+		if err := writeJSONFile(fig9Path, &report); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
 	return nil
 }

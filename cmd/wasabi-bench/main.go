@@ -5,7 +5,7 @@
 // Usage:
 //
 //	wasabi-bench -experiment table4|rq2|table5|fig8|mono|fig9|all [-full]
-//	wasabi-bench -json BENCH_instrument.json
+//	wasabi-bench -json BENCH_instrument.json -fig9 BENCH_fig9.json
 package main
 
 import (
@@ -23,11 +23,12 @@ func main() {
 	polyN := flag.Int("n", 0, "override PolyBench problem size")
 	reps := flag.Int("reps", 0, "override timing repetitions")
 	jsonOut := flag.String("json", "", "run the Table 5 / Fig 9 benchmarks and write machine-readable results (e.g. BENCH_instrument.json); skips the experiments")
+	fig9Out := flag.String("fig9", "", "write the interpreter's Fig 9 baseline + per-hook ratios (e.g. BENCH_fig9.json); skips the experiments; combines with -json")
 	flag.Parse()
 
-	if *jsonOut != "" {
-		if err := writeBenchJSON(*jsonOut); err != nil {
-			fmt.Fprintf(os.Stderr, "wasabi-bench: -json: %v\n", err)
+	if *jsonOut != "" || *fig9Out != "" {
+		if err := writeBenchJSON(*jsonOut, *fig9Out); err != nil {
+			fmt.Fprintf(os.Stderr, "wasabi-bench: -json/-fig9: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,61 @@
+package wasabi_test
+
+// Integration coverage for examples/: each example is a self-contained
+// program reproducing one of the paper's use cases, and several assert their
+// own expected analysis results internally (log.Fatal on mismatch). Running
+// them end-to-end pins both the public API surface they exercise and the
+// analysis outputs they print.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full instrument+execute cycles; skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool not available: %v", err)
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{
+			"main(10) = 45 (expect 45)",
+			"observed 10 loads and 10 stores over 10 distinct addresses",
+		}},
+		{"branch-coverage", []string{
+			"after 1 input:  0/3 branch sites saw both directions",
+			"after 5 inputs: 3/3 branch sites saw both directions",
+		}},
+		{"taint", []string{
+			"1 flows, 4 tainted bytes",
+			"exactly the secret flow detected; the clean value passed silently",
+		}},
+		{"hotpath", []string{
+			"--- hottest blocks in floyd-warshall (n=24) ---",
+			"functions dynamically reachable from main",
+		}},
+		{"cryptominer", []string{
+			"suspicious: true",
+			"verdicts correct: miner flagged, gemm clean",
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", tc.dir, err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q\n--- full output ---\n%s", want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package wasabi_test
+
+// TestFig9BaselineGuard is CI's interpreter-performance smoke: it re-measures
+// the Fig 9 baseline (uninstrumented gemm on the interpreter) and fails when
+// it has regressed more than 2x against the committed BENCH_fig9.json. The
+// 2x margin absorbs runner-to-runner variance while still catching a real
+// dispatch-loop regression. Gated behind FIG9_GUARD so ordinary `go test`
+// runs stay timing-independent.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"wasabi/internal/interp"
+	"wasabi/internal/polybench"
+)
+
+func TestFig9BaselineGuard(t *testing.T) {
+	if os.Getenv("FIG9_GUARD") == "" {
+		t.Skip("set FIG9_GUARD=1 to run the Fig 9 regression guard")
+	}
+	data, err := os.ReadFile("BENCH_fig9.json")
+	if err != nil {
+		t.Fatalf("BENCH_fig9.json missing (regenerate with `go run ./cmd/wasabi-bench -fig9 BENCH_fig9.json`): %v", err)
+	}
+	var report struct {
+		BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_fig9.json: %v", err)
+	}
+	if report.BaselineNsPerOp <= 0 {
+		t.Fatal("BENCH_fig9.json has no recorded baseline")
+	}
+
+	k, ok := polybench.ByName("gemm")
+	if !ok {
+		t.Fatal("gemm kernel missing")
+	}
+	inst, err := interp.Instantiate(k.Module(16), polybench.HostImports(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := inst.Invoke("kernel"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measured := float64(r.NsPerOp())
+	limit := 2 * report.BaselineNsPerOp
+	t.Logf("Fig9 baseline: measured %.0f ns/op, recorded %.0f ns/op (limit %.0f)", measured, report.BaselineNsPerOp, limit)
+	if measured > limit {
+		t.Errorf("Fig9 baseline regressed >2x: %.0f ns/op vs recorded %.0f ns/op", measured, report.BaselineNsPerOp)
+	}
+}

@@ -7,20 +7,16 @@ import (
 	"wasabi/internal/wasm"
 )
 
-// label is a runtime control-stack entry.
-type label struct {
-	op     wasm.Opcode
-	pc     int // pc of the structured instruction (block/loop/if/else)
-	endPC  int
-	height int // value-stack height at entry
-	arity  int // values carried by a branch targeting this label
-}
-
-// exec runs one function body to completion and returns its results. Traps
-// propagate as panics and are recovered in call. The frame fr provides the
-// reusable locals/stack/labels/result buffers for this call depth; the
-// returned slice aliases fr.result and is only valid until the next call at
-// the same depth (Instance.call copies it before returning to embedders).
+// exec runs one compiled function body to completion and returns its
+// results. The body is the flat threaded-code form produced by compileFunc:
+// branch targets and stack adjustments are pre-resolved, so the loop below
+// never touches a label stack — control flow is pc assignment plus, for
+// value-carrying branches, one packed stack cut.
+//
+// Traps propagate as panics and are recovered in call. The frame fr provides
+// the reusable locals/stack/result buffers for this call depth; the returned
+// slice aliases fr.result and is only valid until the next call at the same
+// depth (Instance.call copies it before returning to embedders).
 func (inst *Instance) exec(cf *compiledFunc, args []Value, fr *frame) []Value {
 	if cap(fr.locals) < cf.numLocals {
 		fr.locals = make([]Value, cf.numLocals+16)
@@ -28,602 +24,530 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value, fr *frame) []Value {
 	locals := fr.locals[:cf.numLocals]
 	n := copy(locals, args)
 	clear(locals[n:])
-	if fr.stack == nil {
-		fr.stack = make([]Value, 0, 32)
-	}
-	stack := fr.stack[:0]
-	if cap(fr.labels) < 1 {
-		fr.labels = make([]label, 0, 8)
-	}
-	labels := fr.labels[:1]
-	labels[0] = label{op: wasm.OpCall, pc: -1, endPC: len(cf.body) - 1, arity: len(cf.sig.Results)}
 
-	body := cf.body
+	// The compile pass knows the exact operand-stack high-water mark, so the
+	// stack is a flat pre-sized buffer indexed by sp: no append, no growth
+	// checks in the hot loop.
+	if cap(fr.stack) < cf.maxStack {
+		fr.stack = make([]Value, cf.maxStack+16)
+	}
+	stack := fr.stack[:cap(fr.stack)]
+	fr.stack = stack
+	sp := 0
+
+	code := cf.code
 	pc := 0
-
-	push := func(v Value) { stack = append(stack, v) }
-	pop := func() Value {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
-	}
-
-	var result []Value
-	// setResult copies the function's results into the frame's reusable
-	// result buffer.
-	setResult := func(res []Value) {
-		result = append(fr.result[:0], res...)
-		fr.result = result
-	}
-	// branch performs a branch to the n-th enclosing label. It returns true
-	// when the branch leaves the function (the function-level label).
-	branch := func(n int) bool {
-		target := labels[len(labels)-1-n]
-		if target.op == wasm.OpLoop {
-			stack = stack[:target.height]
-			labels = labels[:len(labels)-n] // keep the loop label itself
-			pc = target.pc + 1
-			return false
-		}
-		carried := target.arity
-		copy(stack[target.height:], stack[len(stack)-carried:])
-		stack = stack[:target.height+carried]
-		labels = labels[:len(labels)-1-n]
-		if len(labels) == 0 {
-			setResult(stack)
-			return true
-		}
-		pc = target.endPC + 1
-		return false
-	}
-
-	// Grown stack/label buffers are written back to the frame on exit so the
-	// next call at this depth starts at steady-state capacity.
-	defer func() {
-		fr.stack = stack[:0]
-		fr.labels = labels[:0]
-	}()
-
 	for {
-		in := &body[pc]
-		opPC := pc
+		in := &code[pc]
 		pc++
-		switch in.Op {
-		case wasm.OpNop:
-		case wasm.OpUnreachable:
-			trap(TrapUnreachable)
+		switch in.op {
+		case iConst:
+			stack[sp] = in.bits
+			sp++
+		case iLocalGet:
+			stack[sp] = locals[in.a]
+			sp++
+		case iLocalSet:
+			sp--
+			locals[in.a] = stack[sp]
+		case iLocalTee:
+			locals[in.a] = stack[sp-1]
+		case iConst2:
+			stack[sp] = uint64(in.a)
+			stack[sp+1] = uint64(in.b)
+			sp += 2
+		case iGetGet:
+			stack[sp] = locals[in.a]
+			stack[sp+1] = locals[in.b]
+			sp += 2
+		case iGetGetGet:
+			stack[sp] = locals[in.a]
+			stack[sp+1] = locals[in.b]
+			stack[sp+2] = locals[in.bits]
+			sp += 3
+		case iSetTee:
+			sp--
+			locals[in.a] = stack[sp]
+			locals[in.b] = stack[sp-1]
 
-		case wasm.OpBlock:
-			labels = append(labels, label{op: wasm.OpBlock, pc: opPC, endPC: int(cf.matchEnd[opPC]), height: len(stack), arity: len(in.Block.Results())})
-		case wasm.OpLoop:
-			labels = append(labels, label{op: wasm.OpLoop, pc: opPC, endPC: int(cf.matchEnd[opPC]), height: len(stack), arity: 0})
-		case wasm.OpIf:
-			cond := pop()
-			labels = append(labels, label{op: wasm.OpIf, pc: opPC, endPC: int(cf.matchEnd[opPC]), height: len(stack), arity: len(in.Block.Results())})
-			if uint32(cond) == 0 {
-				if elsePC := cf.matchElse[opPC]; elsePC >= 0 {
-					pc = int(elsePC) + 1
+		case iGetGetBin:
+			stack[sp] = binop(wasm.Opcode(in.bits), locals[in.a], locals[in.b])
+			sp++
+		case iGetBin:
+			stack[sp-1] = binop(wasm.Opcode(in.bits), stack[sp-1], locals[in.a])
+		case iConstBin:
+			stack[sp-1] = binop(wasm.Opcode(in.a), stack[sp-1], in.bits)
+		case iBin:
+			sp--
+			stack[sp-1] = binop(wasm.Opcode(in.a), stack[sp-1], stack[sp])
+		case iUn:
+			stack[sp-1] = unop(wasm.Opcode(in.a), stack[sp-1])
+
+		case iGetConstCmpBrIf:
+			if binop(wasm.Opcode(in.a>>24), locals[in.a&fuseLocalMask], in.bits) != 0 {
+				pc = int(in.b)
+			}
+		case iBr:
+			pc = int(in.a)
+		case iBrAdjust:
+			h := int(in.b) >> 1
+			if in.b&1 != 0 {
+				stack[h] = stack[sp-1]
+				sp = h + 1
+			} else {
+				sp = h
+			}
+			pc = int(in.a)
+		case iBrIf:
+			sp--
+			if uint32(stack[sp]) != 0 {
+				pc = int(in.a)
+			}
+		case iBrIfAdjust:
+			sp--
+			if uint32(stack[sp]) != 0 {
+				h := int(in.b) >> 1
+				if in.b&1 != 0 {
+					stack[h] = stack[sp-1]
+					sp = h + 1
 				} else {
-					pc = int(cf.matchEnd[opPC]) // the end pops the label
+					sp = h
 				}
+				pc = int(in.a)
 			}
-		case wasm.OpElse:
-			// Reached by falling out of the then-branch: skip to end.
-			pc = labels[len(labels)-1].endPC
-		case wasm.OpEnd:
-			lbl := labels[len(labels)-1]
-			labels = labels[:len(labels)-1]
-			if len(labels) == 0 {
-				setResult(stack[len(stack)-lbl.arity:])
-				return result
+		case iBrIfZero:
+			sp--
+			if uint32(stack[sp]) == 0 {
+				pc = int(in.a)
 			}
-		case wasm.OpBr:
-			if branch(int(in.Idx)) {
-				return result
+		case iBrTable:
+			sp--
+			idx := uint32(stack[sp])
+			if idx > in.b {
+				idx = in.b // default entry, stored last
 			}
-		case wasm.OpBrIf:
-			cond := pop()
-			if uint32(cond) != 0 {
-				if branch(int(in.Idx)) {
-					return result
-				}
+			e := cf.brPool[in.a+idx]
+			h := int(e.adj) >> 1
+			if e.adj&1 != 0 {
+				stack[h] = stack[sp-1]
+				sp = h + 1
+			} else {
+				sp = h
 			}
-		case wasm.OpBrTable:
-			idx := uint32(pop())
-			n := in.Idx // default
-			if off, cnt := in.BrTableSpan(); int(idx) < cnt {
-				n = cf.brTargets[off+int(idx)]
-			}
-			if branch(int(n)) {
-				return result
-			}
-		case wasm.OpReturn:
-			if branch(len(labels) - 1) {
-				return result
-			}
+			pc = int(e.target)
+		case iReturn:
+			arity := int(in.b)
+			result := append(fr.result[:0], stack[sp-arity:sp]...)
+			fr.result = result
+			return result
 
-		case wasm.OpCall:
-			stack = inst.doCall(in.Idx, stack)
-		case wasm.OpCallIndirect:
-			ti := uint32(pop())
+		case iCall:
+			np := int(in.b)
+			res := inst.invoke(in.a, stack[sp-np:sp])
+			sp -= np
+			sp += copy(stack[sp:], res)
+		case iCallHost:
+			// The compile pass proved the target is an imported host
+			// function, so the generic invoke dispatch is skipped. This is
+			// the hook-call fast path of the instrumented setting.
+			np := int(in.b)
+			res := inst.callHost(inst.funcs[in.a].host, stack[sp-np:sp])
+			sp -= np
+			sp += copy(stack[sp:], res)
+		case iCallIndirect:
+			sp--
+			ti := uint32(stack[sp])
 			if inst.Table == nil || int(ti) >= len(inst.Table.Elems) {
 				trapf(TrapTableOutOfBounds, "table index %d", ti)
 			}
 			fidx := inst.Table.Elems[ti]
-			if fidx < 0 {
+			if fidx < 0 || int(fidx) >= len(inst.funcs) {
 				trapf(TrapUndefinedElement, "table slot %d uninitialized", ti)
 			}
-			want := inst.Module.Types[in.Idx]
+			want := inst.Module.Types[in.a]
 			have := inst.Module.Types[inst.funcs[fidx].typeIdx]
 			if !want.Equal(have) {
 				trapf(TrapIndirectMismatch, "want %s, have %s", want, have)
 			}
-			stack = inst.doCall(uint32(fidx), stack)
+			np := int(in.b)
+			res := inst.invoke(uint32(fidx), stack[sp-np:sp])
+			sp -= np
+			sp += copy(stack[sp:], res)
 
-		case wasm.OpDrop:
-			pop()
-		case wasm.OpSelect:
-			cond := pop()
-			b := pop()
-			a := pop()
-			if uint32(cond) != 0 {
-				push(a)
-			} else {
-				push(b)
+		case iDrop:
+			sp--
+		case iSelect:
+			sp -= 2
+			if uint32(stack[sp+1]) == 0 {
+				stack[sp-1] = stack[sp]
 			}
 
-		case wasm.OpLocalGet:
-			push(locals[in.Idx])
-		case wasm.OpLocalSet:
-			locals[in.Idx] = pop()
-		case wasm.OpLocalTee:
-			locals[in.Idx] = stack[len(stack)-1]
-		case wasm.OpGlobalGet:
-			push(inst.Globals[in.Idx].Val)
-		case wasm.OpGlobalSet:
-			inst.Globals[in.Idx].Val = pop()
+		case iGlobalGet:
+			stack[sp] = inst.Globals[in.a].Val
+			sp++
+		case iGlobalSet:
+			sp--
+			inst.Globals[in.a].Val = stack[sp]
 
-		case wasm.OpMemorySize:
-			push(uint64(inst.Memory.Pages()))
-		case wasm.OpMemoryGrow:
-			delta := uint32(pop())
-			push(uint64(uint32(inst.Memory.Grow(delta))))
+		case iMemorySize:
+			stack[sp] = uint64(inst.Memory.Pages())
+			sp++
+		case iMemoryGrow:
+			delta := uint32(stack[sp-1])
+			stack[sp-1] = uint64(uint32(inst.Memory.Grow(delta)))
 
-		case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
-			push(in.ConstValue())
+		case iLoad:
+			stack[sp-1] = inst.Memory.loadAt(uint32(stack[sp-1]), uint32(in.bits), in.a)
+		case iGetLoad:
+			stack[sp] = inst.Memory.loadAt(uint32(locals[in.a]), uint32(in.bits), in.b)
+			sp++
+		case iStore:
+			sp -= 2
+			inst.Memory.store(uint32(stack[sp]), uint32(in.bits), stSizes[in.a], stack[sp+1])
+		case iGetStore:
+			sp--
+			inst.Memory.store(uint32(stack[sp]), uint32(in.bits), stSizes[in.b], locals[in.a])
 
+		case iUnreachable:
+			trap(TrapUnreachable)
 		default:
-			switch {
-			case in.Op.IsLoad():
-				addr := uint32(pop())
-				push(inst.doLoad(in.Op, addr, in.MemOffset()))
-			case in.Op.IsStore():
-				v := pop()
-				addr := uint32(pop())
-				inst.doStore(in.Op, addr, in.MemOffset(), v)
-			default:
-				stack = execNumeric(in.Op, stack)
-			}
+			trapf(TrapUnreachable, "corrupt threaded code: opcode %d", in.op)
 		}
 	}
 }
 
-func (inst *Instance) doCall(fidx uint32, stack []Value) []Value {
-	ft := inst.Module.Types[inst.funcs[fidx].typeIdx]
-	np := len(ft.Params)
-	args := stack[len(stack)-np:]
-	res := inst.invoke(fidx, args)
-	stack = stack[:len(stack)-np]
-	return append(stack, res...)
+// loadAt performs a pre-decoded memory load: mode selects the access width
+// and sign extension computed at compile time.
+func (m *Memory) loadAt(addr, offset, mode uint32) Value {
+	switch mode {
+	case ldRaw32:
+		return m.load(addr, offset, 4)
+	case ldRaw64:
+		return m.load(addr, offset, 8)
+	case ld8U:
+		return m.load(addr, offset, 1)
+	case ld16U:
+		return m.load(addr, offset, 2)
+	case ld8S32:
+		return uint64(uint32(int32(int8(m.load(addr, offset, 1)))))
+	case ld16S32:
+		return uint64(uint32(int32(int16(m.load(addr, offset, 2)))))
+	case ld8S64:
+		return uint64(int64(int8(m.load(addr, offset, 1))))
+	case ld16S64:
+		return uint64(int64(int16(m.load(addr, offset, 2))))
+	default: // ld32S64
+		return uint64(int64(int32(m.load(addr, offset, 4))))
+	}
 }
 
-func (inst *Instance) doLoad(op wasm.Opcode, addr, offset uint32) Value {
-	_, size := op.LoadStoreType()
-	raw := inst.Memory.load(addr, offset, size)
-	switch op {
-	case wasm.OpI32Load, wasm.OpF32Load, wasm.OpI64Load, wasm.OpF64Load,
-		wasm.OpI32Load8U, wasm.OpI32Load16U, wasm.OpI64Load8U, wasm.OpI64Load16U, wasm.OpI64Load32U:
-		return raw
-	case wasm.OpI32Load8S:
-		return uint64(uint32(int32(int8(raw))))
-	case wasm.OpI32Load16S:
-		return uint64(uint32(int32(int16(raw))))
-	case wasm.OpI64Load8S:
-		return uint64(int64(int8(raw)))
-	case wasm.OpI64Load16S:
-		return uint64(int64(int16(raw)))
-	case wasm.OpI64Load32S:
-		return uint64(int64(int32(raw)))
+func b2i(b bool) Value {
+	if b {
+		return 1
 	}
-	panic("interp: bad load opcode")
+	return 0
 }
 
-func (inst *Instance) doStore(op wasm.Opcode, addr, offset uint32, v Value) {
-	_, size := op.LoadStoreType()
-	inst.Memory.store(addr, offset, size, v)
-}
-
-// execNumeric implements all fixed-signature numeric instructions on the
-// raw value stack.
-func execNumeric(op wasm.Opcode, stack []Value) []Value {
-	pop := func() Value {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
-	}
-	push := func(v Value) { stack = append(stack, v) }
-	pushBool := func(b bool) {
-		if b {
-			push(1)
-		} else {
-			push(0)
-		}
-	}
-
+// binop implements every fixed-signature binary numeric instruction on raw
+// 64-bit stack values. It is shared by the plain iBin dispatch and by the
+// fused superinstructions, which only differ in where the operands come from.
+func binop(op wasm.Opcode, a, b Value) Value {
 	switch op {
 	// i32 comparisons.
-	case wasm.OpI32Eqz:
-		pushBool(uint32(pop()) == 0)
 	case wasm.OpI32Eq:
-		b, a := uint32(pop()), uint32(pop())
-		pushBool(a == b)
+		return b2i(uint32(a) == uint32(b))
 	case wasm.OpI32Ne:
-		b, a := uint32(pop()), uint32(pop())
-		pushBool(a != b)
+		return b2i(uint32(a) != uint32(b))
 	case wasm.OpI32LtS:
-		b, a := int32(pop()), int32(pop())
-		pushBool(a < b)
+		return b2i(int32(a) < int32(b))
 	case wasm.OpI32LtU:
-		b, a := uint32(pop()), uint32(pop())
-		pushBool(a < b)
+		return b2i(uint32(a) < uint32(b))
 	case wasm.OpI32GtS:
-		b, a := int32(pop()), int32(pop())
-		pushBool(a > b)
+		return b2i(int32(a) > int32(b))
 	case wasm.OpI32GtU:
-		b, a := uint32(pop()), uint32(pop())
-		pushBool(a > b)
+		return b2i(uint32(a) > uint32(b))
 	case wasm.OpI32LeS:
-		b, a := int32(pop()), int32(pop())
-		pushBool(a <= b)
+		return b2i(int32(a) <= int32(b))
 	case wasm.OpI32LeU:
-		b, a := uint32(pop()), uint32(pop())
-		pushBool(a <= b)
+		return b2i(uint32(a) <= uint32(b))
 	case wasm.OpI32GeS:
-		b, a := int32(pop()), int32(pop())
-		pushBool(a >= b)
+		return b2i(int32(a) >= int32(b))
 	case wasm.OpI32GeU:
-		b, a := uint32(pop()), uint32(pop())
-		pushBool(a >= b)
+		return b2i(uint32(a) >= uint32(b))
 
 	// i64 comparisons.
-	case wasm.OpI64Eqz:
-		pushBool(pop() == 0)
 	case wasm.OpI64Eq:
-		b, a := pop(), pop()
-		pushBool(a == b)
+		return b2i(a == b)
 	case wasm.OpI64Ne:
-		b, a := pop(), pop()
-		pushBool(a != b)
+		return b2i(a != b)
 	case wasm.OpI64LtS:
-		b, a := int64(pop()), int64(pop())
-		pushBool(a < b)
+		return b2i(int64(a) < int64(b))
 	case wasm.OpI64LtU:
-		b, a := pop(), pop()
-		pushBool(a < b)
+		return b2i(a < b)
 	case wasm.OpI64GtS:
-		b, a := int64(pop()), int64(pop())
-		pushBool(a > b)
+		return b2i(int64(a) > int64(b))
 	case wasm.OpI64GtU:
-		b, a := pop(), pop()
-		pushBool(a > b)
+		return b2i(a > b)
 	case wasm.OpI64LeS:
-		b, a := int64(pop()), int64(pop())
-		pushBool(a <= b)
+		return b2i(int64(a) <= int64(b))
 	case wasm.OpI64LeU:
-		b, a := pop(), pop()
-		pushBool(a <= b)
+		return b2i(a <= b)
 	case wasm.OpI64GeS:
-		b, a := int64(pop()), int64(pop())
-		pushBool(a >= b)
+		return b2i(int64(a) >= int64(b))
 	case wasm.OpI64GeU:
-		b, a := pop(), pop()
-		pushBool(a >= b)
+		return b2i(a >= b)
 
 	// f32 comparisons.
 	case wasm.OpF32Eq:
-		b, a := AsF32(pop()), AsF32(pop())
-		pushBool(a == b)
+		return b2i(AsF32(a) == AsF32(b))
 	case wasm.OpF32Ne:
-		b, a := AsF32(pop()), AsF32(pop())
-		pushBool(a != b)
+		return b2i(AsF32(a) != AsF32(b))
 	case wasm.OpF32Lt:
-		b, a := AsF32(pop()), AsF32(pop())
-		pushBool(a < b)
+		return b2i(AsF32(a) < AsF32(b))
 	case wasm.OpF32Gt:
-		b, a := AsF32(pop()), AsF32(pop())
-		pushBool(a > b)
+		return b2i(AsF32(a) > AsF32(b))
 	case wasm.OpF32Le:
-		b, a := AsF32(pop()), AsF32(pop())
-		pushBool(a <= b)
+		return b2i(AsF32(a) <= AsF32(b))
 	case wasm.OpF32Ge:
-		b, a := AsF32(pop()), AsF32(pop())
-		pushBool(a >= b)
+		return b2i(AsF32(a) >= AsF32(b))
 
 	// f64 comparisons.
 	case wasm.OpF64Eq:
-		b, a := AsF64(pop()), AsF64(pop())
-		pushBool(a == b)
+		return b2i(AsF64(a) == AsF64(b))
 	case wasm.OpF64Ne:
-		b, a := AsF64(pop()), AsF64(pop())
-		pushBool(a != b)
+		return b2i(AsF64(a) != AsF64(b))
 	case wasm.OpF64Lt:
-		b, a := AsF64(pop()), AsF64(pop())
-		pushBool(a < b)
+		return b2i(AsF64(a) < AsF64(b))
 	case wasm.OpF64Gt:
-		b, a := AsF64(pop()), AsF64(pop())
-		pushBool(a > b)
+		return b2i(AsF64(a) > AsF64(b))
 	case wasm.OpF64Le:
-		b, a := AsF64(pop()), AsF64(pop())
-		pushBool(a <= b)
+		return b2i(AsF64(a) <= AsF64(b))
 	case wasm.OpF64Ge:
-		b, a := AsF64(pop()), AsF64(pop())
-		pushBool(a >= b)
+		return b2i(AsF64(a) >= AsF64(b))
 
 	// i32 arithmetic.
-	case wasm.OpI32Clz:
-		push(uint64(uint32(bits.LeadingZeros32(uint32(pop())))))
-	case wasm.OpI32Ctz:
-		push(uint64(uint32(bits.TrailingZeros32(uint32(pop())))))
-	case wasm.OpI32Popcnt:
-		push(uint64(uint32(bits.OnesCount32(uint32(pop())))))
 	case wasm.OpI32Add:
-		b, a := uint32(pop()), uint32(pop())
-		push(uint64(a + b))
+		return uint64(uint32(a) + uint32(b))
 	case wasm.OpI32Sub:
-		b, a := uint32(pop()), uint32(pop())
-		push(uint64(a - b))
+		return uint64(uint32(a) - uint32(b))
 	case wasm.OpI32Mul:
-		b, a := uint32(pop()), uint32(pop())
-		push(uint64(a * b))
+		return uint64(uint32(a) * uint32(b))
 	case wasm.OpI32DivS:
-		b, a := int32(pop()), int32(pop())
-		push(uint64(uint32(i32DivS(a, b))))
+		return uint64(uint32(i32DivS(int32(a), int32(b))))
 	case wasm.OpI32DivU:
-		b, a := uint32(pop()), uint32(pop())
-		if b == 0 {
+		if uint32(b) == 0 {
 			trap(TrapDivByZero)
 		}
-		push(uint64(a / b))
+		return uint64(uint32(a) / uint32(b))
 	case wasm.OpI32RemS:
-		b, a := int32(pop()), int32(pop())
-		if b == 0 {
+		if int32(b) == 0 {
 			trap(TrapDivByZero)
 		}
-		if a == math.MinInt32 && b == -1 {
-			push(0)
-		} else {
-			push(uint64(uint32(a % b)))
+		if int32(a) == math.MinInt32 && int32(b) == -1 {
+			return 0
 		}
+		return uint64(uint32(int32(a) % int32(b)))
 	case wasm.OpI32RemU:
-		b, a := uint32(pop()), uint32(pop())
-		if b == 0 {
+		if uint32(b) == 0 {
 			trap(TrapDivByZero)
 		}
-		push(uint64(a % b))
+		return uint64(uint32(a) % uint32(b))
 	case wasm.OpI32And:
-		b, a := uint32(pop()), uint32(pop())
-		push(uint64(a & b))
+		return uint64(uint32(a) & uint32(b))
 	case wasm.OpI32Or:
-		b, a := uint32(pop()), uint32(pop())
-		push(uint64(a | b))
+		return uint64(uint32(a) | uint32(b))
 	case wasm.OpI32Xor:
-		b, a := uint32(pop()), uint32(pop())
-		push(uint64(a ^ b))
+		return uint64(uint32(a) ^ uint32(b))
 	case wasm.OpI32Shl:
-		b, a := uint32(pop()), uint32(pop())
-		push(uint64(a << (b & 31)))
+		return uint64(uint32(a) << (uint32(b) & 31))
 	case wasm.OpI32ShrS:
-		b, a := uint32(pop()), int32(pop())
-		push(uint64(uint32(a >> (b & 31))))
+		return uint64(uint32(int32(a) >> (uint32(b) & 31)))
 	case wasm.OpI32ShrU:
-		b, a := uint32(pop()), uint32(pop())
-		push(uint64(a >> (b & 31)))
+		return uint64(uint32(a) >> (uint32(b) & 31))
 	case wasm.OpI32Rotl:
-		b, a := uint32(pop()), uint32(pop())
-		push(uint64(bits.RotateLeft32(a, int(b&31))))
+		return uint64(bits.RotateLeft32(uint32(a), int(uint32(b)&31)))
 	case wasm.OpI32Rotr:
-		b, a := uint32(pop()), uint32(pop())
-		push(uint64(bits.RotateLeft32(a, -int(b&31))))
+		return uint64(bits.RotateLeft32(uint32(a), -int(uint32(b)&31)))
 
 	// i64 arithmetic.
-	case wasm.OpI64Clz:
-		push(uint64(bits.LeadingZeros64(pop())))
-	case wasm.OpI64Ctz:
-		push(uint64(bits.TrailingZeros64(pop())))
-	case wasm.OpI64Popcnt:
-		push(uint64(bits.OnesCount64(pop())))
 	case wasm.OpI64Add:
-		b, a := pop(), pop()
-		push(a + b)
+		return a + b
 	case wasm.OpI64Sub:
-		b, a := pop(), pop()
-		push(a - b)
+		return a - b
 	case wasm.OpI64Mul:
-		b, a := pop(), pop()
-		push(a * b)
+		return a * b
 	case wasm.OpI64DivS:
-		b, a := int64(pop()), int64(pop())
-		push(uint64(i64DivS(a, b)))
+		return uint64(i64DivS(int64(a), int64(b)))
 	case wasm.OpI64DivU:
-		b, a := pop(), pop()
 		if b == 0 {
 			trap(TrapDivByZero)
 		}
-		push(a / b)
+		return a / b
 	case wasm.OpI64RemS:
-		b, a := int64(pop()), int64(pop())
-		if b == 0 {
+		if int64(b) == 0 {
 			trap(TrapDivByZero)
 		}
-		if a == math.MinInt64 && b == -1 {
-			push(0)
-		} else {
-			push(uint64(a % b))
+		if int64(a) == math.MinInt64 && int64(b) == -1 {
+			return 0
 		}
+		return uint64(int64(a) % int64(b))
 	case wasm.OpI64RemU:
-		b, a := pop(), pop()
 		if b == 0 {
 			trap(TrapDivByZero)
 		}
-		push(a % b)
+		return a % b
 	case wasm.OpI64And:
-		b, a := pop(), pop()
-		push(a & b)
+		return a & b
 	case wasm.OpI64Or:
-		b, a := pop(), pop()
-		push(a | b)
+		return a | b
 	case wasm.OpI64Xor:
-		b, a := pop(), pop()
-		push(a ^ b)
+		return a ^ b
 	case wasm.OpI64Shl:
-		b, a := pop(), pop()
-		push(a << (b & 63))
+		return a << (b & 63)
 	case wasm.OpI64ShrS:
-		b, a := pop(), int64(pop())
-		push(uint64(a >> (b & 63)))
+		return uint64(int64(a) >> (b & 63))
 	case wasm.OpI64ShrU:
-		b, a := pop(), pop()
-		push(a >> (b & 63))
+		return a >> (b & 63)
 	case wasm.OpI64Rotl:
-		b, a := pop(), pop()
-		push(bits.RotateLeft64(a, int(b&63)))
+		return bits.RotateLeft64(a, int(b&63))
 	case wasm.OpI64Rotr:
-		b, a := pop(), pop()
-		push(bits.RotateLeft64(a, -int(b&63)))
+		return bits.RotateLeft64(a, -int(b&63))
 
 	// f32 arithmetic.
-	case wasm.OpF32Abs:
-		push(F32(float32(math.Abs(float64(AsF32(pop()))))))
-	case wasm.OpF32Neg:
-		push(pop() ^ 0x80000000)
-	case wasm.OpF32Ceil:
-		push(F32(float32(math.Ceil(float64(AsF32(pop()))))))
-	case wasm.OpF32Floor:
-		push(F32(float32(math.Floor(float64(AsF32(pop()))))))
-	case wasm.OpF32Trunc:
-		push(F32(float32(math.Trunc(float64(AsF32(pop()))))))
-	case wasm.OpF32Nearest:
-		push(F32(float32(math.RoundToEven(float64(AsF32(pop()))))))
-	case wasm.OpF32Sqrt:
-		push(F32(float32(math.Sqrt(float64(AsF32(pop()))))))
 	case wasm.OpF32Add:
-		b, a := AsF32(pop()), AsF32(pop())
-		push(F32(a + b))
+		return F32(AsF32(a) + AsF32(b))
 	case wasm.OpF32Sub:
-		b, a := AsF32(pop()), AsF32(pop())
-		push(F32(a - b))
+		return F32(AsF32(a) - AsF32(b))
 	case wasm.OpF32Mul:
-		b, a := AsF32(pop()), AsF32(pop())
-		push(F32(a * b))
+		return F32(AsF32(a) * AsF32(b))
 	case wasm.OpF32Div:
-		b, a := AsF32(pop()), AsF32(pop())
-		push(F32(a / b))
+		return F32(AsF32(a) / AsF32(b))
 	case wasm.OpF32Min:
-		b, a := AsF32(pop()), AsF32(pop())
-		push(F32(float32(fmin(float64(a), float64(b)))))
+		return F32(float32(fmin(float64(AsF32(a)), float64(AsF32(b)))))
 	case wasm.OpF32Max:
-		b, a := AsF32(pop()), AsF32(pop())
-		push(F32(float32(fmax(float64(a), float64(b)))))
+		return F32(float32(fmax(float64(AsF32(a)), float64(AsF32(b)))))
 	case wasm.OpF32Copysign:
-		b, a := AsF32(pop()), AsF32(pop())
-		push(F32(float32(math.Copysign(float64(a), float64(b)))))
+		return F32(float32(math.Copysign(float64(AsF32(a)), float64(AsF32(b)))))
 
 	// f64 arithmetic.
-	case wasm.OpF64Abs:
-		push(F64(math.Abs(AsF64(pop()))))
-	case wasm.OpF64Neg:
-		push(pop() ^ 0x8000000000000000)
-	case wasm.OpF64Ceil:
-		push(F64(math.Ceil(AsF64(pop()))))
-	case wasm.OpF64Floor:
-		push(F64(math.Floor(AsF64(pop()))))
-	case wasm.OpF64Trunc:
-		push(F64(math.Trunc(AsF64(pop()))))
-	case wasm.OpF64Nearest:
-		push(F64(math.RoundToEven(AsF64(pop()))))
-	case wasm.OpF64Sqrt:
-		push(F64(math.Sqrt(AsF64(pop()))))
 	case wasm.OpF64Add:
-		b, a := AsF64(pop()), AsF64(pop())
-		push(F64(a + b))
+		return F64(AsF64(a) + AsF64(b))
 	case wasm.OpF64Sub:
-		b, a := AsF64(pop()), AsF64(pop())
-		push(F64(a - b))
+		return F64(AsF64(a) - AsF64(b))
 	case wasm.OpF64Mul:
-		b, a := AsF64(pop()), AsF64(pop())
-		push(F64(a * b))
+		return F64(AsF64(a) * AsF64(b))
 	case wasm.OpF64Div:
-		b, a := AsF64(pop()), AsF64(pop())
-		push(F64(a / b))
+		return F64(AsF64(a) / AsF64(b))
 	case wasm.OpF64Min:
-		b, a := AsF64(pop()), AsF64(pop())
-		push(F64(fmin(a, b)))
+		return F64(fmin(AsF64(a), AsF64(b)))
 	case wasm.OpF64Max:
-		b, a := AsF64(pop()), AsF64(pop())
-		push(F64(fmax(a, b)))
+		return F64(fmax(AsF64(a), AsF64(b)))
 	case wasm.OpF64Copysign:
-		b, a := AsF64(pop()), AsF64(pop())
-		push(F64(math.Copysign(a, b)))
+		return F64(math.Copysign(AsF64(a), AsF64(b)))
+	}
+	panic("interp: unhandled binary opcode " + op.String())
+}
+
+// unop implements every fixed-signature unary numeric instruction (tests,
+// bit counts, float unary math, conversions) on raw 64-bit stack values.
+// The reinterpret instructions never reach here: they are identities on the
+// stack representation and the compile pass elides them.
+func unop(op wasm.Opcode, v Value) Value {
+	switch op {
+	case wasm.OpI32Eqz:
+		return b2i(uint32(v) == 0)
+	case wasm.OpI64Eqz:
+		return b2i(v == 0)
+
+	case wasm.OpI32Clz:
+		return uint64(uint32(bits.LeadingZeros32(uint32(v))))
+	case wasm.OpI32Ctz:
+		return uint64(uint32(bits.TrailingZeros32(uint32(v))))
+	case wasm.OpI32Popcnt:
+		return uint64(uint32(bits.OnesCount32(uint32(v))))
+	case wasm.OpI64Clz:
+		return uint64(bits.LeadingZeros64(v))
+	case wasm.OpI64Ctz:
+		return uint64(bits.TrailingZeros64(v))
+	case wasm.OpI64Popcnt:
+		return uint64(bits.OnesCount64(v))
+
+	case wasm.OpF32Abs:
+		return F32(float32(math.Abs(float64(AsF32(v)))))
+	case wasm.OpF32Neg:
+		return v ^ 0x80000000
+	case wasm.OpF32Ceil:
+		return F32(float32(math.Ceil(float64(AsF32(v)))))
+	case wasm.OpF32Floor:
+		return F32(float32(math.Floor(float64(AsF32(v)))))
+	case wasm.OpF32Trunc:
+		return F32(float32(math.Trunc(float64(AsF32(v)))))
+	case wasm.OpF32Nearest:
+		return F32(float32(math.RoundToEven(float64(AsF32(v)))))
+	case wasm.OpF32Sqrt:
+		return F32(float32(math.Sqrt(float64(AsF32(v)))))
+
+	case wasm.OpF64Abs:
+		return F64(math.Abs(AsF64(v)))
+	case wasm.OpF64Neg:
+		return v ^ 0x8000000000000000
+	case wasm.OpF64Ceil:
+		return F64(math.Ceil(AsF64(v)))
+	case wasm.OpF64Floor:
+		return F64(math.Floor(AsF64(v)))
+	case wasm.OpF64Trunc:
+		return F64(math.Trunc(AsF64(v)))
+	case wasm.OpF64Nearest:
+		return F64(math.RoundToEven(AsF64(v)))
+	case wasm.OpF64Sqrt:
+		return F64(math.Sqrt(AsF64(v)))
 
 	// Conversions.
 	case wasm.OpI32WrapI64:
-		push(uint64(uint32(pop())))
+		return uint64(uint32(v))
 	case wasm.OpI32TruncF32S:
-		push(uint64(uint32(truncToI32(float64(AsF32(pop()))))))
+		return uint64(uint32(truncToI32(float64(AsF32(v)))))
 	case wasm.OpI32TruncF32U:
-		push(uint64(truncToU32(float64(AsF32(pop())))))
+		return uint64(truncToU32(float64(AsF32(v))))
 	case wasm.OpI32TruncF64S:
-		push(uint64(uint32(truncToI32(AsF64(pop())))))
+		return uint64(uint32(truncToI32(AsF64(v))))
 	case wasm.OpI32TruncF64U:
-		push(uint64(truncToU32(AsF64(pop()))))
+		return uint64(truncToU32(AsF64(v)))
 	case wasm.OpI64ExtendI32S:
-		push(uint64(int64(int32(pop()))))
+		return uint64(int64(int32(v)))
 	case wasm.OpI64ExtendI32U:
-		push(uint64(uint32(pop())))
+		return uint64(uint32(v))
 	case wasm.OpI64TruncF32S:
-		push(uint64(truncToI64(float64(AsF32(pop())))))
+		return uint64(truncToI64(float64(AsF32(v))))
 	case wasm.OpI64TruncF32U:
-		push(truncToU64(float64(AsF32(pop()))))
+		return truncToU64(float64(AsF32(v)))
 	case wasm.OpI64TruncF64S:
-		push(uint64(truncToI64(AsF64(pop()))))
+		return uint64(truncToI64(AsF64(v)))
 	case wasm.OpI64TruncF64U:
-		push(truncToU64(AsF64(pop())))
+		return truncToU64(AsF64(v))
 	case wasm.OpF32ConvertI32S:
-		push(F32(float32(int32(pop()))))
+		return F32(float32(int32(v)))
 	case wasm.OpF32ConvertI32U:
-		push(F32(float32(uint32(pop()))))
+		return F32(float32(uint32(v)))
 	case wasm.OpF32ConvertI64S:
-		push(F32(float32(int64(pop()))))
+		return F32(float32(int64(v)))
 	case wasm.OpF32ConvertI64U:
-		push(F32(float32(pop())))
+		return F32(float32(v))
 	case wasm.OpF32DemoteF64:
-		push(F32(float32(AsF64(pop()))))
+		return F32(float32(AsF64(v)))
 	case wasm.OpF64ConvertI32S:
-		push(F64(float64(int32(pop()))))
+		return F64(float64(int32(v)))
 	case wasm.OpF64ConvertI32U:
-		push(F64(float64(uint32(pop()))))
+		return F64(float64(uint32(v)))
 	case wasm.OpF64ConvertI64S:
-		push(F64(float64(int64(pop()))))
+		return F64(float64(int64(v)))
 	case wasm.OpF64ConvertI64U:
-		push(F64(float64(pop())))
+		return F64(float64(v))
 	case wasm.OpF64PromoteF32:
-		push(F64(float64(AsF32(pop()))))
+		return F64(float64(AsF32(v)))
 	case wasm.OpI32ReinterpretF32, wasm.OpI64ReinterpretF64,
 		wasm.OpF32ReinterpretI32, wasm.OpF64ReinterpretI64:
-		// Bit patterns are already the stack representation.
-
-	default:
-		panic("interp: unhandled opcode " + op.String())
+		return v
 	}
-	return stack
+	panic("interp: unhandled unary opcode " + op.String())
 }

@@ -1,0 +1,117 @@
+package interp_test
+
+// BenchmarkFusion_* isolate one superinstruction class each, so a regression
+// in a single fusion shows up as a regression in exactly one benchmark.
+// Every module runs the same shape of counted loop; the loop bodies differ
+// only in which fused pattern they are saturated with.
+
+import (
+	"testing"
+
+	"wasabi/internal/builder"
+	"wasabi/internal/interp"
+	"wasabi/internal/wasm"
+)
+
+const fusionLoopN = 10_000
+
+// benchLoop instantiates the module and times repeated Invoke("run", n).
+func benchLoop(b *testing.B, m *wasm.Module) {
+	b.Helper()
+	inst, err := interp.Instantiate(m, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []interp.Value{interp.I32(fusionLoopN)}
+	if _, err := inst.Invoke("run", args...); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Invoke("run", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// loopModule builds `run(n)`: a loop executing body n times with locals
+// i (index) and acc, returning acc. The loop condition is itself the fused
+// compare-and-branch pattern.
+func loopModule(body func(f *builder.FuncBuilder, i, acc uint32)) *wasm.Module {
+	b := builder.New()
+	b.Memory(1)
+	f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+	i := f.Local(wasm.I32)
+	acc := f.Local(wasm.I32)
+	f.Block().Loop()
+	f.Get(i).Get(0).Op(wasm.OpI32GeS).BrIf(1)
+	body(f, i, acc)
+	f.Get(i).I32(1).Op(wasm.OpI32Add).Set(i)
+	f.Br(0)
+	f.End().End()
+	f.Get(acc)
+	f.Done()
+	return b.Build()
+}
+
+// BenchmarkFusion_GetGetBin: local.get;local.get;binop → one instruction.
+func BenchmarkFusion_GetGetBin(b *testing.B) {
+	benchLoop(b, loopModule(func(f *builder.FuncBuilder, i, acc uint32) {
+		f.Get(acc).Get(i).Op(wasm.OpI32Add).Set(acc)
+		f.Get(acc).Get(i).Op(wasm.OpI32Xor).Set(acc)
+	}))
+}
+
+// BenchmarkFusion_ConstBin: const;binop → one instruction.
+func BenchmarkFusion_ConstBin(b *testing.B) {
+	benchLoop(b, loopModule(func(f *builder.FuncBuilder, i, acc uint32) {
+		f.Get(acc).I32(3).Op(wasm.OpI32Mul).I32(7).Op(wasm.OpI32Add).Set(acc)
+	}))
+}
+
+// BenchmarkFusion_GetConstCmpBrIf: the dominant loop-condition pattern
+// local.get;const;compare;br_if → one instruction (the loop header of every
+// module here uses the two-local variant; this body adds the const form).
+func BenchmarkFusion_GetConstCmpBrIf(b *testing.B) {
+	benchLoop(b, loopModule(func(f *builder.FuncBuilder, i, acc uint32) {
+		f.Block()
+		f.Get(i).I32(1 << 30).Op(wasm.OpI32LtS).BrIf(0) // fused, almost always taken
+		f.Get(acc).I32(1).Op(wasm.OpI32Add).Set(acc)    // nearly never runs
+		f.End()
+		f.Get(acc).I32(1).Op(wasm.OpI32Add).Set(acc)
+	}))
+}
+
+// BenchmarkFusion_GetLoadStore: local.get;load and local.get;store with the
+// static offset folded into the instruction.
+func BenchmarkFusion_GetLoadStore(b *testing.B) {
+	benchLoop(b, loopModule(func(f *builder.FuncBuilder, i, acc uint32) {
+		f.I32(48).Get(i).Store(wasm.OpI32Store, 0)   // iGetStore: value from a local
+		f.Get(acc).Load(wasm.OpI32Load, 16).Set(acc) // iGetLoad: address from a local
+		f.Get(i).Load(wasm.OpI32Load8U, 4).Drop()    // iGetLoad with sign/zero mode
+	}))
+}
+
+// BenchmarkFusion_MultiPush: const;const and local.get;local.get;local.get
+// hook-prologue shapes (iConst2 / iGetGetGet feeding a call-free sink).
+func BenchmarkFusion_MultiPush(b *testing.B) {
+	benchLoop(b, loopModule(func(f *builder.FuncBuilder, i, acc uint32) {
+		f.I32(11).I32(13).Op(wasm.OpI32Add) // iConst2 folds to a const here
+		f.Get(acc).Get(i).Get(i)            // iGetGetGet
+		f.Op(wasm.OpI32Mul).Op(wasm.OpI32Add)
+		f.Op(wasm.OpI32Add).Set(acc)
+	}))
+}
+
+// BenchmarkFusion_SetTee: the set;tee scratch-local pair the instrumenter
+// wraps around every hooked binary instruction.
+func BenchmarkFusion_SetTee(b *testing.B) {
+	benchLoop(b, loopModule(func(f *builder.FuncBuilder, i, acc uint32) {
+		s := f.Local(wasm.I32)
+		f.Get(acc).Get(i)
+		f.Emit(wasm.LocalSet(s), wasm.LocalTee(acc)) // the scratch pair
+		f.Drop()
+		f.Get(acc).Get(s).Op(wasm.OpI32Add).Set(acc)
+	}))
+}

@@ -65,25 +65,26 @@ type funcInst struct {
 	code    *compiledFunc // nil for host functions
 }
 
-// compiledFunc is a defined function with precomputed control-flow matches.
+// compiledFunc is a defined function lowered to the direct-threaded internal
+// form: a flat instruction array with pre-resolved branch targets, packed
+// stack adjustments, fused superinstructions, and a precomputed operand-stack
+// high-water mark (see compile.go).
 type compiledFunc struct {
 	sig       wasm.FuncType
 	numParams int
 	numLocals int // params + declared locals
-	body      []wasm.Instr
-	brTargets []uint32 // br_table target pool (Func.BrTargets)
-	matchEnd  []int32  // per instruction: matching end for block/loop/if
-	matchElse []int32  // per instruction: else pc for if, or -1
+	code      []instr
+	brPool    []brEntry // pre-resolved br_table targets
+	maxStack  int       // operand-stack high-water mark
 }
 
 // frame is one reusable interpreter activation record: the locals, value
-// stack, label stack, and result buffer of a call at one nesting depth. The
-// instance keeps an arena of frames indexed by call depth, so repeated calls
-// allocate nothing once the arena's buffers have grown to steady state.
+// stack, and result buffer of a call at one nesting depth. The instance
+// keeps an arena of frames indexed by call depth, so repeated calls allocate
+// nothing once the arena's buffers have grown to steady state.
 type frame struct {
 	locals []Value
 	stack  []Value
-	labels []label
 	result []Value
 }
 
@@ -182,7 +183,7 @@ func Instantiate(m *wasm.Module, imports Imports) (*Instance, error) {
 		if int(f.TypeIdx) >= len(m.Types) {
 			return nil, fmt.Errorf("interp: function %d type index out of range", i)
 		}
-		cf, err := compile(m.Types[f.TypeIdx], f)
+		cf, err := compileFunc(m, m.Types[f.TypeIdx], f)
 		if err != nil {
 			return nil, fmt.Errorf("interp: function %d: %w", i, err)
 		}
@@ -267,75 +268,6 @@ func (inst *Instance) evalConstExpr(expr []wasm.Instr) (Value, error) {
 	return 0, fmt.Errorf("non-constant instruction %s", in.Op)
 }
 
-// compile precomputes structured control-flow matches for a function body:
-// for every block/loop/if, the pc of its matching end (and else, for ifs).
-func compile(sig wasm.FuncType, f *wasm.Func) (*compiledFunc, error) {
-	cf := &compiledFunc{
-		sig:       sig,
-		numParams: len(sig.Params),
-		numLocals: len(sig.Params) + len(f.Locals),
-		body:      f.Body,
-		brTargets: f.BrTargets,
-		matchEnd:  make([]int32, len(f.Body)),
-		matchElse: make([]int32, len(f.Body)),
-	}
-	for i := range cf.matchElse {
-		cf.matchElse[i] = -1
-		cf.matchEnd[i] = -1
-	}
-	var stack []int
-	sawFuncEnd := false
-	for pc, in := range f.Body {
-		switch in.Op {
-		case wasm.OpBrTable:
-			// Check the target span against the pool here so a malformed
-			// module fails instantiation instead of panicking mid-execution.
-			if off, cnt := in.BrTableSpan(); off+cnt > len(f.BrTargets) {
-				return nil, fmt.Errorf("br_table at pc %d: target span [%d:%d] exceeds pool (%d)",
-					pc, off, off+cnt, len(f.BrTargets))
-			}
-		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
-			stack = append(stack, pc)
-		case wasm.OpElse:
-			if len(stack) == 0 {
-				return nil, fmt.Errorf("else without if at pc %d", pc)
-			}
-			entry := stack[len(stack)-1]
-			opener := entry & 0xFFFFFFFF
-			if entry>>32 != 0 || f.Body[opener].Op != wasm.OpIf {
-				return nil, fmt.Errorf("else without if at pc %d", pc)
-			}
-			cf.matchElse[opener] = int32(pc)
-			// The else shares the end of its if; leave the opener on the
-			// stack and record the else so end links both.
-			stack[len(stack)-1] = opener | (pc << 32)
-		case wasm.OpEnd:
-			if len(stack) == 0 {
-				// Function-body end: must be the last instruction.
-				if pc != len(f.Body)-1 {
-					return nil, fmt.Errorf("function-level end at pc %d is not final", pc)
-				}
-				sawFuncEnd = true
-				continue
-			}
-			entry := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			opener := entry & 0xFFFFFFFF
-			cf.matchEnd[opener] = int32(pc)
-			if elsePC := entry >> 32; elsePC != 0 {
-				cf.matchEnd[elsePC] = int32(pc)
-			}
-		}
-	}
-	if len(stack) != 0 {
-		return nil, fmt.Errorf("%d unclosed blocks", len(stack))
-	}
-	if !sawFuncEnd {
-		return nil, fmt.Errorf("missing function-level end")
-	}
-	return cf, nil
-}
-
 // Invoke calls an exported function by name.
 func (inst *Instance) Invoke(name string, args ...Value) ([]Value, error) {
 	idx, ok := inst.Module.ExportedFunc(name)
@@ -396,14 +328,7 @@ func (inst *Instance) invoke(idx uint32, args []Value) []Value {
 	}
 	fi := &inst.funcs[idx]
 	if fi.host != nil {
-		res, err := fi.host.Fn(inst, args)
-		if err != nil {
-			if t, ok := err.(*Trap); ok {
-				panic(t)
-			}
-			panic(&Trap{Code: "host function error", Info: err.Error()})
-		}
-		return res
+		return inst.callHost(fi.host, args)
 	}
 	inst.callDepth++
 	if inst.callDepth > inst.maxDepth {
@@ -412,5 +337,18 @@ func (inst *Instance) invoke(idx uint32, args []Value) []Value {
 	fr := inst.frameAt(inst.callDepth - 1)
 	res := inst.exec(fi.code, args, fr)
 	inst.callDepth--
+	return res
+}
+
+// callHost invokes a host function, converting its error into a trap panic.
+// Shared by invoke and exec's direct host-call fast path (iCallHost).
+func (inst *Instance) callHost(hf *HostFunc, args []Value) []Value {
+	res, err := hf.Fn(inst, args)
+	if err != nil {
+		if t, ok := err.(*Trap); ok {
+			panic(t)
+		}
+		panic(&Trap{Code: "host function error", Info: err.Error()})
+	}
 	return res
 }

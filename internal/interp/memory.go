@@ -4,10 +4,13 @@ import (
 	"wasabi/internal/wasm"
 )
 
-// Memory is an instantiated linear memory.
+// Memory is an instantiated linear memory. HasMax records whether the module
+// declared a maximum at all: a declared maximum of 0 is a real limit (the
+// memory may never grow), which is different from "no maximum".
 type Memory struct {
 	Data   []byte
-	MaxPgs uint32 // 0 means limited only by the implementation cap
+	MaxPgs uint32 // the declared maximum; meaningful only when HasMax
+	HasMax bool
 }
 
 // maxPagesCap bounds memory growth to 512 MiB to protect the host process.
@@ -15,23 +18,24 @@ const maxPagesCap = 8192
 
 // NewMemory allocates a memory with the given limits.
 func NewMemory(l wasm.Limits) *Memory {
-	m := &Memory{Data: make([]byte, int(l.Min)*wasm.PageSize)}
-	if l.HasMax {
-		m.MaxPgs = l.Max
+	return &Memory{
+		Data:   make([]byte, int(l.Min)*wasm.PageSize),
+		MaxPgs: l.Max,
+		HasMax: l.HasMax,
 	}
-	return m
 }
 
 // Pages returns the current size in 64 KiB pages.
 func (m *Memory) Pages() uint32 { return uint32(len(m.Data) / wasm.PageSize) }
 
 // Grow adds delta pages, returning the previous page count, or -1 on failure
-// (the memory.grow semantics).
+// (the memory.grow semantics). Growth fails past the declared maximum — even
+// a declared maximum of 0 — or past the implementation cap.
 func (m *Memory) Grow(delta uint32) int32 {
 	old := m.Pages()
 	newPages := uint64(old) + uint64(delta)
 	limit := uint64(maxPagesCap)
-	if m.MaxPgs != 0 && uint64(m.MaxPgs) < limit {
+	if m.HasMax && uint64(m.MaxPgs) < limit {
 		limit = uint64(m.MaxPgs)
 	}
 	if newPages > limit {
@@ -86,19 +90,43 @@ func (m *Memory) store(addr, offset, size uint32, v uint64) {
 }
 
 // Table is an instantiated funcref table; -1 marks uninitialized slots.
+// Like Memory, HasMax distinguishes a declared maximum of 0 (a real limit)
+// from "no maximum".
 type Table struct {
-	Elems []int64
-	Max   uint32
+	Elems  []int64
+	Max    uint32 // the declared maximum; meaningful only when HasMax
+	HasMax bool
 }
+
+// maxTableCap bounds host-driven table growth, mirroring maxPagesCap.
+const maxTableCap = 1 << 20
 
 // NewTable allocates a table with the given limits.
 func NewTable(l wasm.Limits) *Table {
-	t := &Table{Elems: make([]int64, l.Min)}
+	t := &Table{Elems: make([]int64, l.Min), Max: l.Max, HasMax: l.HasMax}
 	for i := range t.Elems {
 		t.Elems[i] = -1
 	}
-	if l.HasMax {
-		t.Max = l.Max
-	}
 	return t
+}
+
+// Grow adds delta uninitialized slots, returning the previous element count,
+// or -1 when growth would exceed the declared maximum (even a maximum of 0)
+// or the implementation cap. The MVP has no table.grow instruction; this is
+// the embedder-facing path (reference-types-style semantics).
+func (t *Table) Grow(delta uint32) int32 {
+	old := uint32(len(t.Elems))
+	newLen := uint64(old) + uint64(delta)
+	limit := uint64(maxTableCap)
+	if t.HasMax && uint64(t.Max) < limit {
+		limit = uint64(t.Max)
+	}
+	if newLen > limit {
+		return -1
+	}
+	t.Elems = append(t.Elems, make([]int64, delta)...)
+	for i := old; i < uint32(newLen); i++ {
+		t.Elems[i] = -1
+	}
+	return int32(old)
 }

@@ -147,8 +147,7 @@ func (r *Runtime) Imports() interp.Imports {
 					// start function, before BindInstance could run.
 					r.inst = inst
 				}
-				r.dispatch(&spec, args)
-				return nil, nil
+				return nil, r.dispatch(&spec, args)
 			},
 		}
 	}
@@ -190,8 +189,12 @@ func (ar *argReader) values(ts []wasm.ValType) []analysis.Value {
 }
 
 // dispatch decodes one low-level hook call and invokes the matching
-// high-level hook, if the analysis implements it.
-func (r *Runtime) dispatch(spec *core.HookSpec, args []interp.Value) {
+// high-level hook, if the analysis implements it. A mismatch between the
+// instrumented module and the metadata (which can only happen when an
+// embedder corrupts or mixes up Metadata) is reported as a trap error, not a
+// host-process panic: the guest instruction stream must never be able to
+// take the embedder down.
+func (r *Runtime) dispatch(spec *core.HookSpec, args []interp.Value) error {
 	ar := &argReader{args: args}
 	loc := analysis.Location{Func: int(ar.i32()), Instr: int(ar.i32())}
 
@@ -222,7 +225,7 @@ func (r *Runtime) dispatch(spec *core.HookSpec, args []interp.Value) {
 			r.brIf(loc, analysis.BranchTarget{Label: label, Location: analysis.Location{Func: loc.Func, Instr: instr}}, cond)
 		}
 	case analysis.KindBrTable:
-		r.dispatchBrTable(loc, ar)
+		return r.dispatchBrTable(loc, ar)
 	case analysis.KindBegin:
 		if r.begin != nil {
 			r.begin(loc, spec.Block)
@@ -302,6 +305,7 @@ func (r *Runtime) dispatch(spec *core.HookSpec, args []interp.Value) {
 			r.start(loc)
 		}
 	}
+	return nil
 }
 
 func (r *Runtime) dispatchCall(loc analysis.Location, spec *core.HookSpec, ar *argReader) {
@@ -332,11 +336,22 @@ func (r *Runtime) dispatchCall(loc analysis.Location, spec *core.HookSpec, ar *a
 	r.callPre(loc, target, args, int64(first))
 }
 
-func (r *Runtime) dispatchBrTable(loc analysis.Location, ar *argReader) {
+// TrapInvalidMetadata is the trap code reported when an instrumented module
+// references instrumentation metadata that does not exist (corrupted or
+// mismatched core.Metadata).
+const TrapInvalidMetadata = "invalid instrumentation metadata"
+
+func (r *Runtime) dispatchBrTable(loc analysis.Location, ar *argReader) error {
 	metaIdx := int(ar.i32())
 	idx := ar.u32()
 	if metaIdx < 0 || metaIdx >= len(r.meta.BrTables) {
-		panic(fmt.Sprintf("runtime: br_table metadata index %d out of range", metaIdx))
+		// Surfaced as an interp.Trap through the host-function error path:
+		// the invoking Invoke returns it as an error instead of the previous
+		// unrecovered panic of the whole host process.
+		return &interp.Trap{
+			Code: TrapInvalidMetadata,
+			Info: fmt.Sprintf("br_table metadata index %d out of range (have %d) at %v", metaIdx, len(r.meta.BrTables), loc),
+		}
 	}
 	info := &r.meta.BrTables[metaIdx]
 
@@ -360,4 +375,5 @@ func (r *Runtime) dispatchBrTable(loc analysis.Location, ar *argReader) {
 		deflt := analysis.BranchTarget{Label: info.Default.Label, Location: analysis.Location{Func: loc.Func, Instr: info.Default.Instr}}
 		r.brTable(loc, table, deflt, idx)
 	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package runtime_test
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"wasabi/internal/analysis"
@@ -223,5 +225,56 @@ func TestCallPrePostPairing(t *testing.T) {
 	args := a.preArgs[0]
 	if len(args) != 3 || args[0].I64() != 1<<40 || args[1].F64() != 2.5 || args[2].I32() != 9 {
 		t.Errorf("decoded args = %v", args)
+	}
+}
+
+// TestCorruptedBrTableMetadataTraps: an out-of-range br_table metadata index
+// must surface as a trap error from Invoke, not panic the host process
+// (regression test: this used to be an unrecovered panic).
+func TestCorruptedBrTableMetadataTraps(t *testing.T) {
+	b := builder.New()
+	f := b.Func("f", builder.V(wasm.I32), builder.V(wasm.I32))
+	f.Block().Block()
+	f.Get(0)
+	f.BrTable([]uint32{0}, 1)
+	f.End().End()
+	f.Get(0)
+	f.Done()
+	m := b.Build()
+
+	a := &nestingAnalysis{}
+	instrumented, md, err := core.Instrument(m, core.Options{Hooks: analysis.AllHooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the metadata the way a mixed-up or truncated Metadata value
+	// would look: the module still calls the br_table hook with its original
+	// metadata index, which now points past the table.
+	md.BrTables = nil
+
+	rt := wruntime.New(md, a)
+	inst, err := interp.Instantiate(instrumented, rt.Imports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("corrupted metadata panicked the host: %v", r)
+		}
+	}()
+	_, err = inst.Invoke("f", interp.I32(0))
+	if err == nil {
+		t.Fatal("expected a trap error for corrupted br_table metadata")
+	}
+	if !strings.Contains(err.Error(), wruntime.TrapInvalidMetadata) {
+		t.Errorf("error %q does not mention %q", err, wruntime.TrapInvalidMetadata)
+	}
+	var trap *interp.Trap
+	if !errors.As(err, &trap) {
+		t.Errorf("error is %T, want *interp.Trap", err)
+	}
+	// The instance must stay usable with intact metadata semantics aside.
+	if _, err := inst.Invoke("f", interp.I32(0)); err == nil {
+		t.Error("second invoke should also trap, not panic")
 	}
 }

@@ -281,6 +281,17 @@ var opByName = func() map[string]Opcode {
 	return m
 }()
 
+// opNameTable is opNames as a dense array: String is on the hot path of the
+// runtime's hook dispatch (one call per instrumented instruction executed),
+// where a map lookup per event dominated the per-hook profile.
+var opNameTable = func() [256]string {
+	var t [256]string
+	for op, name := range opNames {
+		t[op] = name
+	}
+	return t
+}()
+
 // OpcodeByName returns the opcode with the given text-format name.
 func OpcodeByName(name string) (Opcode, bool) {
 	op, ok := opByName[name]
@@ -294,7 +305,7 @@ func (op Opcode) Known() bool {
 }
 
 func (op Opcode) String() string {
-	if s, ok := opNames[op]; ok {
+	if s := opNameTable[op]; s != "" {
 		return s
 	}
 	return fmt.Sprintf("opcode(0x%02x)", byte(op))
