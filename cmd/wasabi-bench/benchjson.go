@@ -32,6 +32,10 @@ type BenchReport struct {
 	// measured before the allocation-free instrumentation pipeline landed.
 	SeedBaseline map[string]BenchResult `json:"seed_baseline"`
 	Current      map[string]BenchResult `json:"current"`
+	// References freezes named measurement snapshots taken right before a
+	// specific optimization landed, so its effect stays machine-readable
+	// without re-running old trees.
+	References map[string]map[string]BenchResult `json:"references,omitempty"`
 }
 
 // Fig9Hook is one per-hook row of BENCH_fig9.json: absolute time and the
@@ -57,6 +61,9 @@ type Fig9Report struct {
 	BaselineNsPerOp float64             `json:"baseline_ns_per_op"`
 	Hooks           map[string]Fig9Hook `json:"hooks"`
 	PR1Reference    Fig9Reference       `json:"pr1_reference"`
+	// PR2Reference freezes the generic-dispatch (Kind-switch + argReader)
+	// numbers the per-spec trampolines replaced.
+	PR2Reference Fig9Reference `json:"pr2_reference"`
 }
 
 // seedBaseline records the pre-optimization numbers of the headline Table 5
@@ -77,6 +84,31 @@ var pr1Reference = Fig9Reference{
 	BaselineNsPerOp: 921420,
 	BinaryRatio:     5.98,
 	AllRatio:        11.25,
+}
+
+// pr2Reference records the numbers after PR 2 (threaded-code interpreter,
+// generic Kind-switch hook dispatch), measured before the per-spec compiled
+// trampolines + zero-copy host calls landed.
+var pr2Reference = Fig9Reference{
+	BaselineNsPerOp: 513672,
+	BinaryRatio:     5.15,
+	AllRatio:        10.32,
+}
+
+// pr3RemapBefore records Table5_InstrumentApp right before the index-remap
+// pass was restricted to recorded call sites (PR 3). Like every frozen
+// reference in this file, it was measured on the runner that produced the
+// committed "current" numbers at the time — a regenerated report is only a
+// same-machine before/after comparison if regenerated on comparable
+// hardware, which is why CI's refreshed JSONs are uploaded as informational
+// artifacts rather than committed directly.
+var pr3RemapBefore = map[string]BenchResult{
+	"Table5_InstrumentApp": {
+		NsPerOp:     64740268,
+		MBPerS:      13.02,
+		BytesPerOp:  62686694,
+		AllocsPerOp: 32698,
+	},
 }
 
 func toResult(r testing.BenchmarkResult, bytesProcessed int64) BenchResult {
@@ -216,7 +248,11 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 	}
 
 	if instrPath != "" {
-		report := BenchReport{SeedBaseline: seedBaseline, Current: cur}
+		report := BenchReport{
+			SeedBaseline: seedBaseline,
+			Current:      cur,
+			References:   map[string]map[string]BenchResult{"pr3_remap_before": pr3RemapBefore},
+		}
 		if err := writeJSONFile(instrPath, &report); err != nil {
 			return err
 		}
@@ -226,6 +262,7 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 			BaselineNsPerOp: baseline.NsPerOp,
 			Hooks:           hooks,
 			PR1Reference:    pr1Reference,
+			PR2Reference:    pr2Reference,
 		}
 		if err := writeJSONFile(fig9Path, &report); err != nil {
 			return err

@@ -1,17 +1,23 @@
 package wasabi_test
 
 // TestFig9BaselineGuard is CI's interpreter-performance smoke: it re-measures
-// the Fig 9 baseline (uninstrumented gemm on the interpreter) and fails when
-// it has regressed more than 2x against the committed BENCH_fig9.json. The
-// 2x margin absorbs runner-to-runner variance while still catching a real
-// dispatch-loop regression. Gated behind FIG9_GUARD so ordinary `go test`
-// runs stay timing-independent.
+// the Fig 9 baseline (uninstrumented gemm on the interpreter) plus the two
+// headline instrumented configurations (`binary` and `all` hooks, empty
+// analysis) and fails when the baseline ns/op or either hook ratio has
+// regressed more than 2x against the committed BENCH_fig9.json. The 2x
+// margin absorbs runner-to-runner variance while still catching a real
+// dispatch-loop or hook-dispatch regression. Gated behind FIG9_GUARD so
+// ordinary `go test` runs stay timing-independent.
 
 import (
 	"encoding/json"
 	"os"
 	"testing"
 
+	"wasabi"
+	"wasabi/internal/analyses"
+	"wasabi/internal/analysis"
+	"wasabi/internal/core"
 	"wasabi/internal/interp"
 	"wasabi/internal/polybench"
 )
@@ -26,6 +32,9 @@ func TestFig9BaselineGuard(t *testing.T) {
 	}
 	var report struct {
 		BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+		Hooks           map[string]struct {
+			Ratio float64 `json:"ratio"`
+		} `json:"hooks"`
 	}
 	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatalf("BENCH_fig9.json: %v", err)
@@ -38,21 +47,56 @@ func TestFig9BaselineGuard(t *testing.T) {
 	if !ok {
 		t.Fatal("gemm kernel missing")
 	}
+	measure := func(inst *interp.Instance) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := inst.Invoke("kernel"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+
 	inst, err := interp.Instantiate(k.Module(16), polybench.HostImports(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := inst.Invoke("kernel"); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	measured := float64(r.NsPerOp())
+	baseline := measure(inst)
 	limit := 2 * report.BaselineNsPerOp
-	t.Logf("Fig9 baseline: measured %.0f ns/op, recorded %.0f ns/op (limit %.0f)", measured, report.BaselineNsPerOp, limit)
-	if measured > limit {
-		t.Errorf("Fig9 baseline regressed >2x: %.0f ns/op vs recorded %.0f ns/op", measured, report.BaselineNsPerOp)
+	t.Logf("Fig9 baseline: measured %.0f ns/op, recorded %.0f ns/op (limit %.0f)", baseline, report.BaselineNsPerOp, limit)
+	if baseline > limit {
+		t.Errorf("Fig9 baseline regressed >2x: %.0f ns/op vs recorded %.0f ns/op", baseline, report.BaselineNsPerOp)
+	}
+
+	// Hook-dispatch guard: the binary and all ratios against the same-run
+	// baseline, compared to the recorded ratios. Ratios divide out machine
+	// speed, so the 2x margin here watches the dispatch path specifically.
+	for _, cfg := range []struct {
+		name string
+		set  analysis.HookSet
+	}{
+		{"binary", analysis.Set(analysis.KindBinary)},
+		{"all", analysis.AllHooks},
+	} {
+		recorded, ok := report.Hooks[cfg.name]
+		if !ok || recorded.Ratio <= 0 {
+			t.Errorf("BENCH_fig9.json has no recorded %q ratio", cfg.name)
+			continue
+		}
+		sess, err := wasabi.AnalyzeWithOptions(k.Module(16), &analyses.Empty{}, core.Options{Hooks: cfg.set})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hinst, err := sess.Instantiate(polybench.HostImports(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := measure(hinst) / baseline
+		rlimit := 2 * recorded.Ratio
+		t.Logf("Fig9 %s: measured ratio %.2fx, recorded %.2fx (limit %.2fx)", cfg.name, ratio, recorded.Ratio, rlimit)
+		if ratio > rlimit {
+			t.Errorf("Fig9 %s ratio regressed >2x: %.2fx vs recorded %.2fx", cfg.name, ratio, recorded.Ratio)
+		}
 	}
 }

@@ -131,76 +131,4 @@ func ParseHookSet(s string) (HookSet, bool) {
 // HooksOf inspects which hook interfaces the analysis implements and returns
 // the matching hook set. This is how Wasabi decides what to instrument for a
 // given analysis (selective instrumentation, paper §2.4.2).
-func HooksOf(a any) HookSet {
-	var s HookSet
-	if _, ok := a.(NopHooker); ok {
-		s = s.With(KindNop)
-	}
-	if _, ok := a.(UnreachableHooker); ok {
-		s = s.With(KindUnreachable)
-	}
-	if _, ok := a.(MemorySizeHooker); ok {
-		s = s.With(KindMemorySize)
-	}
-	if _, ok := a.(MemoryGrowHooker); ok {
-		s = s.With(KindMemoryGrow)
-	}
-	if _, ok := a.(SelectHooker); ok {
-		s = s.With(KindSelect)
-	}
-	if _, ok := a.(DropHooker); ok {
-		s = s.With(KindDrop)
-	}
-	if _, ok := a.(LoadHooker); ok {
-		s = s.With(KindLoad)
-	}
-	if _, ok := a.(StoreHooker); ok {
-		s = s.With(KindStore)
-	}
-	if _, ok := a.(CallPreHooker); ok {
-		s = s.With(KindCall)
-	}
-	if _, ok := a.(CallPostHooker); ok {
-		s = s.With(KindCall)
-	}
-	if _, ok := a.(ReturnHooker); ok {
-		s = s.With(KindReturn)
-	}
-	if _, ok := a.(ConstHooker); ok {
-		s = s.With(KindConst)
-	}
-	if _, ok := a.(UnaryHooker); ok {
-		s = s.With(KindUnary)
-	}
-	if _, ok := a.(BinaryHooker); ok {
-		s = s.With(KindBinary)
-	}
-	if _, ok := a.(GlobalHooker); ok {
-		s = s.With(KindGlobal)
-	}
-	if _, ok := a.(LocalHooker); ok {
-		s = s.With(KindLocal)
-	}
-	if _, ok := a.(BeginHooker); ok {
-		s = s.With(KindBegin)
-	}
-	if _, ok := a.(EndHooker); ok {
-		s = s.With(KindEnd)
-	}
-	if _, ok := a.(IfHooker); ok {
-		s = s.With(KindIf)
-	}
-	if _, ok := a.(BrHooker); ok {
-		s = s.With(KindBr)
-	}
-	if _, ok := a.(BrIfHooker); ok {
-		s = s.With(KindBrIf)
-	}
-	if _, ok := a.(BrTableHooker); ok {
-		s = s.With(KindBrTable)
-	}
-	if _, ok := a.(StartHooker); ok {
-		s = s.With(KindStart)
-	}
-	return s
-}
+func HooksOf(a any) HookSet { return CapsOf(a).HookSet() }

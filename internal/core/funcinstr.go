@@ -97,6 +97,12 @@ type funcInstrumenter struct {
 	ctrlPCs   []int
 	savedBuf  []uint32
 
+	// callSites records the output-body index of every emitted OpCall
+	// instruction (original calls and hook calls alike), so the final
+	// index-remap pass touches exactly those instructions instead of
+	// rescanning every body.
+	callSites []uint32
+
 	// cache resolves hook indices by cheap integer keys so only the first
 	// use of a hook per run constructs a HookSpec and hits the shared
 	// (locked) registry. Valid for the lifetime of one Instrument run.
@@ -140,11 +146,12 @@ func releaseInstrumenter(fi *funcInstrumenter) {
 }
 
 // instrumentFunc rewrites the body of the defined function at definedIdx.
-// It returns the new body, the scratch locals to append, and the br_table
-// metadata records (whose indices start at brTableBase). The returned slices
-// are exact-size copies owned by the caller; the instrumenter's internal
-// buffers are reused for the next function.
-func (fi *funcInstrumenter) instrumentFunc(definedIdx int, isStart bool, brTableBase int) (body []wasm.Instr, extraLocals []wasm.ValType, brTables []BrTableInfo, err error) {
+// It returns the new body, the scratch locals to append, the br_table
+// metadata records (whose indices start at brTableBase), and the indices of
+// the emitted OpCall instructions (for the restricted remap pass). The
+// returned slices are exact-size copies owned by the caller; the
+// instrumenter's internal buffers are reused for the next function.
+func (fi *funcInstrumenter) instrumentFunc(definedIdx int, isStart bool, brTableBase int) (body []wasm.Instr, extraLocals []wasm.ValType, brTables []BrTableInfo, callSites []uint32, err error) {
 	f := &fi.mod.Funcs[definedIdx]
 	fi.funcIdx = fi.mod.NumImportedFuncs() + definedIdx
 	fi.typeIdx = f.TypeIdx
@@ -169,9 +176,10 @@ func (fi *funcInstrumenter) instrumentFunc(definedIdx int, isStart bool, brTable
 	fi.isStart = isStart
 	fi.brTableBase = brTableBase
 	fi.brTables = nil
+	fi.callSites = fi.callSites[:0]
 
 	if err := fi.run(); err != nil {
-		return nil, nil, nil, fmt.Errorf("core: func %d: %w", fi.funcIdx, err)
+		return nil, nil, nil, nil, fmt.Errorf("core: func %d: %w", fi.funcIdx, err)
 	}
 	body = make([]wasm.Instr, len(fi.out))
 	copy(body, fi.out)
@@ -179,7 +187,11 @@ func (fi *funcInstrumenter) instrumentFunc(definedIdx int, isStart bool, brTable
 		extraLocals = make([]wasm.ValType, n)
 		copy(extraLocals, fi.scratch.types)
 	}
-	return body, extraLocals, fi.brTables, nil
+	if n := len(fi.callSites); n > 0 {
+		callSites = make([]uint32, n)
+		copy(callSites, fi.callSites)
+	}
+	return body, extraLocals, fi.brTables, callSites, nil
 }
 
 // expansionFactor estimates how many output instructions one input
@@ -218,6 +230,13 @@ func (fi *funcInstrumenter) savedScratch(n int) []uint32 {
 func (fi *funcInstrumenter) has(k analysis.HookKind) bool { return fi.set.Has(k) }
 
 func (fi *funcInstrumenter) emit(ins ...wasm.Instr) { fi.out = append(fi.out, ins...) }
+
+// emitCall appends one OpCall instruction, recording its body index so the
+// final remap pass visits only actual call sites.
+func (fi *funcInstrumenter) emitCall(in wasm.Instr) {
+	fi.callSites = append(fi.callSites, uint32(len(fi.out)))
+	fi.out = append(fi.out, in)
+}
 
 // emitLoc pushes the two i32 location arguments every hook receives.
 func (fi *funcInstrumenter) emitLoc(instrIdx int) {
@@ -524,7 +543,7 @@ func (fi *funcInstrumenter) instr(i int, in wasm.Instr, reachable bool, matchEnd
 
 	case wasm.OpCall:
 		if !reachable || !fi.has(analysis.KindCall) {
-			fi.emit(in)
+			fi.emitCall(in)
 			return nil
 		}
 		typeIdx, err := fi.mod.FuncTypeIdx(in.Idx)
@@ -764,8 +783,10 @@ func (fi *funcInstrumenter) emitCallHooks(i int, in wasm.Instr, typeIdx uint32, 
 	}
 	if indirect {
 		fi.emit(wasm.LocalGet(tblIdx))
+		fi.emit(in) // call_indirect carries a type index, not a function index
+	} else {
+		fi.emitCall(in)
 	}
-	fi.emit(in)
 
 	// call_post hook: (loc, results...). The arguments' saved slice is dead
 	// by now (last use was the restore before the call), so the scratch

@@ -122,12 +122,12 @@ func resetIdxSlice(s []uint32, n int) []uint32 {
 
 func (fi *funcInstrumenter) emitCached(slot *uint32, spec HookSpec) {
 	*slot = fi.hooks.get(spec) + 1
-	fi.emit(wasm.Call(*slot - 1))
+	fi.emitCall(wasm.Call(*slot - 1))
 }
 
 func (fi *funcInstrumenter) emitFixedHook(f fixedHook) {
 	if v := fi.cache.fixed[f]; v != 0 {
-		fi.emit(wasm.Call(v - 1))
+		fi.emitCall(wasm.Call(v - 1))
 		return
 	}
 	fi.emitCached(&fi.cache.fixed[f], fixedHookSpec(f))
@@ -136,7 +136,7 @@ func (fi *funcInstrumenter) emitFixedHook(f fixedHook) {
 // emitOpHook emits the hook for a unary, binary, load, or store opcode.
 func (fi *funcInstrumenter) emitOpHook(op wasm.Opcode) {
 	if v := fi.cache.byOp[op]; v != 0 {
-		fi.emit(wasm.Call(v - 1))
+		fi.emitCall(wasm.Call(v - 1))
 		return
 	}
 	var spec HookSpec
@@ -156,7 +156,7 @@ func (fi *funcInstrumenter) emitOpHook(op wasm.Opcode) {
 func (fi *funcInstrumenter) emitLocalHook(op wasm.Opcode, t wasm.ValType) {
 	slot := &fi.cache.local[op-wasm.OpLocalGet][vtIdx(t)]
 	if *slot != 0 {
-		fi.emit(wasm.Call(*slot - 1))
+		fi.emitCall(wasm.Call(*slot - 1))
 		return
 	}
 	fi.emitCached(slot, specLocal(op, t))
@@ -165,7 +165,7 @@ func (fi *funcInstrumenter) emitLocalHook(op wasm.Opcode, t wasm.ValType) {
 func (fi *funcInstrumenter) emitGlobalHook(op wasm.Opcode, t wasm.ValType) {
 	slot := &fi.cache.global[op-wasm.OpGlobalGet][vtIdx(t)]
 	if *slot != 0 {
-		fi.emit(wasm.Call(*slot - 1))
+		fi.emitCall(wasm.Call(*slot - 1))
 		return
 	}
 	fi.emitCached(slot, specGlobal(op, t))
@@ -174,7 +174,7 @@ func (fi *funcInstrumenter) emitGlobalHook(op wasm.Opcode, t wasm.ValType) {
 func (fi *funcInstrumenter) emitConstHook(t wasm.ValType) {
 	slot := &fi.cache.consts[vtIdx(t)]
 	if *slot != 0 {
-		fi.emit(wasm.Call(*slot - 1))
+		fi.emitCall(wasm.Call(*slot - 1))
 		return
 	}
 	fi.emitCached(slot, specConst(t))
@@ -183,7 +183,7 @@ func (fi *funcInstrumenter) emitConstHook(t wasm.ValType) {
 func (fi *funcInstrumenter) emitDropHook(t wasm.ValType) {
 	slot := &fi.cache.drop[vtIdx(t)]
 	if *slot != 0 {
-		fi.emit(wasm.Call(*slot - 1))
+		fi.emitCall(wasm.Call(*slot - 1))
 		return
 	}
 	fi.emitCached(slot, specDrop(t))
@@ -192,7 +192,7 @@ func (fi *funcInstrumenter) emitDropHook(t wasm.ValType) {
 func (fi *funcInstrumenter) emitSelectHook(t wasm.ValType) {
 	slot := &fi.cache.sel[vtIdx(t)]
 	if *slot != 0 {
-		fi.emit(wasm.Call(*slot - 1))
+		fi.emitCall(wasm.Call(*slot - 1))
 		return
 	}
 	fi.emitCached(slot, specSelect(t))
@@ -201,7 +201,7 @@ func (fi *funcInstrumenter) emitSelectHook(t wasm.ValType) {
 func (fi *funcInstrumenter) emitBeginHook(kind analysis.BlockKind) {
 	slot := &fi.cache.begin[blockKindIdx(kind)]
 	if *slot != 0 {
-		fi.emit(wasm.Call(*slot - 1))
+		fi.emitCall(wasm.Call(*slot - 1))
 		return
 	}
 	fi.emitCached(slot, specBegin(kind))
@@ -210,7 +210,7 @@ func (fi *funcInstrumenter) emitBeginHook(kind analysis.BlockKind) {
 func (fi *funcInstrumenter) emitEndHookCall(kind analysis.BlockKind) {
 	slot := &fi.cache.end[blockKindIdx(kind)]
 	if *slot != 0 {
-		fi.emit(wasm.Call(*slot - 1))
+		fi.emitCall(wasm.Call(*slot - 1))
 		return
 	}
 	fi.emitCached(slot, specEnd(kind))
@@ -223,7 +223,7 @@ func (fi *funcInstrumenter) emitCallPreHook(typeIdx uint32, sig wasm.FuncType, i
 	}
 	slot := &(*cache)[typeIdx]
 	if *slot != 0 {
-		fi.emit(wasm.Call(*slot - 1))
+		fi.emitCall(wasm.Call(*slot - 1))
 		return
 	}
 	fi.emitCached(slot, specCallPre(sig, indirect))
@@ -232,7 +232,7 @@ func (fi *funcInstrumenter) emitCallPreHook(typeIdx uint32, sig wasm.FuncType, i
 func (fi *funcInstrumenter) emitCallPostHook(typeIdx uint32, results []wasm.ValType) {
 	slot := &fi.cache.callPost[typeIdx]
 	if *slot != 0 {
-		fi.emit(wasm.Call(*slot - 1))
+		fi.emitCall(wasm.Call(*slot - 1))
 		return
 	}
 	fi.emitCached(slot, specCallPost(results))
@@ -243,7 +243,7 @@ func (fi *funcInstrumenter) emitCallPostHook(typeIdx uint32, results []wasm.ValT
 func (fi *funcInstrumenter) emitReturnHookCall() {
 	slot := &fi.cache.ret[fi.typeIdx]
 	if *slot != 0 {
-		fi.emit(wasm.Call(*slot - 1))
+		fi.emitCall(wasm.Call(*slot - 1))
 		return
 	}
 	fi.emitCached(slot, specReturn(fi.sig.Results))

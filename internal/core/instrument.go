@@ -69,10 +69,11 @@ func Instrument(m *wasm.Module, opts Options) (*wasm.Module, *Metadata, error) {
 	}
 
 	type result struct {
-		body     []wasm.Instr
-		locals   []wasm.ValType
-		brTables []BrTableInfo
-		err      error
+		body      []wasm.Instr
+		locals    []wasm.ValType
+		brTables  []BrTableInfo
+		callSites []uint32
+		err       error
 	}
 	results := make([]result, len(m.Funcs))
 
@@ -94,8 +95,8 @@ func Instrument(m *wasm.Module, opts Options) (*wasm.Module, *Metadata, error) {
 			if i >= len(m.Funcs) {
 				return
 			}
-			body, locals, brs, err := fi.instrumentFunc(i, i == startDefined, brBase[i])
-			results[i] = result{body, locals, brs, err}
+			body, locals, brs, calls, err := fi.instrumentFunc(i, i == startDefined, brBase[i])
+			results[i] = result{body, locals, brs, calls, err}
 		}
 	}
 	var next atomic.Int64
@@ -157,12 +158,13 @@ func Instrument(m *wasm.Module, opts Options) (*wasm.Module, *Metadata, error) {
 			return idx
 		}
 	}
+	// The instrumenter recorded the body index of every call it emitted, so
+	// the remap pass touches exactly those instructions instead of rescanning
+	// every (hook-call-dense) instrumented body.
 	for fi := range out.Funcs {
 		body := out.Funcs[fi].Body
-		for ii := range body {
-			if body[ii].Op == wasm.OpCall {
-				body[ii].Idx = remap(body[ii].Idx)
-			}
+		for _, ii := range results[fi].callSites {
+			body[ii].Idx = remap(body[ii].Idx)
 		}
 	}
 	for ei := range out.Elems {

@@ -61,9 +61,11 @@ const (
 
 	iCall         // a = function index (defined function), b = param count
 	iCallHost     // a = function index (imported host function), b = param count
+	iCallHostFast // iCallHost via the zero-copy Fast convention (result-less)
 	iCallIndirect // a = type index, b = param count
 
 	iDrop
+	iDropN // sp -= a (residue of a dead-hook call whose args could not all be unpushed)
 	iSelect
 	iLocalGet  // push locals[a]
 	iLocalSet  // locals[a] = pop
@@ -204,7 +206,8 @@ func (fr *cframe) branchArity() int {
 type compiler struct {
 	m        *wasm.Module
 	f        *wasm.Func
-	nLocals  int // params + declared locals
+	hosts    []*HostFunc // resolved imported functions, indexed by function index
+	nLocals  int         // params + declared locals
 	code     []instr
 	brPool   []brEntry
 	ctrl     []cframe
@@ -218,9 +221,12 @@ type compiler struct {
 // compileFunc lowers one function body into the threaded-code form. It
 // rejects structurally broken bodies (unbalanced control, operand underflow,
 // out-of-range indices), so a malformed module fails at instantiation
-// instead of corrupting the interpreter mid-run.
-func compileFunc(m *wasm.Module, sig wasm.FuncType, f *wasm.Func) (*compiledFunc, error) {
-	c := &compiler{m: m, f: f, nLocals: len(sig.Params) + len(f.Locals)}
+// instead of corrupting the interpreter mid-run. hosts is the resolved
+// imported-function vector (may be nil when compiling without an instance);
+// it lets the pass pick the Fast host-call convention and elide calls to
+// no-op hooks together with their argument lowering.
+func compileFunc(m *wasm.Module, sig wasm.FuncType, f *wasm.Func, hosts []*HostFunc) (*compiledFunc, error) {
+	c := &compiler{m: m, f: f, hosts: hosts, nLocals: len(sig.Params) + len(f.Locals)}
 	c.ctrl = append(c.ctrl, cframe{op: wasm.OpCall, arity: len(sig.Results), elseJump: -1})
 	for pc := range f.Body {
 		if err := c.step(f.Body[pc]); err != nil {
@@ -361,10 +367,23 @@ func (c *compiler) step(in wasm.Instr) error {
 		}
 		c.push(len(ft.Results))
 		// Host calls (hook dispatch in the instrumented setting) are resolved
-		// at compile time: the function index space puts imports first.
+		// at compile time: the function index space puts imports first. With
+		// the resolved import vector in hand the pass goes further: no-op
+		// hooks are not called at all — their argument lowering is unwound —
+		// and Fast-convention hooks get the zero-copy stack-window opcode.
 		callOp := iCall
 		if int(in.Idx) < c.m.NumImportedFuncs() {
 			callOp = iCallHost
+			if int(in.Idx) < len(c.hosts) && c.hosts[in.Idx] != nil && len(ft.Results) == 0 {
+				hf := c.hosts[in.Idx]
+				if hf.NoOp {
+					c.elideArgs(len(ft.Params))
+					return nil
+				}
+				if hf.Fast != nil {
+					callOp = iCallHostFast
+				}
+			}
 		}
 		c.emit(instr{op: callOp, a: in.Idx, b: uint32(len(ft.Params))})
 	case wasm.OpCallIndirect:
@@ -546,6 +565,58 @@ func (c *compiler) step(in wasm.Instr) error {
 		}
 	}
 	return nil
+}
+
+// elideArgs removes the lowering of the top n operand-stack values, used
+// when a call to a no-op hook is elided (dead-hook elision): the pushes that
+// materialized its arguments are unwound from the emitted suffix as long as
+// they are provably pure — constants, local reads, global reads, and the
+// fused multi-push forms of those (which are peeled value by value). Anything
+// else (a branch target boundary, a value produced by a call or a trapping
+// op) stops the unwind and the residue is discarded with a single iDropN.
+func (c *compiler) elideArgs(n int) {
+	for n > 0 && len(c.code) > c.barrier {
+		k := len(c.code)
+		switch prev := &c.code[k-1]; prev.op {
+		case iConst, iLocalGet, iGlobalGet:
+			c.code = c.code[:k-1]
+			n--
+		case iConst2:
+			if n >= 2 {
+				c.code = c.code[:k-1]
+				n -= 2
+			} else {
+				*prev = instr{op: iConst, bits: uint64(prev.a)}
+				n--
+			}
+		case iGetGet:
+			if n >= 2 {
+				c.code = c.code[:k-1]
+				n -= 2
+			} else {
+				*prev = instr{op: iLocalGet, a: prev.a}
+				n--
+			}
+		case iGetGetGet:
+			switch {
+			case n >= 3:
+				c.code = c.code[:k-1]
+				n -= 3
+			case n == 2:
+				*prev = instr{op: iLocalGet, a: prev.a}
+				n -= 2
+			default:
+				*prev = instr{op: iGetGet, a: prev.a, b: prev.b}
+				n--
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	if n > 0 {
+		c.emit(instr{op: iDropN, a: uint32(n)})
+	}
 }
 
 func (c *compiler) checkLocal(idx uint32) error {

@@ -148,12 +148,20 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value, fr *frame) []Value {
 			sp += copy(stack[sp:], res)
 		case iCallHost:
 			// The compile pass proved the target is an imported host
-			// function, so the generic invoke dispatch is skipped. This is
-			// the hook-call fast path of the instrumented setting.
+			// function, so the generic invoke dispatch is skipped.
 			np := int(in.b)
 			res := inst.callHost(inst.funcs[in.a].host, stack[sp-np:sp])
 			sp -= np
 			sp += copy(stack[sp:], res)
+		case iCallHostFast:
+			// Zero-copy host call (the hook-call fast path of the
+			// instrumented setting): the callee receives a read-only window
+			// of the operand stack and returns no results, so there is no
+			// argument copy and no result handling. The compile pass proved
+			// the target result-less and Fast-capable.
+			np := int(in.b)
+			hostErr(inst.funcs[in.a].host.Fast(inst, stack[sp-np:sp]))
+			sp -= np
 		case iCallIndirect:
 			sp--
 			ti := uint32(stack[sp])
@@ -176,6 +184,8 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value, fr *frame) []Value {
 
 		case iDrop:
 			sp--
+		case iDropN:
+			sp -= int(in.a)
 		case iSelect:
 			sp -= 2
 			if uint32(stack[sp+1]) == 0 {

@@ -43,9 +43,29 @@ func AsF64(v Value) float64 { return math.Float64frombits(v) }
 
 // HostFunc is a function provided by the embedder (the "JavaScript side" in
 // the paper's setting). The Wasabi runtime's low-level hooks are HostFuncs.
+//
+// At least one of Fn and Fast must be set. Fast is the zero-copy hook-call
+// convention: the interpreter's direct host-call opcode passes it a window
+// of the operand stack (args aliases stack[sp-n:sp]) instead of copying the
+// arguments into a fresh slice. The aliasing rules for Fast implementations:
+// args is read-only, only valid for the duration of the call, and must not
+// be retained or mutated — the same backing array is reused by the very next
+// instruction. Fast is only consulted for result-less signatures; functions
+// with results always go through Fn.
 type HostFunc struct {
 	Type wasm.FuncType
 	Fn   func(inst *Instance, args []Value) ([]Value, error)
+
+	// Fast, when non-nil, is preferred by the threaded-code host-call path
+	// for result-less signatures. See the aliasing rules above.
+	Fast func(inst *Instance, args []Value) error
+
+	// NoOp declares the function observably side-effect free (the runtime
+	// sets it for hooks the analysis does not implement). Calls to a no-op
+	// host function are elided at compile time, including the lowering of
+	// their arguments where the compiler can prove the pushes pure
+	// (dead-hook elision). Only honored for result-less signatures.
+	NoOp bool
 }
 
 // Imports maps module name → field name → provided value. Supported values:
@@ -155,6 +175,12 @@ func Instantiate(m *wasm.Module, imports Imports) (*Instance, error) {
 			if !hf.Type.Equal(want) {
 				return nil, fmt.Errorf("interp: import %q.%q type mismatch: want %s, have %s", imp.Module, imp.Name, want, hf.Type)
 			}
+			if hf.Fn == nil && hf.Fast == nil {
+				return nil, fmt.Errorf("interp: import %q.%q has neither Fn nor Fast", imp.Module, imp.Name)
+			}
+			if hf.Fn == nil && len(hf.Type.Results) != 0 {
+				return nil, fmt.Errorf("interp: import %q.%q: Fast-only host functions must be result-less", imp.Module, imp.Name)
+			}
 			inst.funcs = append(inst.funcs, funcInst{typeIdx: imp.TypeIdx, host: hf})
 		case wasm.ExternMemory:
 			mem, ok := v.(*Memory)
@@ -177,13 +203,19 @@ func Instantiate(m *wasm.Module, imports Imports) (*Instance, error) {
 		}
 	}
 
-	// Defined functions.
+	// Defined functions. The compile pass sees the already-resolved host
+	// imports so it can specialize host calls: Fast-convention targets get
+	// the zero-copy opcode and calls to no-op hooks are elided outright.
+	hosts := make([]*HostFunc, len(inst.funcs))
+	for i := range inst.funcs {
+		hosts[i] = inst.funcs[i].host
+	}
 	for i := range m.Funcs {
 		f := &m.Funcs[i]
 		if int(f.TypeIdx) >= len(m.Types) {
 			return nil, fmt.Errorf("interp: function %d type index out of range", i)
 		}
-		cf, err := compileFunc(m, m.Types[f.TypeIdx], f)
+		cf, err := compileFunc(m, m.Types[f.TypeIdx], f, hosts)
 		if err != nil {
 			return nil, fmt.Errorf("interp: function %d: %w", i, err)
 		}
@@ -341,14 +373,25 @@ func (inst *Instance) invoke(idx uint32, args []Value) []Value {
 }
 
 // callHost invokes a host function, converting its error into a trap panic.
-// Shared by invoke and exec's direct host-call fast path (iCallHost).
+// Shared by invoke and exec's generic host-call opcode (iCallHost). Fast-only
+// host functions (no Fn) are result-less by the Instantiate-time check.
 func (inst *Instance) callHost(hf *HostFunc, args []Value) []Value {
-	res, err := hf.Fn(inst, args)
-	if err != nil {
-		if t, ok := err.(*Trap); ok {
-			panic(t)
-		}
-		panic(&Trap{Code: "host function error", Info: err.Error()})
+	if hf.Fn == nil {
+		hostErr(hf.Fast(inst, args))
+		return nil
 	}
+	res, err := hf.Fn(inst, args)
+	hostErr(err)
 	return res
+}
+
+// hostErr converts a host-function error into a trap panic.
+func hostErr(err error) {
+	if err == nil {
+		return
+	}
+	if t, ok := err.(*Trap); ok {
+		panic(t)
+	}
+	panic(&Trap{Code: "host function error", Info: err.Error()})
 }

@@ -5,24 +5,29 @@
 // indirect-call table indices to the actually called function, and replays
 // the end hooks of blocks traversed by br_table branches, whose set is only
 // known at runtime (paper §2.4.5).
+//
+// Dispatch is specialized per generated hook: Imports() compiles one
+// trampoline closure per core.HookSpec (see trampoline.go) instead of
+// funneling every call through a generic Kind switch, and hooks the analysis
+// does not implement are bound to a shared no-op that the interpreter elides
+// at compile time.
 package runtime
 
 import (
-	"fmt"
-
 	"wasabi/internal/analysis"
 	"wasabi/internal/core"
 	"wasabi/internal/interp"
-	"wasabi/internal/wasm"
 )
 
 // Runtime dispatches low-level hook calls to one analysis.
 type Runtime struct {
 	meta *core.Metadata
-	inst *interp.Instance // bound after instantiation, for table resolution
+	inst *interp.Instance // bound after instantiation; fallback for table resolution
+	caps analysis.Cap     // which callbacks the analysis implements
 
 	// Pre-bound high-level hook callbacks; nil when the analysis does not
-	// implement the corresponding interface.
+	// implement the corresponding interface. The trampoline builder captures
+	// these once per spec.
 	nop         func(analysis.Location)
 	unreachable func(analysis.Location)
 	ifHook      func(analysis.Location, bool)
@@ -51,7 +56,7 @@ type Runtime struct {
 // New creates a runtime dispatching to the given analysis. If the analysis
 // implements analysis.ModuleInfoReceiver it receives the module info now.
 func New(meta *core.Metadata, a any) *Runtime {
-	r := &Runtime{meta: meta}
+	r := &Runtime{meta: meta, caps: analysis.CapsOf(a)}
 	if v, ok := a.(analysis.NopHooker); ok {
 		r.nop = v.Nop
 	}
@@ -127,253 +132,32 @@ func New(meta *core.Metadata, a any) *Runtime {
 	return r
 }
 
-// BindInstance gives the runtime access to the instantiated module, needed
-// to resolve indirect-call table indices. Must be called before execution
-// when the analysis uses the call hook on modules with indirect calls.
+// BindInstance gives the runtime access to the instantiated module, used as
+// a fallback to resolve indirect-call table indices when a trampoline is
+// invoked without an instance (the interpreter always passes the calling
+// instance, which takes precedence).
 func (r *Runtime) BindInstance(inst *interp.Instance) { r.inst = inst }
 
 // Imports returns the host imports providing every generated low-level hook
-// under the core.HookModule namespace. Merge them with the program's own
+// under the core.HookModule namespace, each bound to its compiled trampoline
+// via the zero-copy Fast convention. Merge them with the program's own
 // imports before instantiation.
 func (r *Runtime) Imports() interp.Imports {
 	fields := make(map[string]any, len(r.meta.Hooks))
 	for i := range r.meta.Hooks {
-		spec := r.meta.Hooks[i] // copy: closures must not share the loop var's address
+		spec := &r.meta.Hooks[i]
+		fast, noop := r.compileTrampoline(spec)
 		fields[spec.Name] = &interp.HostFunc{
 			Type: spec.WasmType(),
-			Fn: func(inst *interp.Instance, args []interp.Value) ([]interp.Value, error) {
-				if r.inst == nil {
-					// Self-bind on first call: hooks can fire during the
-					// start function, before BindInstance could run.
-					r.inst = inst
-				}
-				return nil, r.dispatch(&spec, args)
-			},
+			Fast: fast,
+			NoOp: noop,
 		}
 	}
 	return interp.Imports{core.HookModule: fields}
 }
 
-// argReader decodes the raw lowered argument vector of a hook call.
-type argReader struct {
-	args []interp.Value
-	pos  int
-}
-
-func (ar *argReader) i32() int32 { v := int32(uint32(ar.args[ar.pos])); ar.pos++; return v }
-
-func (ar *argReader) u32() uint32 { v := uint32(ar.args[ar.pos]); ar.pos++; return v }
-
-// value reads one logical value of type t, re-joining i64 halves.
-func (ar *argReader) value(t wasm.ValType) analysis.Value {
-	if t == wasm.I64 {
-		lo := uint64(uint32(ar.args[ar.pos]))
-		hi := uint64(uint32(ar.args[ar.pos+1]))
-		ar.pos += 2
-		return analysis.Value{Type: wasm.I64, Bits: hi<<32 | lo}
-	}
-	v := analysis.Value{Type: t, Bits: ar.args[ar.pos]}
-	ar.pos++
-	return v
-}
-
-func (ar *argReader) values(ts []wasm.ValType) []analysis.Value {
-	if len(ts) == 0 {
-		return nil
-	}
-	vs := make([]analysis.Value, len(ts))
-	for i, t := range ts {
-		vs[i] = ar.value(t)
-	}
-	return vs
-}
-
-// dispatch decodes one low-level hook call and invokes the matching
-// high-level hook, if the analysis implements it. A mismatch between the
-// instrumented module and the metadata (which can only happen when an
-// embedder corrupts or mixes up Metadata) is reported as a trap error, not a
-// host-process panic: the guest instruction stream must never be able to
-// take the embedder down.
-func (r *Runtime) dispatch(spec *core.HookSpec, args []interp.Value) error {
-	ar := &argReader{args: args}
-	loc := analysis.Location{Func: int(ar.i32()), Instr: int(ar.i32())}
-
-	switch spec.Kind {
-	case analysis.KindNop:
-		if r.nop != nil {
-			r.nop(loc)
-		}
-	case analysis.KindUnreachable:
-		if r.unreachable != nil {
-			r.unreachable(loc)
-		}
-	case analysis.KindIf:
-		if r.ifHook != nil {
-			r.ifHook(loc, ar.u32() != 0)
-		}
-	case analysis.KindBr:
-		if r.br != nil {
-			label := ar.u32()
-			instr := int(ar.i32())
-			r.br(loc, analysis.BranchTarget{Label: label, Location: analysis.Location{Func: loc.Func, Instr: instr}})
-		}
-	case analysis.KindBrIf:
-		if r.brIf != nil {
-			label := ar.u32()
-			instr := int(ar.i32())
-			cond := ar.u32() != 0
-			r.brIf(loc, analysis.BranchTarget{Label: label, Location: analysis.Location{Func: loc.Func, Instr: instr}}, cond)
-		}
-	case analysis.KindBrTable:
-		return r.dispatchBrTable(loc, ar)
-	case analysis.KindBegin:
-		if r.begin != nil {
-			r.begin(loc, spec.Block)
-		}
-	case analysis.KindEnd:
-		if r.end != nil {
-			begin := int(ar.i32())
-			r.end(loc, spec.Block, analysis.Location{Func: loc.Func, Instr: begin})
-		}
-	case analysis.KindConst:
-		if r.constHook != nil {
-			r.constHook(loc, ar.value(spec.Types[0]))
-		}
-	case analysis.KindDrop:
-		if r.drop != nil {
-			r.drop(loc, ar.value(spec.Types[0]))
-		}
-	case analysis.KindSelect:
-		if r.selectHook != nil {
-			cond := ar.u32() != 0
-			first := ar.value(spec.Types[1])
-			second := ar.value(spec.Types[2])
-			r.selectHook(loc, cond, first, second)
-		}
-	case analysis.KindUnary:
-		if r.unary != nil {
-			in := ar.value(spec.Types[0])
-			out := ar.value(spec.Types[1])
-			r.unary(loc, spec.Op.String(), in, out)
-		}
-	case analysis.KindBinary:
-		if r.binary != nil {
-			a := ar.value(spec.Types[0])
-			b := ar.value(spec.Types[1])
-			res := ar.value(spec.Types[2])
-			r.binary(loc, spec.Op.String(), a, b, res)
-		}
-	case analysis.KindLocal:
-		if r.local != nil {
-			idx := ar.u32()
-			r.local(loc, spec.Op.String(), idx, ar.value(spec.Types[1]))
-		}
-	case analysis.KindGlobal:
-		if r.global != nil {
-			idx := ar.u32()
-			r.global(loc, spec.Op.String(), idx, ar.value(spec.Types[1]))
-		}
-	case analysis.KindLoad:
-		if r.load != nil {
-			offset := ar.u32()
-			addr := ar.u32()
-			r.load(loc, spec.Op.String(), analysis.MemArg{Addr: addr, Offset: offset}, ar.value(spec.Types[2]))
-		}
-	case analysis.KindStore:
-		if r.store != nil {
-			offset := ar.u32()
-			addr := ar.u32()
-			r.store(loc, spec.Op.String(), analysis.MemArg{Addr: addr, Offset: offset}, ar.value(spec.Types[2]))
-		}
-	case analysis.KindMemorySize:
-		if r.memSize != nil {
-			r.memSize(loc, ar.u32())
-		}
-	case analysis.KindMemoryGrow:
-		if r.memGrow != nil {
-			delta := ar.u32()
-			r.memGrow(loc, delta, ar.u32())
-		}
-	case analysis.KindCall:
-		r.dispatchCall(loc, spec, ar)
-	case analysis.KindReturn:
-		if r.returnHook != nil {
-			r.returnHook(loc, ar.values(spec.Types))
-		}
-	case analysis.KindStart:
-		if r.start != nil {
-			r.start(loc)
-		}
-	}
-	return nil
-}
-
-func (r *Runtime) dispatchCall(loc analysis.Location, spec *core.HookSpec, ar *argReader) {
-	if spec.Post {
-		if r.callPost != nil {
-			r.callPost(loc, ar.values(spec.Types))
-		}
-		return
-	}
-	if r.callPre == nil {
-		return
-	}
-	first := ar.u32()
-	args := ar.values(spec.Types[1:])
-	if !spec.Indirect {
-		r.callPre(loc, int(first), args, -1)
-		return
-	}
-	// Indirect call: resolve the runtime table index to the actually called
-	// function (pre-computed information, paper §2.3) and map the
-	// instrumented index back to the original index space.
-	target := -1
-	if r.inst != nil {
-		if fidx := r.inst.ResolveTable(first); fidx >= 0 {
-			target = r.meta.OriginalFuncIdx(int(fidx))
-		}
-	}
-	r.callPre(loc, target, args, int64(first))
-}
-
 // TrapInvalidMetadata is the trap code reported when an instrumented module
 // references instrumentation metadata that does not exist (corrupted or
-// mismatched core.Metadata).
+// mismatched core.Metadata), or calls a hook with a mismatched argument
+// vector.
 const TrapInvalidMetadata = "invalid instrumentation metadata"
-
-func (r *Runtime) dispatchBrTable(loc analysis.Location, ar *argReader) error {
-	metaIdx := int(ar.i32())
-	idx := ar.u32()
-	if metaIdx < 0 || metaIdx >= len(r.meta.BrTables) {
-		// Surfaced as an interp.Trap through the host-function error path:
-		// the invoking Invoke returns it as an error instead of the previous
-		// unrecovered panic of the whole host process.
-		return &interp.Trap{
-			Code: TrapInvalidMetadata,
-			Info: fmt.Sprintf("br_table metadata index %d out of range (have %d) at %v", metaIdx, len(r.meta.BrTables), loc),
-		}
-	}
-	info := &r.meta.BrTables[metaIdx]
-
-	taken := info.Default
-	if int(idx) < len(info.Targets) {
-		taken = info.Targets[idx]
-	}
-	// Fire the end hooks of all blocks left by the taken branch; this is the
-	// runtime half of the dynamic block-nesting mechanism (paper §2.4.5).
-	if r.end != nil {
-		for _, e := range taken.Ends {
-			r.end(analysis.Location{Func: loc.Func, Instr: e.End}, e.Kind,
-				analysis.Location{Func: loc.Func, Instr: e.Begin})
-		}
-	}
-	if r.brTable != nil {
-		table := make([]analysis.BranchTarget, len(info.Targets))
-		for i, t := range info.Targets {
-			table[i] = analysis.BranchTarget{Label: t.Label, Location: analysis.Location{Func: loc.Func, Instr: t.Instr}}
-		}
-		deflt := analysis.BranchTarget{Label: info.Default.Label, Location: analysis.Location{Func: loc.Func, Instr: info.Default.Instr}}
-		r.brTable(loc, table, deflt, idx)
-	}
-	return nil
-}
