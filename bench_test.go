@@ -103,7 +103,7 @@ func BenchmarkFig8_SizePerHook(b *testing.B) {
 // runKernel runs the gemm kernel once on an instance.
 func runKernel(b *testing.B, sess *wasabi.Session) {
 	b.Helper()
-	inst, err := sess.Instantiate(polybench.HostImports(nil))
+	inst, err := sess.Instantiate("", polybench.HostImports(nil))
 	if err != nil {
 		b.Fatal(err)
 	}

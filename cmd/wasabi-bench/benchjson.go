@@ -10,10 +10,12 @@ import (
 	"wasabi/internal/analyses"
 	"wasabi/internal/analysis"
 	"wasabi/internal/binary"
+	"wasabi/internal/builder"
 	"wasabi/internal/core"
 	"wasabi/internal/interp"
 	"wasabi/internal/polybench"
 	"wasabi/internal/synthapp"
+	"wasabi/internal/wasm"
 )
 
 // BenchResult is one benchmark's machine-readable record.
@@ -53,6 +55,19 @@ type Fig9Reference struct {
 	AllRatio        float64 `json:"all_ratio"`
 }
 
+// CallReturnAllocs records the borrowed-buffer guard for the slice-carrying
+// call/return hooks: allocations per invoke of a call-heavy workload with an
+// analysis implementing CallPre/CallPost/Return, against the uninstrumented
+// baseline. PerHookCall is the derived allocations per dispatched hook call
+// — 0 under the engine-pooled borrowed-buffer convention (before it, every
+// call_pre/call_post/return with a payload allocated its value vector).
+type CallReturnAllocs struct {
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op"`
+	HookedAllocsPerOp   float64 `json:"hooked_allocs_per_op"`
+	HookCallsPerOp      int64   `json:"hook_calls_per_op"`
+	PerHookCall         float64 `json:"per_hook_call"`
+}
+
 // Fig9Report is the schema of BENCH_fig9.json: interpreter progress tracked
 // like instrumentation progress (BENCH_instrument.json), one file per
 // concern. CI's bench smoke fails when BaselineNsPerOp regresses >2x against
@@ -60,10 +75,17 @@ type Fig9Reference struct {
 type Fig9Report struct {
 	BaselineNsPerOp float64             `json:"baseline_ns_per_op"`
 	Hooks           map[string]Fig9Hook `json:"hooks"`
-	PR1Reference    Fig9Reference       `json:"pr1_reference"`
+	// CallReturnAllocs is the 0-allocs/op guard for slice-carrying hook
+	// dispatch (borrowed, engine-pooled value vectors).
+	CallReturnAllocs CallReturnAllocs `json:"call_return_allocs"`
+	PR1Reference     Fig9Reference    `json:"pr1_reference"`
 	// PR2Reference freezes the generic-dispatch (Kind-switch + argReader)
 	// numbers the per-spec trampolines replaced.
 	PR2Reference Fig9Reference `json:"pr2_reference"`
+	// PR3Reference freezes the one-shot-API numbers (per-spec trampolines,
+	// fresh value vector per slice-carrying hook call) the engine-pooled
+	// borrowed buffers replaced.
+	PR3Reference Fig9Reference `json:"pr3_reference"`
 }
 
 // seedBaseline records the pre-optimization numbers of the headline Table 5
@@ -93,6 +115,15 @@ var pr2Reference = Fig9Reference{
 	BaselineNsPerOp: 513672,
 	BinaryRatio:     5.15,
 	AllRatio:        10.32,
+}
+
+// pr3Reference records the interpreter numbers after PR 3 (per-spec compiled
+// trampolines + zero-copy stack-window host calls), measured before the
+// engine-centric API v2 with borrowed value-vector buffers landed.
+var pr3Reference = Fig9Reference{
+	BaselineNsPerOp: 509709,
+	BinaryRatio:     3.78,
+	AllRatio:        7.62,
 }
 
 // pr3RemapBefore records Table5_InstrumentApp right before the index-remap
@@ -218,17 +249,22 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 	baseline := toResult(r, 0)
 	cur["Fig9_Baseline"] = baseline
 
+	engine := wasabi.NewEngine()
 	hooks := map[string]Fig9Hook{}
 	for _, hook := range fig9HookSets {
 		if fig9Path == "" && !instrumentHookNames[hook.name] {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "bench: Fig9_PerHook/%s\n", hook.name)
-		sess, err := wasabi.AnalyzeWithOptions(gm, &analyses.Empty{}, core.Options{Hooks: hook.set})
+		compiled, err := engine.InstrumentHooks(gm, hook.set)
 		if err != nil {
 			return err
 		}
-		hinst, err := sess.Instantiate(polybench.HostImports(nil))
+		sess, err := compiled.NewSession(&analyses.Empty{})
+		if err != nil {
+			return err
+		}
+		hinst, err := sess.Instantiate("", polybench.HostImports(nil))
 		if err != nil {
 			return err
 		}
@@ -258,15 +294,108 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 		}
 	}
 	if fig9Path != "" {
+		fmt.Fprintln(os.Stderr, "bench: CallReturnAllocs")
+		crAllocs, err := measureCallReturnAllocs(engine)
+		if err != nil {
+			return err
+		}
 		report := Fig9Report{
-			BaselineNsPerOp: baseline.NsPerOp,
-			Hooks:           hooks,
-			PR1Reference:    pr1Reference,
-			PR2Reference:    pr2Reference,
+			BaselineNsPerOp:  baseline.NsPerOp,
+			Hooks:            hooks,
+			CallReturnAllocs: crAllocs,
+			PR1Reference:     pr1Reference,
+			PR2Reference:     pr2Reference,
+			PR3Reference:     pr3Reference,
 		}
 		if err := writeJSONFile(fig9Path, &report); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// callHeavyModule builds main(n): a loop of n calls to a callee with an
+// (i32, i64) -> i64 signature, so every call_pre/call_post/return hook
+// carries a value vector (the i64 exercises the split/join path too).
+func callHeavyModule() *wasm.Module {
+	b := builder.New()
+	callee := b.Func("callee", builder.V(wasm.I32, wasm.I64), builder.V(wasm.I64))
+	callee.Get(1).I64(3).Op(wasm.OpI64Add)
+	callee.Done()
+	f := b.Func("main", builder.V(wasm.I32), builder.V(wasm.I64))
+	i := f.Local(wasm.I32)
+	acc := f.Local(wasm.I64)
+	f.ForI32(i, func(fb *builder.FuncBuilder) { fb.Get(0) }, func(fb *builder.FuncBuilder) {
+		fb.Get(i).Get(acc).Call(callee.Index).Set(acc)
+	})
+	f.Get(acc)
+	f.Done()
+	return b.Build()
+}
+
+// callRetObserver implements exactly the three slice-carrying call/return
+// hooks with allocation-free bodies, so the measured allocations are the
+// dispatcher's own.
+type callRetObserver struct{ calls int64 }
+
+func (c *callRetObserver) CallPre(_ analysis.Location, _ int, args []analysis.Value, _ int64) {
+	c.calls += int64(len(args))
+}
+func (c *callRetObserver) CallPost(_ analysis.Location, results []analysis.Value) {
+	c.calls += int64(len(results))
+}
+func (c *callRetObserver) Return(_ analysis.Location, results []analysis.Value) {
+	c.calls += int64(len(results))
+}
+
+// measureCallReturnAllocs measures allocations per invoke of the call-heavy
+// workload, uninstrumented vs under call+return instrumentation, and derives
+// the per-hook-call figure the borrowed-buffer convention pins at 0.
+func measureCallReturnAllocs(engine *wasabi.Engine) (CallReturnAllocs, error) {
+	const loops = 512
+	m := callHeavyModule()
+
+	base, err := interp.Instantiate(m, nil)
+	if err != nil {
+		return CallReturnAllocs{}, err
+	}
+	rBase := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := base.Invoke("main", interp.I32(loops)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	compiled, err := engine.Instrument(m, analysis.CapCallPre|analysis.CapCallPost|analysis.CapReturn)
+	if err != nil {
+		return CallReturnAllocs{}, err
+	}
+	sess, err := compiled.NewSession(&callRetObserver{})
+	if err != nil {
+		return CallReturnAllocs{}, err
+	}
+	hinst, err := sess.Instantiate("", nil)
+	if err != nil {
+		return CallReturnAllocs{}, err
+	}
+	rHooked := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := hinst.Invoke("main", interp.I32(loops)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Per invoke: loops × (call_pre + call_post + callee return) + main's own
+	// return.
+	hookCalls := int64(3*loops + 1)
+	return CallReturnAllocs{
+		BaselineAllocsPerOp: float64(rBase.AllocsPerOp()),
+		HookedAllocsPerOp:   float64(rHooked.AllocsPerOp()),
+		HookCallsPerOp:      hookCalls,
+		PerHookCall:         float64(rHooked.AllocsPerOp()-rBase.AllocsPerOp()) / float64(hookCalls),
+	}, nil
 }

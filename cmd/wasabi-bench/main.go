@@ -6,6 +6,7 @@
 //
 //	wasabi-bench -experiment table4|rq2|table5|fig8|mono|fig9|all [-full]
 //	wasabi-bench -json BENCH_instrument.json -fig9 BENCH_fig9.json
+//	wasabi-bench -sessions N    (instrument once, N concurrent sessions)
 package main
 
 import (
@@ -24,7 +25,16 @@ func main() {
 	reps := flag.Int("reps", 0, "override timing repetitions")
 	jsonOut := flag.String("json", "", "run the Table 5 / Fig 9 benchmarks and write machine-readable results (e.g. BENCH_instrument.json); skips the experiments")
 	fig9Out := flag.String("fig9", "", "write the interpreter's Fig 9 baseline + per-hook ratios (e.g. BENCH_fig9.json); skips the experiments; combines with -json")
+	sessions := flag.Int("sessions", 0, "instrument once and run N concurrent sessions off the one CompiledAnalysis; skips the experiments")
 	flag.Parse()
+
+	if *sessions > 0 {
+		if err := runSessions(*sessions); err != nil {
+			fmt.Fprintf(os.Stderr, "wasabi-bench: -sessions: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonOut != "" || *fig9Out != "" {
 		if err := writeBenchJSON(*jsonOut, *fig9Out); err != nil {

@@ -85,11 +85,16 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	sess, err := wasabi.Analyze(m, a)
+	engine := wasabi.NewEngine()
+	compiled, err := engine.InstrumentFor(m, a)
 	if err != nil {
 		fatal("instrument: %v", err)
 	}
-	inst, err := sess.Instantiate(polybench.HostImports(nil))
+	sess, err := compiled.NewSession(a)
+	if err != nil {
+		fatal("bind analysis: %v", err)
+	}
+	inst, err := sess.Instantiate("main", polybench.HostImports(nil))
 	if err != nil {
 		fatal("instantiate: %v", err)
 	}

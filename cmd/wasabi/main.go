@@ -16,9 +16,9 @@ import (
 	"os"
 	"strings"
 
+	"wasabi"
 	"wasabi/internal/analysis"
 	"wasabi/internal/binary"
-	"wasabi/internal/core"
 	"wasabi/internal/validate"
 	"wasabi/internal/wasm"
 	"wasabi/internal/wat"
@@ -70,16 +70,18 @@ func main() {
 			fatal("decode %s: %v", input, err)
 		}
 	}
-	instrumented, md, err := core.Instrument(m, core.Options{Hooks: set, Parallelism: *par})
+	engine := wasabi.NewEngine(wasabi.WithParallelism(*par))
+	compiled, err := engine.InstrumentHooks(m, set)
 	if err != nil {
 		fatal("instrument: %v", err)
 	}
+	md := compiled.Metadata()
 	if *check {
-		if err := validate.Module(instrumented); err != nil {
+		if err := validate.Module(compiled.Module()); err != nil {
 			fatal("instrumented module invalid: %v", err)
 		}
 	}
-	outData, err := binary.Encode(instrumented)
+	outData, err := compiled.Encode()
 	if err != nil {
 		fatal("encode: %v", err)
 	}

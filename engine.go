@@ -1,0 +1,218 @@
+package wasabi
+
+import (
+	"fmt"
+	"sync"
+
+	"wasabi/internal/analysis"
+	"wasabi/internal/binary"
+	"wasabi/internal/core"
+	"wasabi/internal/interp"
+	wruntime "wasabi/internal/runtime"
+	"wasabi/internal/wasm"
+)
+
+// Cap selects the analysis callbacks an instrumentation must be able to
+// serve (one bit per high-level hook, with call_pre and call_post split).
+// Instrument for AllCaps to get a module any analysis can attach to, or for
+// CapsOf(a) to instrument selectively for one analysis shape.
+type Cap = analysis.Cap
+
+// AllCaps selects every callback (full instrumentation).
+const AllCaps = analysis.AllCaps
+
+// CapsOf returns the capability mask of the hook interfaces a implements.
+func CapsOf(a any) Cap { return analysis.CapsOf(a) }
+
+// Engine is the process-wide entry point of the API: it owns the state that
+// is expensive to build and cheap to share — pooled instrumenter workers (in
+// internal/core), the borrowed hook-value buffer pool, the instrumented-
+// module cache, and the named-instance registry that lets instances import
+// each other's exports. One Engine serves many modules, analyses, sessions,
+// and goroutines concurrently; create it once and reuse it.
+//
+// The workflow is compile-once / instrument-many (the paper's
+// instrument-once, analyze-many usage): Instrument produces an immutable
+// CompiledAnalysis, from which any number of Sessions — each binding one
+// analysis value — instantiate and run instances.
+type Engine struct {
+	parallelism int
+	cacheLimit  int
+	reg         *interp.Registry
+	pool        *wruntime.ValuePool
+
+	mu         sync.Mutex
+	cache      map[compiledKey]*CompiledAnalysis
+	cacheOrder []compiledKey // insertion order, for FIFO eviction
+}
+
+type compiledKey struct {
+	m     *wasm.Module
+	hooks HookSet
+}
+
+// DefaultCompiledCacheLimit bounds the per-engine instrumented-module cache.
+const DefaultCompiledCacheLimit = 128
+
+// EngineOption configures a new Engine.
+type EngineOption func(*Engine)
+
+// WithParallelism bounds the instrumenter's worker goroutines (0 means
+// GOMAXPROCS, 1 disables parallel instrumentation).
+func WithParallelism(n int) EngineOption {
+	return func(e *Engine) { e.parallelism = n }
+}
+
+// WithCompiledCacheLimit overrides the instrumented-module cache bound; 0
+// disables caching entirely (every Instrument call runs the instrumenter).
+func WithCompiledCacheLimit(n int) EngineOption {
+	return func(e *Engine) { e.cacheLimit = n }
+}
+
+// NewEngine creates an engine.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{
+		cacheLimit: DefaultCompiledCacheLimit,
+		reg:        interp.NewRegistry(),
+		pool:       &wruntime.ValuePool{},
+		cache:      make(map[compiledKey]*CompiledAnalysis),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// defaultEngine backs the deprecated one-shot API.
+var defaultEngine = sync.OnceValue(func() *Engine { return NewEngine() })
+
+// DefaultEngine returns the shared process-wide engine the deprecated
+// one-shot API delegates to.
+func DefaultEngine() *Engine { return defaultEngine() }
+
+// Instrument instruments m once for every hook the capability mask selects
+// and returns the immutable result. An empty mask fails with ErrNoHooks
+// (instrumenting for nothing can never produce an event). Results are
+// cached per (module, derived hook set): instrumenting the same
+// *wasm.Module value for the same mask again returns the same
+// *CompiledAnalysis without re-running the instrumenter (callers must not
+// mutate a module after handing it to Instrument). The cache is bounded
+// (WithCompiledCacheLimit, FIFO eviction) and entries can be released
+// eagerly with Uncache. The input module itself is never modified.
+func (e *Engine) Instrument(m *wasm.Module, caps Cap) (*CompiledAnalysis, error) {
+	return e.InstrumentHooks(m, caps.HookSet())
+}
+
+// InstrumentFor instruments m selectively for exactly the hook interfaces
+// the analysis value implements. It fails with ErrNoHooks when a implements
+// none of them. The returned CompiledAnalysis is not tied to a: it accepts
+// a session for any analysis whose hooks overlap the instrumented set —
+// hooks the new analysis implements beyond that set simply never fire
+// (instrument with AllCaps when sessions must observe everything their
+// analyses implement).
+func (e *Engine) InstrumentFor(m *wasm.Module, a any) (*CompiledAnalysis, error) {
+	caps := analysis.CapsOf(a)
+	if caps == 0 {
+		return nil, errNoHooksFor(a)
+	}
+	return e.Instrument(m, caps)
+}
+
+// InstrumentHooks is Instrument with an explicit low-level hook-kind set
+// (e.g. parsed from a command line) instead of a capability mask.
+func (e *Engine) InstrumentHooks(m *wasm.Module, hooks HookSet) (*CompiledAnalysis, error) {
+	if hooks.IsEmpty() {
+		return nil, fmt.Errorf("%w: empty hook selection — instrumenting for nothing", ErrNoHooks)
+	}
+	key := compiledKey{m: m, hooks: hooks}
+	e.mu.Lock()
+	if c, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	c, err := e.instrumentUncached(m, core.Options{
+		Hooks:       hooks,
+		Parallelism: e.parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	if prev, ok := e.cache[key]; ok { // lost a race to a concurrent Instrument
+		c = prev
+	} else if e.cacheLimit > 0 {
+		for len(e.cache) >= e.cacheLimit { // FIFO eviction at the bound
+			oldest := e.cacheOrder[0]
+			e.cacheOrder = e.cacheOrder[1:]
+			delete(e.cache, oldest)
+		}
+		e.cache[key] = c
+		e.cacheOrder = append(e.cacheOrder, key)
+	}
+	e.mu.Unlock()
+	return c, nil
+}
+
+// Uncache releases every cached instrumentation of m (e.g. when a
+// long-running server retires a module). Sessions and instances already
+// created from the dropped entries stay valid.
+func (e *Engine) Uncache(m *wasm.Module) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	kept := e.cacheOrder[:0]
+	for _, key := range e.cacheOrder {
+		if key.m == m {
+			delete(e.cache, key)
+		} else {
+			kept = append(kept, key)
+		}
+	}
+	e.cacheOrder = kept
+}
+
+// InstrumentBytes is Instrument for a binary-encoded module. Unlike
+// Instrument it never caches: every call decodes a fresh module value, so a
+// pointer-keyed cache entry could never be hit again and would only leak —
+// callers that want the cache should Decode once and call Instrument with
+// the retained module.
+func (e *Engine) InstrumentBytes(wasmBytes []byte, caps Cap) (*CompiledAnalysis, error) {
+	if caps.HookSet().IsEmpty() {
+		return nil, fmt.Errorf("%w: empty hook selection — instrumenting for nothing", ErrNoHooks)
+	}
+	m, err := binary.Decode(wasmBytes)
+	if err != nil {
+		return nil, fmt.Errorf("wasabi: decode: %w", err)
+	}
+	return e.instrumentUncached(m, core.Options{Hooks: caps.HookSet(), Parallelism: e.parallelism})
+}
+
+// instrumentUncached runs the instrumenter without touching the cache: for
+// inputs whose module pointer will never be seen again (decoded bytes, the
+// deprecated one-shot shims), caching would retain every module forever.
+func (e *Engine) instrumentUncached(m *wasm.Module, opts core.Options) (*CompiledAnalysis, error) {
+	instrumented, meta, err := core.Instrument(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledAnalysis{
+		engine: e,
+		reg:    e.reg,
+		module: instrumented,
+		meta:   meta,
+		shared: wruntime.NewShared(meta, e.pool),
+	}, nil
+}
+
+// Instance returns the instance registered under name by a
+// Session.Instantiate on this engine.
+func (e *Engine) Instance(name string) (*interp.Instance, bool) { return e.reg.Lookup(name) }
+
+// InstanceNames returns the names of all registered instances, sorted.
+func (e *Engine) InstanceNames() []string { return e.reg.Names() }
+
+// RemoveInstance unregisters a named instance (e.g. when a long-running
+// server retires a module); the instance itself stays usable.
+func (e *Engine) RemoveInstance(name string) { e.reg.Remove(name) }

@@ -1,0 +1,25 @@
+package wasabi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoHooks reports an analysis value that implements none of the hook
+// interfaces (or none that the module was instrumented for): binding it
+// would silently observe nothing, which is never what the caller meant.
+// Matched with errors.Is.
+var ErrNoHooks = errors.New("wasabi: analysis implements no hook interface")
+
+// errNoHooksFor is the shared ErrNoHooks wrap naming the offending analysis
+// type.
+func errNoHooksFor(a any) error {
+	return fmt.Errorf("%w (analysis type %T)", ErrNoHooks, a)
+}
+
+// ErrHookModuleCollision reports a clash between the program's imports (or
+// an instance name) and the generated hook import namespace
+// (core.HookModule): letting one silently shadow the other would either
+// disconnect the analysis or feed program calls into hook trampolines.
+// Matched with errors.Is.
+var ErrHookModuleCollision = errors.New("wasabi: import module name collides with the generated hook imports")

@@ -42,11 +42,16 @@ func buildModule() *wasm.Module {
 
 func main() {
 	cov := analyses.NewBranchCoverage()
-	sess, err := wasabi.Analyze(buildModule(), cov)
+	engine := wasabi.NewEngine()
+	compiled, err := engine.InstrumentFor(buildModule(), cov)
 	if err != nil {
 		log.Fatal(err)
 	}
-	inst, err := sess.Instantiate(nil)
+	sess, err := compiled.NewSession(cov)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := sess.Instantiate("classify", nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -49,12 +49,18 @@ func profile(name string, run func(a *analyses.Cryptominer)) {
 }
 
 func main() {
+	engine := wasabi.NewEngine()
+
 	profile("miner loop", func(a *analyses.Cryptominer) {
-		sess, err := wasabi.Analyze(minerModule(), a)
+		compiled, err := engine.InstrumentFor(minerModule(), a)
 		if err != nil {
 			log.Fatal(err)
 		}
-		inst, err := sess.Instantiate(nil)
+		sess, err := compiled.NewSession(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := sess.Instantiate("miner", nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,11 +74,15 @@ func main() {
 
 	profile("polybench gemm (benign)", func(a *analyses.Cryptominer) {
 		k, _ := polybench.ByName("gemm")
-		sess, err := wasabi.Analyze(k.Module(24), a)
+		compiled, err := engine.InstrumentFor(k.Module(24), a)
 		if err != nil {
 			log.Fatal(err)
 		}
-		inst, err := sess.Instantiate(polybench.HostImports(nil))
+		sess, err := compiled.NewSession(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := sess.Instantiate("gemm", polybench.HostImports(nil))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -27,14 +27,20 @@ type combined struct {
 }
 
 func main() {
+	engine := wasabi.NewEngine()
+
 	// Part 1: hottest blocks of a numeric kernel.
 	k, _ := polybench.ByName("floyd-warshall")
 	prof := analyses.NewBlockProfile()
-	sess, err := wasabi.Analyze(k.Module(24), prof)
+	compiled, err := engine.InstrumentFor(k.Module(24), prof)
 	if err != nil {
 		log.Fatal(err)
 	}
-	inst, err := sess.Instantiate(polybench.HostImports(nil))
+	sess, err := compiled.NewSession(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := sess.Instantiate("floyd-warshall", polybench.HostImports(nil))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,11 +53,15 @@ func main() {
 	// Part 2: call graph + block profile of a call-heavy app, combined.
 	app := synthapp.Generate(synthapp.Config{TargetBytes: 40_000, Seed: 3})
 	both := &combined{analyses.NewBlockProfile(), analyses.NewCallGraph()}
-	sess2, err := wasabi.Analyze(app, both)
+	compiled2, err := engine.InstrumentFor(app, both)
 	if err != nil {
 		log.Fatal(err)
 	}
-	inst2, err := sess2.Instantiate(nil)
+	sess2, err := compiled2.NewSession(both)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst2, err := sess2.Instantiate("app", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +77,7 @@ func main() {
 }
 
 func entryIdx(s *wasabi.Session) int {
-	if idx, ok := s.Meta.Info.Exports["main"]; ok {
+	if idx, ok := s.Info().Exports["main"]; ok {
 		return int(idx)
 	}
 	return 0

@@ -53,13 +53,19 @@ func main() {
 	f.Done()
 	module := b.Build()
 
-	// Instrument for exactly the hooks the analysis implements, run it.
+	// Instrument for exactly the hooks the analysis implements (API v2:
+	// engine → compiled instrumentation → session), then run it.
 	a := &memCounter{hist: make(map[uint64]int)}
-	sess, err := wasabi.Analyze(module, a)
+	engine := wasabi.NewEngine()
+	compiled, err := engine.InstrumentFor(module, a)
 	if err != nil {
 		log.Fatal(err)
 	}
-	inst, err := sess.Instantiate(nil)
+	sess, err := compiled.NewSession(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := sess.Instantiate("quickstart", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,5 +78,5 @@ func main() {
 	fmt.Printf("observed %d loads and %d stores over %d distinct addresses\n",
 		a.loads, a.stores, len(a.hist))
 	fmt.Printf("instrumented module has %d instructions (original %d)\n",
-		sess.Module.CountInstrs(), module.CountInstrs())
+		compiled.Module().CountInstrs(), module.CountInstrs())
 }

@@ -49,11 +49,16 @@ func main() {
 	taint.Sources[int(source)] = true
 	taint.Sinks[int(sink)] = true
 
-	sess, err := wasabi.Analyze(m, taint)
+	engine := wasabi.NewEngine()
+	compiled, err := engine.InstrumentFor(m, taint)
 	if err != nil {
 		log.Fatal(err)
 	}
-	inst, err := sess.Instantiate(interp.Imports{
+	sess, err := compiled.NewSession(taint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := sess.Instantiate("taint-demo", interp.Imports{
 		"env": {
 			"read_secret": &interp.HostFunc{
 				Type: builder.Sig(nil, builder.V(wasm.I32)),

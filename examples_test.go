@@ -43,6 +43,10 @@ func TestExamples(t *testing.T) {
 			"suspicious: true",
 			"verdicts correct: miner flagged, gemm clean",
 		}},
+		{"multimodule", []string{
+			"main(5) = square(5) + cube(5) = 150 (expect 150)",
+			"cross-module imports resolved through the engine registry",
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

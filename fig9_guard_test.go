@@ -88,7 +88,7 @@ func TestFig9BaselineGuard(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		hinst, err := sess.Instantiate(polybench.HostImports(nil))
+		hinst, err := sess.Instantiate("", polybench.HostImports(nil))
 		if err != nil {
 			t.Fatal(err)
 		}

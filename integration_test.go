@@ -155,10 +155,10 @@ func runMain(t *testing.T, m *wasm.Module, a any, n int32) int32 {
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
-	if err := validate.Module(sess.Module); err != nil {
+	if err := validate.Module(sess.Module()); err != nil {
 		t.Fatalf("instrumented module invalid: %v", err)
 	}
-	inst, err := sess.Instantiate(nil)
+	inst, err := sess.Instantiate("", nil)
 	if err != nil {
 		t.Fatalf("Instantiate: %v", err)
 	}

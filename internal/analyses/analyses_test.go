@@ -19,7 +19,7 @@ func runOn(t *testing.T, m *wasm.Module, a any, entry string, arg int32) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := sess.Instantiate(nil)
+	inst, err := sess.Instantiate("", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestInstructionCoverageGrows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := sess.Instantiate(nil)
+	inst, err := sess.Instantiate("", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestBranchCoverageDirections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := sess.Instantiate(nil)
+	inst, err := sess.Instantiate("", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestTaintThroughMemoryAndCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := sess.Instantiate(interp.Imports{"env": {
+	inst, err := sess.Instantiate("", interp.Imports{"env": {
 		"source": &interp.HostFunc{Type: builder.Sig(nil, builder.V(wasm.I32)),
 			Fn: func(*interp.Instance, []interp.Value) ([]interp.Value, error) {
 				return []interp.Value{interp.I32(99)}, nil

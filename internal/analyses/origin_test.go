@@ -32,7 +32,7 @@ func TestOriginOfZero(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := sess.Instantiate(nil)
+	inst, err := sess.Instantiate("", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestOriginThroughCall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := sess.Instantiate(nil)
+	inst, err := sess.Instantiate("", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

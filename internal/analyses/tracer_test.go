@@ -34,7 +34,7 @@ func TestTraceGoldenOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := sess.Instantiate(nil)
+	inst, err := sess.Instantiate("", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestTraceNotTakenBranch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := sess.Instantiate(nil)
+	inst, err := sess.Instantiate("", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -80,6 +80,37 @@ func (v Value) String() string {
 	}
 }
 
+// Values is a vector of hook values. The value vectors handed to the
+// call/return hooks (CallPre args, CallPost and Return results) are BORROWED:
+// they alias an engine-pooled buffer that is valid only for the duration of
+// the hook call and is reused by later hook calls. An analysis that wants to
+// keep a vector past its own return must copy it, e.g. with
+// Values(args).Clone(). The same rule applies to the resolved-target table of
+// the BrTable hook (copy with BranchTargets(table).Clone()). Scalar hook
+// arguments (Location, Value, MemArg, ...) are plain copies and may always
+// be kept.
+type Values []Value
+
+// Clone returns a freshly allocated copy the analysis owns and may retain.
+func (vs Values) Clone() Values {
+	if vs == nil {
+		return nil
+	}
+	return append(make(Values, 0, len(vs)), vs...)
+}
+
+// BranchTargets is the borrowed resolved-target table of the BrTable hook;
+// like Values it is valid only for the duration of the hook call.
+type BranchTargets []BranchTarget
+
+// Clone returns a freshly allocated copy the analysis owns and may retain.
+func (ts BranchTargets) Clone() BranchTargets {
+	if ts == nil {
+		return nil
+	}
+	return append(make(BranchTargets, 0, len(ts)), ts...)
+}
+
 // MemArg describes one memory access: the dynamic address operand and the
 // static offset immediate (effective address = Addr + Offset).
 type MemArg struct {
@@ -157,7 +188,9 @@ type BrIfHooker interface {
 }
 
 // BrTableHooker observes multi-way branches. table lists the resolved
-// targets, deflt is the default target, and idx is the runtime index.
+// targets, deflt is the default target, and idx is the runtime index. table
+// is borrowed: valid only during the hook call,
+// BranchTargets(table).Clone() to retain.
 type BrTableHooker interface {
 	BrTable(loc Location, table []BranchTarget, deflt BranchTarget, idx uint32)
 }
@@ -229,17 +262,20 @@ type MemoryGrowHooker interface {
 
 // CallPreHooker observes calls before the callee runs. target is the callee
 // function index (for indirect calls, resolved from the runtime table
-// index); tableIdx is -1 for direct calls.
+// index); tableIdx is -1 for direct calls. args is borrowed (see Values):
+// valid only during the hook call, Values(args).Clone() to retain.
 type CallPreHooker interface {
 	CallPre(loc Location, target int, args []Value, tableIdx int64)
 }
 
-// CallPostHooker observes call returns and the result values.
+// CallPostHooker observes call returns and the result values. results is
+// borrowed (see Values).
 type CallPostHooker interface {
 	CallPost(loc Location, results []Value)
 }
 
-// ReturnHooker observes function returns (explicit and implicit).
+// ReturnHooker observes function returns (explicit and implicit). results is
+// borrowed (see Values).
 type ReturnHooker interface {
 	Return(loc Location, results []Value)
 }

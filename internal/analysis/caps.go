@@ -36,6 +36,11 @@ const (
 	CapStart
 )
 
+// AllCaps selects every callback: instrumenting for AllCaps produces a module
+// any analysis can attach to (the engine's compile-once / instrument-many
+// default).
+const AllCaps = Cap(1<<(numKinds+1) - 1) // one bit per kind, plus the call pre/post split
+
 // Has reports whether every bit of x is set in c.
 func (c Cap) Has(x Cap) bool { return c&x == x }
 

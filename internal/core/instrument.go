@@ -29,20 +29,27 @@ type Options struct {
 	SkipValidation bool
 }
 
-// ForAnalysis returns Options that selectively instrument exactly the hooks
-// the given analysis implements.
-func ForAnalysis(a any) Options {
-	return Options{Hooks: analysis.HooksOf(a)}
-}
-
 // Instrument rewrites m into an instrumented module that calls imported
 // low-level hooks (module name HookModule) around the selected instruction
 // classes. The input module is not modified. The returned Metadata carries
 // everything the runtime dispatcher needs.
+//
+// Options carry only the mechanical instrumentation parameters; deriving a
+// hook set from an analysis value is the analysis package's job
+// (analysis.HooksOf / analysis.Cap.HookSet), wired up by the public wasabi
+// layer.
 func Instrument(m *wasm.Module, opts Options) (*wasm.Module, *Metadata, error) {
 	if !opts.SkipValidation {
 		if err := validate.Module(m); err != nil {
 			return nil, nil, fmt.Errorf("core: input module invalid: %w", err)
+		}
+	}
+	// The generated hook imports live under HookModule; a program that
+	// already imports from that namespace would collide with them in the
+	// instrumented output.
+	for _, imp := range m.Imports {
+		if imp.Module == HookModule {
+			return nil, nil, fmt.Errorf("core: input module imports %q.%q, which collides with the generated hook import namespace %q", imp.Module, imp.Name, HookModule)
 		}
 	}
 

@@ -44,11 +44,11 @@ func TestPolyBenchFaithfulness(t *testing.T) {
 			if err != nil {
 				t.Fatalf("instrument: %v", err)
 			}
-			if err := validate.Module(sess.Module); err != nil {
+			if err := validate.Module(sess.Module()); err != nil {
 				t.Fatalf("instrumented module fails validation: %v", err)
 			}
 			var printed []float64
-			inst, err := sess.Instantiate(polybench.HostImports(&printed))
+			inst, err := sess.Instantiate("", polybench.HostImports(&printed))
 			if err != nil {
 				t.Fatalf("instantiate instrumented: %v", err)
 			}
@@ -86,10 +86,10 @@ func TestPolyBenchPerHookFaithfulness(t *testing.T) {
 			if err != nil {
 				t.Fatalf("instrument: %v", err)
 			}
-			if err := validate.Module(sess.Module); err != nil {
+			if err := validate.Module(sess.Module()); err != nil {
 				t.Fatalf("validation: %v", err)
 			}
-			inst, err := sess.Instantiate(polybench.HostImports(nil))
+			inst, err := sess.Instantiate("", polybench.HostImports(nil))
 			if err != nil {
 				t.Fatalf("instantiate: %v", err)
 			}
@@ -117,10 +117,10 @@ func TestSynthAppFaithfulness(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: instrument: %v", seed, err)
 		}
-		if err := validate.Module(sess.Module); err != nil {
+		if err := validate.Module(sess.Module()); err != nil {
 			t.Fatalf("seed %d: validation: %v", seed, err)
 		}
-		inst, err := sess.Instantiate(nil)
+		inst, err := sess.Instantiate("", nil)
 		if err != nil {
 			t.Fatalf("seed %d: instantiate: %v", seed, err)
 		}
@@ -152,7 +152,7 @@ func TestRealAnalysesPreserveBehavior(t *testing.T) {
 			if err != nil {
 				t.Fatalf("instrument: %v", err)
 			}
-			inst, err := sess.Instantiate(polybench.HostImports(nil))
+			inst, err := sess.Instantiate("", polybench.HostImports(nil))
 			if err != nil {
 				t.Fatalf("instantiate: %v", err)
 			}

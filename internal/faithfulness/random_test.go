@@ -34,10 +34,10 @@ func TestRandomModulesRandomHookSubsets(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d (hooks %s): instrument: %v", trial, set, err)
 		}
-		if err := validate.Module(sess.Module); err != nil {
+		if err := validate.Module(sess.Module()); err != nil {
 			t.Fatalf("trial %d (hooks %s): instrumented module invalid: %v", trial, set, err)
 		}
-		inst, err := sess.Instantiate(nil)
+		inst, err := sess.Instantiate("", nil)
 		if err != nil {
 			t.Fatalf("trial %d (hooks %s): instantiate: %v", trial, set, err)
 		}
@@ -67,7 +67,7 @@ func TestRandomModulesWithRecordingAnalysis(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		inst, err := sess.Instantiate(nil)
+		inst, err := sess.Instantiate("", nil)
 		if err != nil {
 			t.Fatal(err)
 		}

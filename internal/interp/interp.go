@@ -143,18 +143,55 @@ const MaxCallDepthDefault = 8192
 // allocates table/memory/globals, applies element and data segments, and
 // runs the start function.
 func Instantiate(m *wasm.Module, imports Imports) (*Instance, error) {
-	inst := &Instance{Module: m, maxDepth: MaxCallDepthDefault}
+	return InstantiateIn(nil, "", m, imports)
+}
+
+// InstantiateIn is Instantiate with cross-instance linking: imports are
+// resolved first from the explicit Imports map and then — when the import
+// module name matches a registered instance — from that instance's exports.
+// On success the new instance is registered in reg under name (name "" stays
+// anonymous). The name is reserved for the duration of the call, so
+// concurrent instantiations cannot claim the same name.
+func InstantiateIn(reg *Registry, name string, m *wasm.Module, imports Imports) (inst *Instance, err error) {
+	if name != "" && reg == nil {
+		return nil, fmt.Errorf("interp: named instantiation %q requires a registry", name)
+	}
+	committed := false
+	if name != "" {
+		if err := reg.reserve(name); err != nil {
+			return nil, err
+		}
+		// Release the reservation on every non-success exit, including a
+		// panic out of a host import or start function (err is still nil
+		// while unwinding, so commit must NOT key off err == nil).
+		defer func() {
+			if !committed {
+				reg.release(name)
+			}
+		}()
+	}
+
+	inst = &Instance{Module: m, maxDepth: MaxCallDepthDefault}
 
 	lookup := func(mod, name string) (any, error) {
-		fields, ok := imports[mod]
-		if !ok {
-			return nil, fmt.Errorf("interp: unknown import module %q", mod)
+		if fields, ok := imports[mod]; ok {
+			if v, ok := fields[name]; ok {
+				return v, nil
+			}
 		}
-		v, ok := fields[name]
-		if !ok {
+		if reg != nil {
+			if provider, ok := reg.Lookup(mod); ok {
+				v, err := provider.Export(name)
+				if err != nil {
+					return nil, fmt.Errorf("interp: import from instance %q: %w", mod, err)
+				}
+				return v, nil
+			}
+		}
+		if _, ok := imports[mod]; ok {
 			return nil, fmt.Errorf("interp: unknown import %q.%q", mod, name)
 		}
-		return v, nil
+		return nil, fmt.Errorf("interp: unknown import module %q", mod)
 	}
 
 	for _, imp := range m.Imports {
@@ -279,6 +316,10 @@ func Instantiate(m *wasm.Module, imports Imports) (*Instance, error) {
 		if _, err := inst.call(*m.Start, nil); err != nil {
 			return nil, fmt.Errorf("interp: start function: %w", err)
 		}
+	}
+	if name != "" {
+		reg.commit(name, inst)
+		committed = true
 	}
 	return inst, nil
 }

@@ -32,7 +32,7 @@ func TestHookArityMismatchTrapsNotPanics(t *testing.T) {
 	for i := range md.Hooks {
 		spec := &md.Hooks[i]
 		lay := spec.Layout()
-		tramp, _ := rt.compileTrampoline(spec)
+		tramp, _ := rt.compileTrampoline(spec, lay)
 		full := synthArgs(spec, lay.Arity)
 		for _, bad := range [][]interp.Value{
 			nil,

@@ -65,8 +65,10 @@ func (r *recorder) Load(l analysis.Location, op string, m analysis.MemArg, v ana
 func (r *recorder) Store(l analysis.Location, op string, m analysis.MemArg, v analysis.Value) {
 	r.log("store %v %s %v %v", l, op, m, v)
 }
-func (r *recorder) MemorySize(l analysis.Location, p uint32)    { r.log("memory_size %v %d", l, p) }
-func (r *recorder) MemoryGrow(l analysis.Location, d, p uint32) { r.log("memory_grow %v %d %d", l, d, p) }
+func (r *recorder) MemorySize(l analysis.Location, p uint32) { r.log("memory_size %v %d", l, p) }
+func (r *recorder) MemoryGrow(l analysis.Location, d, p uint32) {
+	r.log("memory_grow %v %d %d", l, d, p)
+}
 func (r *recorder) CallPre(l analysis.Location, t int, args []analysis.Value, ti int64) {
 	r.log("call_pre %v %d %v %d", l, t, args, ti)
 }
@@ -94,23 +96,23 @@ func parityModule() *wasm.Module {
 	f := b.Func("f", builder.V(wasm.I32), builder.V(wasm.I32))
 	l64 := f.Local(wasm.I64)
 	f.Op(wasm.OpNop)
-	f.I64(1 << 40).Set(l64)                                    // i64 const + local
-	f.Get(l64).I64(3).Op(wasm.OpI64Add).Set(l64)               // i64 binary
-	f.Get(l64).Op(wasm.OpI64Eqz).Drop()                        // i64 unary, i32 drop
-	f.Get(l64).Drop()                                          // i64 drop
-	f.GGet(g64).GSet(g64)                                      // i64 global
-	f.I32(8).Get(l64).Store(wasm.OpI64Store, 0)                // i64 store
-	f.I32(8).Load(wasm.OpI64Load, 0).Drop()                    // i64 load
-	f.Get(l64).Get(l64).Get(0).Select() // i64 select
-	f.Drop()                            //
-	f.Op(wasm.OpMemorySize).Drop()                             // memory_size
-	f.I32(1).Op(wasm.OpMemoryGrow).Drop()                      // memory_grow
-	f.I64(7).F64(2.5).Get(0).Call(callee.Index)                // direct call, i64 sig
-	f.Op(wasm.OpI32WrapI64).Drop()                             //
-	f.I64(9).F64(1.5).Get(0).I32(0)                            // args + table idx
+	f.I64(1 << 40).Set(l64)                      // i64 const + local
+	f.Get(l64).I64(3).Op(wasm.OpI64Add).Set(l64) // i64 binary
+	f.Get(l64).Op(wasm.OpI64Eqz).Drop()          // i64 unary, i32 drop
+	f.Get(l64).Drop()                            // i64 drop
+	f.GGet(g64).GSet(g64)                        // i64 global
+	f.I32(8).Get(l64).Store(wasm.OpI64Store, 0)  // i64 store
+	f.I32(8).Load(wasm.OpI64Load, 0).Drop()      // i64 load
+	f.Get(l64).Get(l64).Get(0).Select()          // i64 select
+	f.Drop()                                     //
+	f.Op(wasm.OpMemorySize).Drop()               // memory_size
+	f.I32(1).Op(wasm.OpMemoryGrow).Drop()        // memory_grow
+	f.I64(7).F64(2.5).Get(0).Call(callee.Index)  // direct call, i64 sig
+	f.Op(wasm.OpI32WrapI64).Drop()               //
+	f.I64(9).F64(1.5).Get(0).I32(0)              // args + table idx
 	f.CallIndirect(builder.V(wasm.I64, wasm.F64, wasm.I32), builder.V(wasm.I64))
 	f.Op(wasm.OpI32WrapI64).Drop()
-	f.Block().Get(0).BrIf(0).Op(wasm.OpUnreachable).End()      // unreachable (branched over)
+	f.Block().Get(0).BrIf(0).Op(wasm.OpUnreachable).End() // unreachable (branched over)
 	f.Block().Block()
 	f.Get(0).BrTable([]uint32{0}, 1) // br_table with metadata
 	f.End().End()
@@ -172,7 +174,7 @@ func TestTrampolineParityWithGenericDispatch(t *testing.T) {
 		spec := &md.Hooks[i]
 		seenKinds[spec.Kind] = true
 		lay := spec.Layout()
-		tramp, noop := rtT.compileTrampoline(spec)
+		tramp, noop := rtT.compileTrampoline(spec, lay)
 		if noop {
 			t.Errorf("hook %s: bound no-op although the analysis implements everything", spec.Name)
 			continue

@@ -14,16 +14,44 @@
 package runtime
 
 import (
+	"sync"
+
 	"wasabi/internal/analysis"
 	"wasabi/internal/core"
 	"wasabi/internal/interp"
 )
 
+// Shared is the per-instrumentation state every session's runtime reuses: the
+// precomputed lowered-argument layout of each hook spec and the engine's
+// borrowed-buffer pool. A CompiledAnalysis computes it once; binding a new
+// session then only captures callbacks, never re-derives layouts.
+type Shared struct {
+	Layouts []core.ArgLayout // indexed like Metadata.Hooks
+	Pool    *ValuePool
+}
+
+// NewShared precomputes the shared trampoline layout for meta. A nil pool
+// falls back to the process-wide default pool.
+func NewShared(meta *core.Metadata, pool *ValuePool) *Shared {
+	if pool == nil {
+		pool = &defaultPool
+	}
+	layouts := make([]core.ArgLayout, len(meta.Hooks))
+	for i := range meta.Hooks {
+		layouts[i] = meta.Hooks[i].Layout()
+	}
+	return &Shared{Layouts: layouts, Pool: pool}
+}
+
 // Runtime dispatches low-level hook calls to one analysis.
 type Runtime struct {
-	meta *core.Metadata
-	inst *interp.Instance // bound after instantiation; fallback for table resolution
-	caps analysis.Cap     // which callbacks the analysis implements
+	meta   *core.Metadata
+	shared *Shared
+	inst   *interp.Instance // bound after instantiation; fallback for table resolution
+	caps   analysis.Cap     // which callbacks the analysis implements
+
+	importsOnce sync.Once
+	imports     interp.Imports // compiled trampolines, built once per runtime
 
 	// Pre-bound high-level hook callbacks; nil when the analysis does not
 	// implement the corresponding interface. The trampoline builder captures
@@ -53,10 +81,19 @@ type Runtime struct {
 	start       func(analysis.Location)
 }
 
-// New creates a runtime dispatching to the given analysis. If the analysis
-// implements analysis.ModuleInfoReceiver it receives the module info now.
+// New creates a runtime dispatching to the given analysis, with its own
+// freshly derived shared state. Sessions created through the engine API use
+// NewBound instead, so all sessions of one CompiledAnalysis reuse one layout
+// table and one buffer pool.
 func New(meta *core.Metadata, a any) *Runtime {
-	r := &Runtime{meta: meta, caps: analysis.CapsOf(a)}
+	return NewBound(meta, a, NewShared(meta, nil))
+}
+
+// NewBound creates a runtime dispatching to the given analysis, binding it
+// against precomputed shared state. If the analysis implements
+// analysis.ModuleInfoReceiver it receives the module info now.
+func NewBound(meta *core.Metadata, a any, shared *Shared) *Runtime {
+	r := &Runtime{meta: meta, shared: shared, caps: analysis.CapsOf(a)}
 	if v, ok := a.(analysis.NopHooker); ok {
 		r.nop = v.Nop
 	}
@@ -132,28 +169,33 @@ func New(meta *core.Metadata, a any) *Runtime {
 	return r
 }
 
-// BindInstance gives the runtime access to the instantiated module, used as
-// a fallback to resolve indirect-call table indices when a trampoline is
-// invoked without an instance (the interpreter always passes the calling
-// instance, which takes precedence).
+// BindInstance gives the runtime access to the most recently instantiated
+// module, used as a fallback to resolve indirect-call table indices when a
+// trampoline is invoked without an instance (the interpreter always passes
+// the calling instance, which takes precedence — so with multiple instances
+// per session, each hook resolves against the instance that fired it).
 func (r *Runtime) BindInstance(inst *interp.Instance) { r.inst = inst }
 
 // Imports returns the host imports providing every generated low-level hook
 // under the core.HookModule namespace, each bound to its compiled trampoline
 // via the zero-copy Fast convention. Merge them with the program's own
-// imports before instantiation.
+// imports before instantiation. The trampolines are compiled on the first
+// call and reused: a session instantiating N instances binds them once.
 func (r *Runtime) Imports() interp.Imports {
-	fields := make(map[string]any, len(r.meta.Hooks))
-	for i := range r.meta.Hooks {
-		spec := &r.meta.Hooks[i]
-		fast, noop := r.compileTrampoline(spec)
-		fields[spec.Name] = &interp.HostFunc{
-			Type: spec.WasmType(),
-			Fast: fast,
-			NoOp: noop,
+	r.importsOnce.Do(func() {
+		fields := make(map[string]any, len(r.meta.Hooks))
+		for i := range r.meta.Hooks {
+			spec := &r.meta.Hooks[i]
+			fast, noop := r.compileTrampoline(spec, r.shared.Layouts[i])
+			fields[spec.Name] = &interp.HostFunc{
+				Type: spec.WasmType(),
+				Fast: fast,
+				NoOp: noop,
+			}
 		}
-	}
-	return interp.Imports{core.HookModule: fields}
+		r.imports = interp.Imports{core.HookModule: fields}
+	})
+	return r.imports
 }
 
 // TrapInvalidMetadata is the trap code reported when an instrumented module

@@ -190,7 +190,9 @@ func (c *callOrderAnalysis) CallPre(loc analysis.Location, target int, args []an
 	if c.depth > c.maxDepth {
 		c.maxDepth = c.depth
 	}
-	c.preArgs = append(c.preArgs, args)
+	// args is a borrowed, pooled buffer: retaining it across hook calls
+	// requires an explicit copy under the value-ownership contract.
+	c.preArgs = append(c.preArgs, analysis.Values(args).Clone())
 }
 
 func (c *callOrderAnalysis) CallPost(loc analysis.Location, results []analysis.Value) {

@@ -11,8 +11,11 @@ package runtime
 // Trampolines use the interpreter's zero-copy host-call convention
 // (interp.HostFunc.Fast): args is a read-only window aliasing the caller's
 // operand stack. Trampolines therefore never retain args; everything they
-// hand to the analysis is either a scalar or a freshly built slice (the
-// call/return value vectors, which the high-level API lets analyses keep).
+// hand to the analysis is either a scalar or a borrowed, engine-pooled
+// vector (the call/return value vectors and br_table's resolved-target
+// table) that is valid only for the duration of the callback — analyses use
+// analysis.Values.Clone to retain one. Filling a pooled buffer instead of
+// allocating keeps slice-carrying hook dispatch at 0 allocs/op.
 //
 // Hooks whose callbacks the analysis does not implement compile to a shared
 // no-op and are reported as such, which lets the interpreter's compile pass
@@ -61,17 +64,12 @@ func valueAt(args []interp.Value, off int, t wasm.ValType) analysis.Value {
 	return analysis.Value{Type: t, Bits: args[off]}
 }
 
-// valuesAt decodes a value vector with precomputed offsets. The result is
-// freshly allocated (analyses may retain it, per the high-level API).
-func valuesAt(args []interp.Value, offs []int, ts []wasm.ValType) []analysis.Value {
-	if len(ts) == 0 {
-		return nil
-	}
-	vs := make([]analysis.Value, len(ts))
+// fillValues decodes a value vector with precomputed offsets into a borrowed
+// buffer (len(vs) == len(ts)).
+func fillValues(vs []analysis.Value, args []interp.Value, offs []int, ts []wasm.ValType) {
 	for i, t := range ts {
 		vs[i] = valueAt(args, offs[i], t)
 	}
-	return vs
 }
 
 // locOnly builds the trampoline shape shared by the hooks whose only
@@ -87,12 +85,12 @@ func locOnly(cb func(analysis.Location), name string, arity int) hookFn {
 }
 
 // compileTrampoline builds the specialized dispatch closure for one hook
-// spec. noop reports that the analysis implements no callback the hook could
-// reach — decided from the capability bits computed in New — so the
+// spec against its precomputed lowered-arg layout (shared across sessions).
+// noop reports that the analysis implements no callback the hook could
+// reach — decided from the capability bits computed in NewBound — so the
 // interpreter may elide its call sites outright; the returned fn is still
 // always callable (the shared no-op).
-func (r *Runtime) compileTrampoline(spec *core.HookSpec) (fn hookFn, noop bool) {
-	lay := spec.Layout()
+func (r *Runtime) compileTrampoline(spec *core.HookSpec, lay core.ArgLayout) (fn hookFn, noop bool) {
 	arity := lay.Arity
 	name := spec.Name
 
@@ -374,19 +372,44 @@ func (r *Runtime) compileTrampoline(spec *core.HookSpec) (fn hookFn, noop bool) 
 		if !r.caps.Has(analysis.CapReturn) {
 			return nopHook, true
 		}
-		offs, ts := lay.Offs, spec.Types
-		return func(_ *interp.Instance, args []interp.Value) error {
-			if len(args) != arity {
-				return arityTrap(name, arity, len(args))
-			}
-			cb(hookLoc(args), valuesAt(args, offs, ts))
-			return nil
-		}, false
+		return r.valuesTrampoline(name, arity, lay.Offs, spec.Types, cb), false
 	}
 
 	// Unknown kind (newer metadata than this runtime): bind to the no-op so
 	// the module still runs; nothing could be dispatched anyway.
 	return nopHook, true
+}
+
+// borrowValues is the single implementation of the borrowed-buffer checkout
+// protocol every slice-carrying trampoline goes through: decode the value
+// vector into a pooled buffer, hand it to dispatch for the duration of the
+// call, put it back. n == 0 dispatches nil without touching the pool. The
+// dispatch closure must not escape (that would re-introduce a per-call
+// allocation — the zero-alloc guard test watches this).
+func borrowValues(pool *ValuePool, n int, args []interp.Value, offs []int, ts []wasm.ValType, dispatch func(vs []analysis.Value)) {
+	if n == 0 {
+		dispatch(nil)
+		return
+	}
+	buf := pool.getValues(n)
+	fillValues(buf.vs, args, offs, ts)
+	dispatch(buf.vs)
+	pool.putValues(buf)
+}
+
+// valuesTrampoline builds the shared shape of the two hooks whose payload is
+// one borrowed value vector (return, call_post).
+func (r *Runtime) valuesTrampoline(name string, arity int, offs []int, ts []wasm.ValType, cb func(analysis.Location, []analysis.Value)) hookFn {
+	pool, n := r.shared.Pool, len(ts)
+	return func(_ *interp.Instance, args []interp.Value) error {
+		if len(args) != arity {
+			return arityTrap(name, arity, len(args))
+		}
+		borrowValues(pool, n, args, offs, ts, func(vs []analysis.Value) {
+			cb(hookLoc(args), vs)
+		})
+		return nil
+	}
 }
 
 // callTrampoline specializes the three call-hook shapes: call_post, direct
@@ -399,14 +422,7 @@ func (r *Runtime) callTrampoline(spec *core.HookSpec, lay core.ArgLayout) (hookF
 		if !r.caps.Has(analysis.CapCallPost) {
 			return nopHook, true
 		}
-		offs, ts := lay.Offs, spec.Types
-		return func(_ *interp.Instance, args []interp.Value) error {
-			if len(args) != arity {
-				return arityTrap(name, arity, len(args))
-			}
-			cb(hookLoc(args), valuesAt(args, offs, ts))
-			return nil
-		}, false
+		return r.valuesTrampoline(name, arity, lay.Offs, spec.Types, cb), false
 	}
 	cb := r.callPre
 	if !r.caps.Has(analysis.CapCallPre) {
@@ -415,12 +431,15 @@ func (r *Runtime) callTrampoline(spec *core.HookSpec, lay core.ArgLayout) (hookF
 	// Types[0] is the i32 target (direct) or table index (indirect); the
 	// actual callee arguments follow.
 	offs, ts := lay.Offs[1:], spec.Types[1:]
+	pool, n := r.shared.Pool, len(ts)
 	if !spec.Indirect {
 		return func(_ *interp.Instance, args []interp.Value) error {
 			if len(args) != arity {
 				return arityTrap(name, arity, len(args))
 			}
-			cb(hookLoc(args), int(int32(uint32(args[2]))), valuesAt(args, offs, ts), -1)
+			borrowValues(pool, n, args, offs, ts, func(vs []analysis.Value) {
+				cb(hookLoc(args), int(int32(uint32(args[2]))), vs, -1)
+			})
 			return nil
 		}, false
 	}
@@ -445,7 +464,9 @@ func (r *Runtime) callTrampoline(spec *core.HookSpec, lay core.ArgLayout) (hookF
 				target = meta.OriginalFuncIdx(int(fidx))
 			}
 		}
-		cb(hookLoc(args), target, valuesAt(args, offs, ts), int64(tblIdx))
+		borrowValues(pool, n, args, offs, ts, func(vs []analysis.Value) {
+			cb(hookLoc(args), target, vs, int64(tblIdx))
+		})
 		return nil
 	}, false
 }
@@ -457,6 +478,7 @@ func (r *Runtime) brTableTrampoline(name string, arity int) hookFn {
 	endCb := r.end
 	tableCb := r.brTable
 	meta := r.meta
+	pool := r.shared.Pool
 	return func(_ *interp.Instance, args []interp.Value) error {
 		if len(args) != arity {
 			return arityTrap(name, arity, len(args))
@@ -484,12 +506,13 @@ func (r *Runtime) brTableTrampoline(name string, arity int) hookFn {
 			}
 		}
 		if tableCb != nil {
-			table := make([]analysis.BranchTarget, len(info.Targets))
+			buf := pool.getTargets(len(info.Targets))
 			for i, t := range info.Targets {
-				table[i] = analysis.BranchTarget{Label: t.Label, Location: analysis.Location{Func: loc.Func, Instr: t.Instr}}
+				buf.ts[i] = analysis.BranchTarget{Label: t.Label, Location: analysis.Location{Func: loc.Func, Instr: t.Instr}}
 			}
 			deflt := analysis.BranchTarget{Label: info.Default.Label, Location: analysis.Location{Func: loc.Func, Instr: info.Default.Instr}}
-			tableCb(loc, table, deflt, idx)
+			tableCb(loc, buf.ts, deflt, idx)
+			pool.putTargets(buf)
 		}
 		return nil
 	}

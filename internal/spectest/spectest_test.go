@@ -66,10 +66,10 @@ func TestCorpusInstrumented(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := validate.Module(sess.Module); err != nil {
+			if err := validate.Module(sess.Module()); err != nil {
 				t.Fatalf("instrumented validation: %v", err)
 			}
-			inst, err := sess.Instantiate(nil)
+			inst, err := sess.Instantiate("", nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -105,7 +105,7 @@ func TestCorpusPerHookInstrumented(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", kind, err)
 				}
-				inst, err := sess.Instantiate(nil)
+				inst, err := sess.Instantiate("", nil)
 				if err != nil {
 					t.Fatalf("%s: %v", kind, err)
 				}

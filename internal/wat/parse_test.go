@@ -94,7 +94,7 @@ func TestParsedModuleInstruments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := sess.Instantiate(nil)
+	inst, err := sess.Instantiate("", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,69 @@
+package wasabi
+
+import (
+	"fmt"
+
+	"wasabi/internal/core"
+	"wasabi/internal/interp"
+	wruntime "wasabi/internal/runtime"
+	"wasabi/internal/wasm"
+)
+
+// Session binds one analysis value to a CompiledAnalysis and owns the
+// instances it instantiates. Hook events from every instance of the session
+// dispatch to the one analysis value, so a single analysis can observe a
+// whole multi-instance workload. A Session (like the instances it creates)
+// must be driven from one goroutine at a time; run concurrent workloads by
+// giving each goroutine its own Session off the shared CompiledAnalysis.
+type Session struct {
+	compiled *CompiledAnalysis
+	analysis any
+	rt       *wruntime.Runtime
+}
+
+// Instantiate instantiates the instrumented module: the generated hook
+// imports are merged with the program's own imports, unresolved imports fall
+// back to the engine's named instances (so modules can import each other's
+// exports), and — when name is non-empty — the new instance is registered
+// under name for later instantiations to link against. Call it repeatedly
+// for multiple instances of the same instrumented module.
+func (s *Session) Instantiate(name string, programImports interp.Imports) (*interp.Instance, error) {
+	if name == core.HookModule {
+		return nil, fmt.Errorf("%w: instance name %q is the generated hook import namespace", ErrHookModuleCollision, name)
+	}
+	if _, clash := programImports[core.HookModule]; clash {
+		return nil, fmt.Errorf("%w: program imports provide module %q, which the instrumented module resolves its generated hooks from", ErrHookModuleCollision, core.HookModule)
+	}
+	merged := make(interp.Imports, len(programImports)+1)
+	for mod, fields := range programImports {
+		merged[mod] = fields
+	}
+	for mod, fields := range s.rt.Imports() {
+		merged[mod] = fields
+	}
+	inst, err := interp.InstantiateIn(s.compiled.reg, name, s.compiled.module, merged)
+	if err != nil {
+		return nil, err
+	}
+	s.rt.BindInstance(inst)
+	return inst, nil
+}
+
+// Analysis returns the analysis value the session dispatches to.
+func (s *Session) Analysis() any { return s.analysis }
+
+// Compiled returns the CompiledAnalysis the session was created from.
+func (s *Session) Compiled() *CompiledAnalysis { return s.compiled }
+
+// Module returns the instrumented module (shared and read-only; see
+// CompiledAnalysis.Module).
+func (s *Session) Module() *wasm.Module { return s.compiled.module }
+
+// Metadata returns the instrumentation metadata (shared and read-only).
+func (s *Session) Metadata() *core.Metadata { return s.compiled.meta }
+
+// Info returns the static module information analyses receive.
+func (s *Session) Info() *ModuleInfo { return &s.compiled.meta.Info }
+
+// EncodedModule returns the instrumented module in the binary format.
+func (s *Session) EncodedModule() ([]byte, error) { return s.compiled.Encode() }

@@ -3,26 +3,40 @@
 //
 // Wasabi instruments a WebAssembly binary ahead of time so that every
 // selected instruction additionally calls an analysis hook, then dispatches
-// those low-level hooks to a high-level analysis API of 23 hooks. The
-// quickstart:
+// those low-level hooks to a high-level analysis API of 23 hooks. The API is
+// layered the way the paper's workflow is used — instrument once, analyze
+// many times:
 //
-//	sess, err := wasabi.Analyze(module, myAnalysis)   // selective instrumentation
-//	inst, err := sess.Instantiate(programImports)     // hooks + program imports
-//	inst.Invoke("main")                               // hooks fire into myAnalysis
+//	engine := wasabi.NewEngine()                            // process-wide, create once
+//	compiled, err := engine.Instrument(m, wasabi.AllCaps)   // instrument ONCE
+//
+//	sess, err := compiled.NewSession(myAnalysis)            // bind one analysis...
+//	inst, err := sess.Instantiate("app", programImports)    // ...to one or more instances
+//	inst.Invoke("main")                                     // hooks fire into myAnalysis
+//
+// A second analysis (or a second goroutine) gets its own Session off the
+// same CompiledAnalysis without re-instrumenting; a second module
+// instantiated under another name can import the first instance's exports
+// through the engine's registry (multi-module linking).
 //
 // An analysis is any value implementing a subset of the hook interfaces in
 // internal/analysis (re-exported here), e.g. wasabi.BinaryHooker for the
 // paper's cryptominer detector (Figure 1).
+//
+// # Value ownership
+//
+// The value vectors handed to the call/return hooks (CallPre args, CallPost
+// and Return results) and the BrTable target table are BORROWED: they alias
+// engine-pooled buffers valid only for the duration of the hook call. Copy
+// with wasabi.Values(args).Clone() to retain one. Every scalar hook argument
+// is a plain copy and may always be kept. This is what makes slice-carrying
+// hook dispatch allocation-free.
 package wasabi
 
 import (
-	"fmt"
-
 	"wasabi/internal/analysis"
-	"wasabi/internal/binary"
 	"wasabi/internal/core"
 	"wasabi/internal/interp"
-	wruntime "wasabi/internal/runtime"
 	"wasabi/internal/wasm"
 )
 
@@ -32,10 +46,15 @@ type (
 	Location = analysis.Location
 	// Value is a typed WebAssembly value.
 	Value = analysis.Value
+	// Values is a vector of hook values; the call/return hook vectors are
+	// borrowed and must be Clone()d to retain (see the package comment).
+	Values = analysis.Values
 	// MemArg describes a memory access (address + static offset).
 	MemArg = analysis.MemArg
 	// BranchTarget pairs a raw branch label with its resolved location.
 	BranchTarget = analysis.BranchTarget
+	// BranchTargets is the borrowed BrTable target table; Clone() to retain.
+	BranchTargets = analysis.BranchTargets
 	// BlockKind names block kinds seen by begin/end hooks.
 	BlockKind = analysis.BlockKind
 	// ModuleInfo is the static module information handed to analyses.
@@ -71,66 +90,58 @@ type (
 	StartHooker       = analysis.StartHooker
 )
 
-// Session bundles an instrumented module with the runtime for one analysis.
-type Session struct {
-	Module   *wasm.Module // the instrumented module
-	Meta     *core.Metadata
-	Analysis any
-
-	rt *wruntime.Runtime
-}
-
 // Analyze instruments m selectively for the hooks the analysis implements
-// and prepares a runtime session. The input module is not modified.
+// and binds a session for it on the shared default engine. Like every v2
+// path it instruments afresh per call (no caching, matching the v1 memory
+// behavior) and dispatches call/return hook vectors as BORROWED buffers —
+// a v1 analysis that retained them must now Clone (see the package comment).
+//
+// Deprecated: one-shot entry point kept for compatibility. Use an Engine so
+// instrumentation, analysis binding, and instantiation can be reused
+// independently: engine.Instrument(m, caps) once, then
+// compiled.NewSession(a) per analysis.
 func Analyze(m *wasm.Module, a any) (*Session, error) {
-	return AnalyzeWithOptions(m, a, core.ForAnalysis(a))
+	caps := CapsOf(a)
+	if caps == 0 {
+		return nil, errNoHooksFor(a)
+	}
+	return AnalyzeWithOptions(m, a, core.Options{Hooks: caps.HookSet()})
 }
 
 // AnalyzeWithOptions is Analyze with explicit instrumentation options (e.g.
-// forcing full instrumentation regardless of the analysis).
+// forcing full instrumentation regardless of the analysis). It fails with
+// ErrNoHooks when the analysis implements no hook interface. Unlike
+// Engine.Instrument it honors every core.Options field and never caches:
+// each call runs the instrumenter afresh, exactly like the pre-Engine API.
+//
+// Deprecated: use Engine.InstrumentHooks (or Engine.Instrument with a Cap
+// mask) followed by CompiledAnalysis.NewSession.
 func AnalyzeWithOptions(m *wasm.Module, a any, opts core.Options) (*Session, error) {
-	instrumented, meta, err := core.Instrument(m, opts)
+	compiled, err := DefaultEngine().instrumentUncached(m, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
-		Module:   instrumented,
-		Meta:     meta,
-		Analysis: a,
-		rt:       wruntime.New(meta, a),
-	}, nil
+	// One-shot sessions link through a private registry, so named instances
+	// are released with the CompiledAnalysis instead of accumulating in the
+	// process-global default engine (matching the v1 lifetime semantics).
+	compiled.reg = interp.NewRegistry()
+	return compiled.NewSession(a)
 }
 
-// AnalyzeBytes is Analyze for a binary-encoded module.
+// AnalyzeBytes is Analyze for a binary-encoded module. Never caches (see
+// Engine.InstrumentBytes).
+//
+// Deprecated: use Engine.InstrumentBytes followed by
+// CompiledAnalysis.NewSession.
 func AnalyzeBytes(wasmBytes []byte, a any) (*Session, error) {
-	m, err := binary.Decode(wasmBytes)
-	if err != nil {
-		return nil, fmt.Errorf("wasabi: decode: %w", err)
+	caps := CapsOf(a)
+	if caps == 0 {
+		return nil, errNoHooksFor(a)
 	}
-	return Analyze(m, a)
-}
-
-// Instantiate instantiates the instrumented module on the bundled
-// interpreter, merging the program's own imports with the generated hook
-// imports, and binds the instance to the runtime (needed to resolve
-// indirect-call targets).
-func (s *Session) Instantiate(programImports interp.Imports) (*interp.Instance, error) {
-	merged := interp.Imports{}
-	for mod, fields := range programImports {
-		merged[mod] = fields
-	}
-	for mod, fields := range s.rt.Imports() {
-		merged[mod] = fields
-	}
-	inst, err := interp.Instantiate(s.Module, merged)
+	compiled, err := DefaultEngine().InstrumentBytes(wasmBytes, caps)
 	if err != nil {
 		return nil, err
 	}
-	s.rt.BindInstance(inst)
-	return inst, nil
-}
-
-// EncodedModule returns the instrumented module in the binary format.
-func (s *Session) EncodedModule() ([]byte, error) {
-	return binary.Encode(s.Module)
+	compiled.reg = interp.NewRegistry() // private linking scope, like AnalyzeWithOptions
+	return compiled.NewSession(a)
 }
