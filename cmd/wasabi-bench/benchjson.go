@@ -68,6 +68,19 @@ type CallReturnAllocs struct {
 	PerHookCall         float64 `json:"per_hook_call"`
 }
 
+// StreamBench records the event-stream surface on the Fig 9 workload: how
+// many hook events per second the packed-record pipeline delivers to a
+// consumer goroutine at the default batch size, plus the batch-size sweep
+// (the batching/amortization curve). CI's fig9-smoke guards EventsPerSec
+// against >2x regression.
+type StreamBench struct {
+	EventsPerSec    float64            `json:"events_per_sec"`
+	NsPerOp         float64            `json:"ns_per_op"`
+	EventsPerInvoke int64              `json:"events_per_invoke"`
+	BatchSize       int                `json:"batch_size"`
+	BatchSweep      map[string]float64 `json:"batch_sweep_events_per_sec,omitempty"`
+}
+
 // Fig9Report is the schema of BENCH_fig9.json: interpreter progress tracked
 // like instrumentation progress (BENCH_instrument.json), one file per
 // concern. CI's bench smoke fails when BaselineNsPerOp regresses >2x against
@@ -78,7 +91,9 @@ type Fig9Report struct {
 	// CallReturnAllocs is the 0-allocs/op guard for slice-carrying hook
 	// dispatch (borrowed, engine-pooled value vectors).
 	CallReturnAllocs CallReturnAllocs `json:"call_return_allocs"`
-	PR1Reference     Fig9Reference    `json:"pr1_reference"`
+	// Stream records the event-stream pipeline's delivery rate.
+	Stream       StreamBench   `json:"stream"`
+	PR1Reference Fig9Reference `json:"pr1_reference"`
 	// PR2Reference freezes the generic-dispatch (Kind-switch + argReader)
 	// numbers the per-spec trampolines replaced.
 	PR2Reference Fig9Reference `json:"pr2_reference"`
@@ -299,10 +314,16 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 		if err != nil {
 			return err
 		}
+		fmt.Fprintln(os.Stderr, "bench: Stream")
+		streamBench, err := measureStreamBench(engine)
+		if err != nil {
+			return err
+		}
 		report := Fig9Report{
 			BaselineNsPerOp:  baseline.NsPerOp,
 			Hooks:            hooks,
 			CallReturnAllocs: crAllocs,
+			Stream:           streamBench,
 			PR1Reference:     pr1Reference,
 			PR2Reference:     pr2Reference,
 			PR3Reference:     pr3Reference,

@@ -7,6 +7,7 @@
 //	wasabi-bench -experiment table4|rq2|table5|fig8|mono|fig9|all [-full]
 //	wasabi-bench -json BENCH_instrument.json -fig9 BENCH_fig9.json
 //	wasabi-bench -sessions N    (instrument once, N concurrent sessions)
+//	wasabi-bench -stream        (event-stream events/sec + batch-size sweep)
 package main
 
 import (
@@ -26,7 +27,16 @@ func main() {
 	jsonOut := flag.String("json", "", "run the Table 5 / Fig 9 benchmarks and write machine-readable results (e.g. BENCH_instrument.json); skips the experiments")
 	fig9Out := flag.String("fig9", "", "write the interpreter's Fig 9 baseline + per-hook ratios (e.g. BENCH_fig9.json); skips the experiments; combines with -json")
 	sessions := flag.Int("sessions", 0, "instrument once and run N concurrent sessions off the one CompiledAnalysis; skips the experiments")
+	stream := flag.Bool("stream", false, "measure event-stream delivery (events/sec, batch-size sweep) on the Fig 9 workload; skips the experiments")
 	flag.Parse()
+
+	if *stream {
+		if err := runStream(); err != nil {
+			fmt.Fprintf(os.Stderr, "wasabi-bench: -stream: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *sessions > 0 {
 		if err := runSessions(*sessions); err != nil {

@@ -1,0 +1,172 @@
+package main
+
+// The -stream mode measures the event-stream surface on the Fig 9 workload:
+// gemm instrumented for all hooks, events delivered as packed record
+// batches to a counting consumer on its own goroutine. It reports events
+// per second across a batch-size sweep (the batching/amortization curve)
+// and the callback-dispatch reference on the same workload; the default
+// batch size's numbers also go into BENCH_fig9.json (stream section), which
+// CI's fig9-smoke guards against >2x regression.
+
+import (
+	"fmt"
+	"testing"
+
+	"wasabi"
+	"wasabi/internal/analyses"
+	"wasabi/internal/polybench"
+)
+
+// streamSweepSizes is the batch-size sweep of the -stream mode.
+var streamSweepSizes = []int{256, 1024, 4096, 16384}
+
+// countSink counts events and batches; the consumer goroutine writes, the
+// measuring goroutine reads only after joining it.
+type countSink struct {
+	events  uint64
+	batches uint64
+}
+
+func (s *countSink) StreamCaps() wasabi.Cap      { return wasabi.AllCaps }
+func (s *countSink) Events(batch []wasabi.Event) { s.events += uint64(len(batch)); s.batches++ }
+
+// streamPoint is one measured configuration.
+type streamPoint struct {
+	nsPerOp         float64
+	eventsPerInvoke int64
+	eventsPerSec    float64
+	batches         uint64
+	dropped         uint64
+}
+
+// measureStream times repeated kernel invocations of one stream session
+// with the given batch size.
+func measureStream(compiled *wasabi.CompiledAnalysis, batchSize int) (streamPoint, error) {
+	sink := &countSink{}
+	sess, err := compiled.NewSession(sink)
+	if err != nil {
+		return streamPoint{}, err
+	}
+	defer sess.Close()
+	stream, err := sess.Stream(wasabi.StreamBatchSize(batchSize))
+	if err != nil {
+		return streamPoint{}, err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		stream.Serve(sink)
+	}()
+	inst, err := sess.Instantiate("", polybench.HostImports(nil))
+	if err != nil {
+		stream.Close()
+		<-done
+		return streamPoint{}, err
+	}
+	invokes := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := inst.Invoke("kernel"); err != nil {
+				b.Fatal(err)
+			}
+			invokes++
+		}
+	})
+	stream.Close()
+	<-done
+
+	p := streamPoint{nsPerOp: float64(r.NsPerOp()), dropped: stream.Dropped(), batches: sink.batches}
+	if invokes > 0 {
+		p.eventsPerInvoke = int64(sink.events) / int64(invokes)
+	}
+	if p.nsPerOp > 0 {
+		p.eventsPerSec = float64(p.eventsPerInvoke) / p.nsPerOp * 1e9
+	}
+	return p, nil
+}
+
+// measureStreamBench produces the BENCH_fig9.json stream section: the
+// default batch size's headline numbers plus the sweep.
+func measureStreamBench(engine *wasabi.Engine) (StreamBench, error) {
+	gemm, ok := polybench.ByName("gemm")
+	if !ok {
+		return StreamBench{}, fmt.Errorf("gemm kernel missing")
+	}
+	compiled, err := engine.Instrument(gemm.Module(16), wasabi.AllCaps)
+	if err != nil {
+		return StreamBench{}, err
+	}
+	sweep := map[string]float64{}
+	var headline streamPoint
+	for _, size := range streamSweepSizes {
+		p, err := measureStream(compiled, size)
+		if err != nil {
+			return StreamBench{}, err
+		}
+		sweep[fmt.Sprint(size)] = p.eventsPerSec
+		if size == wasabi.DefaultStreamBatchSize {
+			headline = p
+		}
+	}
+	return StreamBench{
+		EventsPerSec:    headline.eventsPerSec,
+		NsPerOp:         headline.nsPerOp,
+		EventsPerInvoke: headline.eventsPerInvoke,
+		BatchSize:       wasabi.DefaultStreamBatchSize,
+		BatchSweep:      sweep,
+	}, nil
+}
+
+// runStream is the CLI -stream mode: print the sweep plus the callback
+// reference on the same workload.
+func runStream() error {
+	gemm, ok := polybench.ByName("gemm")
+	if !ok {
+		return fmt.Errorf("gemm kernel missing")
+	}
+	engine := wasabi.NewEngine()
+	compiled, err := engine.Instrument(gemm.Module(16), wasabi.AllCaps)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("stream mode: gemm(16), all hooks, packed-record batches, consumer on its own goroutine")
+	var headline streamPoint
+	for _, size := range streamSweepSizes {
+		p, err := measureStream(compiled, size)
+		if err != nil {
+			return err
+		}
+		tag := " "
+		if size == wasabi.DefaultStreamBatchSize {
+			tag = "*"
+			headline = p
+		}
+		fmt.Printf("  batch %6d%s: %8.2f M events/s  (%d events/invoke, %.2f ms/invoke, dropped %d)\n",
+			size, tag, p.eventsPerSec/1e6, p.eventsPerInvoke, p.nsPerOp/1e6, p.dropped)
+	}
+
+	// Callback reference: the empty analysis through the trampolines on the
+	// same instrumentation, normalized to the same events/sec metric.
+	sess, err := compiled.NewSession(&analyses.Empty{})
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	inst, err := sess.Instantiate("", polybench.HostImports(nil))
+	if err != nil {
+		return err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := inst.Invoke("kernel"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cbEventsPerSec := float64(headline.eventsPerInvoke) / float64(r.NsPerOp()) * 1e9
+	fmt.Printf("  callback ref : %8.2f M events/s  (empty analysis, synchronous dispatch)\n", cbEventsPerSec/1e6)
+	fmt.Println("  (* = default batch size; recorded in BENCH_fig9.json `stream`)")
+	return nil
+}

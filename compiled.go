@@ -28,26 +28,45 @@ type CompiledAnalysis struct {
 	encodeOnce sync.Once
 	encoded    []byte
 	encodeErr  error
+
+	eventsOnce sync.Once
+	events     *analysis.EventTable
 }
 
 // NewSession binds one analysis value to the compiled instrumentation. It
-// fails with ErrNoHooks when the analysis implements no hook interface, and
-// when none of the hooks it implements were instrumented (a session that
-// could never observe an event).
+// fails with ErrNoHooks when the analysis implements no hook interface and
+// declares no stream capabilities (EventStreamer), and when none of the
+// hooks it could observe were instrumented (a session that could never see
+// an event). Stream-native analyses additionally call Session.Stream before
+// instantiating; without it their callback interfaces (if any) dispatch
+// normally.
 func (c *CompiledAnalysis) NewSession(a any) (*Session, error) {
 	caps := analysis.CapsOf(a)
+	if es, ok := a.(analysis.EventStreamer); ok {
+		caps |= es.StreamCaps()
+	}
 	if caps == 0 {
 		return nil, errNoHooksFor(a)
 	}
 	if caps.HookSet()&c.meta.HookSet == 0 {
-		return nil, fmt.Errorf("%w: analysis type %T implements only %q, but the module was instrumented for %q",
-			ErrNoHooks, a, caps.HookSet().String(), c.meta.HookSet.String())
+		return nil, &NoHooksError{
+			AnalysisType: fmt.Sprintf("%T", a),
+			Detail: fmt.Sprintf("implements only %q, but the module was instrumented for %q",
+				caps.HookSet().String(), c.meta.HookSet.String()),
+		}
 	}
 	return &Session{
 		compiled: c,
 		analysis: a,
 		rt:       wruntime.NewBound(c.meta, a, c.shared),
 	}, nil
+}
+
+// EventTable returns the decode table of the event-stream surface for this
+// instrumentation, built at most once and shared by every stream.
+func (c *CompiledAnalysis) EventTable() *EventTable {
+	c.eventsOnce.Do(func() { c.events = c.meta.EventTable() })
+	return c.events
 }
 
 // Module returns the instrumented module. Callers must treat it as

@@ -1,6 +1,7 @@
 package wasabi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -36,10 +37,12 @@ func CapsOf(a any) Cap { return analysis.CapsOf(a) }
 // CompiledAnalysis, from which any number of Sessions — each binding one
 // analysis value — instantiate and run instances.
 type Engine struct {
-	parallelism int
-	cacheLimit  int
-	reg         *interp.Registry
-	pool        *wruntime.ValuePool
+	parallelism  int
+	cacheLimit   int
+	streamBatch  int
+	backpressure Backpressure
+	reg          *interp.Registry
+	pool         *wruntime.ValuePool
 
 	mu         sync.Mutex
 	cache      map[compiledKey]*CompiledAnalysis
@@ -69,13 +72,30 @@ func WithCompiledCacheLimit(n int) EngineOption {
 	return func(e *Engine) { e.cacheLimit = n }
 }
 
+// WithBackpressure sets the engine-wide default backpressure policy of
+// event streams: Block (default, lossless — event production stalls until
+// the consumer catches up) or Drop (lossy — full batches are discarded and
+// counted when the consumer lags). Individual streams can override it with
+// StreamBackpressure.
+func WithBackpressure(mode Backpressure) EngineOption {
+	return func(e *Engine) { e.backpressure = mode }
+}
+
+// WithStreamBatchSize sets the engine-wide default number of event records
+// per stream batch (default DefaultStreamBatchSize). Individual streams can
+// override it with StreamBatchSize.
+func WithStreamBatchSize(n int) EngineOption {
+	return func(e *Engine) { e.streamBatch = n }
+}
+
 // NewEngine creates an engine.
 func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{
-		cacheLimit: DefaultCompiledCacheLimit,
-		reg:        interp.NewRegistry(),
-		pool:       &wruntime.ValuePool{},
-		cache:      make(map[compiledKey]*CompiledAnalysis),
+		cacheLimit:  DefaultCompiledCacheLimit,
+		streamBatch: DefaultStreamBatchSize,
+		reg:         interp.NewRegistry(),
+		pool:        &wruntime.ValuePool{},
+		cache:       make(map[compiledKey]*CompiledAnalysis),
 	}
 	for _, o := range opts {
 		o(e)
@@ -195,6 +215,15 @@ func (e *Engine) InstrumentBytes(wasmBytes []byte, caps Cap) (*CompiledAnalysis,
 func (e *Engine) instrumentUncached(m *wasm.Module, opts core.Options) (*CompiledAnalysis, error) {
 	instrumented, meta, err := core.Instrument(m, opts)
 	if err != nil {
+		if errors.Is(err, core.ErrHookNamespaceImport) {
+			// Surface the instrumenter's namespace rejection under the public
+			// sentinel so errors.Is(err, ErrHookModuleCollision) matches.
+			return nil, &HookCollisionError{
+				Name:   core.HookModule,
+				Reason: "is imported by the input module",
+				Err:    err,
+			}
+		}
 		return nil, err
 	}
 	return &CompiledAnalysis{
@@ -213,6 +242,9 @@ func (e *Engine) Instance(name string) (*interp.Instance, bool) { return e.reg.L
 // InstanceNames returns the names of all registered instances, sorted.
 func (e *Engine) InstanceNames() []string { return e.reg.Names() }
 
-// RemoveInstance unregisters a named instance (e.g. when a long-running
-// server retires a module); the instance itself stays usable.
+// RemoveInstance unregisters a named instance; the instance itself stays
+// usable. This is the manual eviction path for long-running engines —
+// normally Session.Close unregisters every name its session registered, but
+// an embedder that hands instance names across session boundaries (or keeps
+// sessions alive while retiring individual instances) evicts them here.
 func (e *Engine) RemoveInstance(name string) { e.reg.Remove(name) }

@@ -5,21 +5,84 @@ import (
 	"fmt"
 )
 
-// ErrNoHooks reports an analysis value that implements none of the hook
-// interfaces (or none that the module was instrumented for): binding it
-// would silently observe nothing, which is never what the caller meant.
-// Matched with errors.Is.
-var ErrNoHooks = errors.New("wasabi: analysis implements no hook interface")
+// The exported error surface. Every sentinel below matches with errors.Is
+// through any number of %w wraps, and the misuse classes that carry context
+// (which analysis had no hooks, which name collided) additionally surface a
+// typed error for errors.As — the typed values unwrap to their sentinel, so
+// both matching styles work on the same returned error.
 
-// errNoHooksFor is the shared ErrNoHooks wrap naming the offending analysis
-// type.
-func errNoHooksFor(a any) error {
-	return fmt.Errorf("%w (analysis type %T)", ErrNoHooks, a)
-}
+// ErrNoHooks reports an analysis value that implements no hook interface
+// and declares no stream capabilities (or none that the module was
+// instrumented for): binding it would silently observe nothing, which is
+// never what the caller meant. Matched with errors.Is; errors.As with
+// *NoHooksError recovers the offending analysis type.
+var ErrNoHooks = errors.New("wasabi: analysis implements no hook interface")
 
 // ErrHookModuleCollision reports a clash between the program's imports (or
 // an instance name) and the generated hook import namespace
 // (core.HookModule): letting one silently shadow the other would either
 // disconnect the analysis or feed program calls into hook trampolines.
-// Matched with errors.Is.
+// Matched with errors.Is; errors.As with *HookCollisionError recovers the
+// colliding name.
 var ErrHookModuleCollision = errors.New("wasabi: import module name collides with the generated hook imports")
+
+// ErrSessionClosed reports use of a session after Session.Close.
+var ErrSessionClosed = errors.New("wasabi: session is closed")
+
+// ErrStreamActive reports a second Session.Stream call: a session has at
+// most one event stream.
+var ErrStreamActive = errors.New("wasabi: session already has an event stream")
+
+// ErrStreamAfterInstantiate reports Session.Stream called after the session
+// already instantiated an instance: the hook dispatchers are compiled at
+// first instantiation, so the delivery mode cannot change afterwards.
+var ErrStreamAfterInstantiate = errors.New("wasabi: Stream must be called before the session's first Instantiate")
+
+// NoHooksError is the typed form of ErrNoHooks: it names the analysis type
+// that could observe nothing and, when the failure is a capability mismatch
+// rather than an empty analysis, what was instrumented vs implemented.
+type NoHooksError struct {
+	AnalysisType string // %T of the offending analysis value
+	Detail       string // optional: why the capabilities cannot observe anything
+}
+
+func (e *NoHooksError) Error() string {
+	msg := fmt.Sprintf("%v (analysis type %s)", ErrNoHooks, e.AnalysisType)
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+func (e *NoHooksError) Unwrap() error { return ErrNoHooks }
+
+// errNoHooksFor is the shared ErrNoHooks construction naming the offending
+// analysis type.
+func errNoHooksFor(a any) error {
+	return &NoHooksError{AnalysisType: fmt.Sprintf("%T", a)}
+}
+
+// HookCollisionError is the typed form of ErrHookModuleCollision: Name is
+// the colliding import-module or instance name, Reason says which of the
+// collision classes was hit. Err optionally chains the lower-layer error
+// (e.g. the instrumenter's namespace rejection).
+type HookCollisionError struct {
+	Name   string
+	Reason string
+	Err    error
+}
+
+func (e *HookCollisionError) Error() string {
+	msg := fmt.Sprintf("%v: %q %s", ErrHookModuleCollision, e.Name, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *HookCollisionError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrHookModuleCollision, e.Err}
+	}
+	return []error{ErrHookModuleCollision}
+}

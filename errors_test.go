@@ -1,0 +1,153 @@
+package wasabi_test
+
+// Table test over the exported error surface: every sentinel must match
+// under errors.Is through %w wraps, the typed errors must additionally
+// match under errors.As (and still under errors.Is against their sentinel),
+// and the engine paths that detect a collision or an unobservable analysis
+// must actually return matchable errors — including the instrumenter's
+// hook-namespace rejection, which used to surface as a plain string and
+// defeated errors.Is(err, ErrHookModuleCollision).
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"wasabi"
+	"wasabi/internal/builder"
+	"wasabi/internal/wasm"
+)
+
+// TestExportedErrorsMatchWrapped walks every exported sentinel.
+func TestExportedErrorsMatchWrapped(t *testing.T) {
+	sentinels := []struct {
+		name string
+		err  error
+	}{
+		{"ErrNoHooks", wasabi.ErrNoHooks},
+		{"ErrHookModuleCollision", wasabi.ErrHookModuleCollision},
+		{"ErrSessionClosed", wasabi.ErrSessionClosed},
+		{"ErrStreamActive", wasabi.ErrStreamActive},
+		{"ErrStreamAfterInstantiate", wasabi.ErrStreamAfterInstantiate},
+	}
+	for _, tc := range sentinels {
+		t.Run(tc.name, func(t *testing.T) {
+			wrapped := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", tc.err))
+			if !errors.Is(wrapped, tc.err) {
+				t.Errorf("errors.Is failed through two %%w wraps for %s", tc.name)
+			}
+			if errors.Is(wrapped, errors.New(tc.err.Error())) {
+				t.Errorf("%s matches by message, not identity", tc.name)
+			}
+		})
+	}
+}
+
+// TestTypedErrorsMatchAsAndIs checks the typed errors against both matching
+// styles.
+func TestTypedErrorsMatchAsAndIs(t *testing.T) {
+	t.Run("NoHooksError", func(t *testing.T) {
+		var base error = &wasabi.NoHooksError{AnalysisType: "*pkg.T", Detail: "nothing implemented"}
+		wrapped := fmt.Errorf("binding: %w", base)
+		if !errors.Is(wrapped, wasabi.ErrNoHooks) {
+			t.Error("NoHooksError does not unwrap to ErrNoHooks")
+		}
+		var typed *wasabi.NoHooksError
+		if !errors.As(wrapped, &typed) {
+			t.Fatal("errors.As failed for *NoHooksError")
+		}
+		if typed.AnalysisType != "*pkg.T" {
+			t.Errorf("AnalysisType = %q", typed.AnalysisType)
+		}
+	})
+	t.Run("HookCollisionError", func(t *testing.T) {
+		inner := errors.New("lower-layer detail")
+		var base error = &wasabi.HookCollisionError{Name: "wasabi_hooks", Reason: "collides", Err: inner}
+		wrapped := fmt.Errorf("instrument: %w", base)
+		if !errors.Is(wrapped, wasabi.ErrHookModuleCollision) {
+			t.Error("HookCollisionError does not unwrap to ErrHookModuleCollision")
+		}
+		if !errors.Is(wrapped, inner) {
+			t.Error("HookCollisionError does not chain its lower-layer error")
+		}
+		var typed *wasabi.HookCollisionError
+		if !errors.As(wrapped, &typed) {
+			t.Fatal("errors.As failed for *HookCollisionError")
+		}
+		if typed.Name != "wasabi_hooks" {
+			t.Errorf("Name = %q", typed.Name)
+		}
+	})
+}
+
+// TestErrorPathsReturnMatchableErrors drives the real API paths and
+// asserts the returned errors match under both Is and As.
+func TestErrorPathsReturnMatchableErrors(t *testing.T) {
+	engine := wasabi.NewEngine()
+
+	t.Run("InstrumentRejectsHookNamespaceImport", func(t *testing.T) {
+		// Regression: core's namespace rejection must surface under the
+		// public sentinel when reached through the engine.
+		m := &wasm.Module{
+			Types: []wasm.FuncType{{}},
+			Imports: []wasm.Import{
+				{Module: "wasabi_hooks", Name: "nop", Kind: wasm.ExternFunc, TypeIdx: 0},
+			},
+		}
+		_, err := engine.Instrument(m, wasabi.AllCaps)
+		if !errors.Is(err, wasabi.ErrHookModuleCollision) {
+			t.Fatalf("got %v, want ErrHookModuleCollision", err)
+		}
+		var typed *wasabi.HookCollisionError
+		if !errors.As(err, &typed) {
+			t.Fatal("errors.As failed on the Instrument collision path")
+		}
+	})
+
+	t.Run("NoHooksAnalysis", func(t *testing.T) {
+		m := builder.New().Build()
+		_, err := engine.InstrumentFor(m, struct{}{})
+		if !errors.Is(err, wasabi.ErrNoHooks) {
+			t.Fatalf("got %v, want ErrNoHooks", err)
+		}
+		var typed *wasabi.NoHooksError
+		if !errors.As(err, &typed) {
+			t.Fatal("errors.As failed on the no-hooks path")
+		}
+		if typed.AnalysisType != "struct {}" {
+			t.Errorf("AnalysisType = %q", typed.AnalysisType)
+		}
+	})
+
+	t.Run("InstantiateRejectsHookModuleName", func(t *testing.T) {
+		b := builder.New()
+		f := b.Func("main", nil, nil)
+		f.Op(wasm.OpNop)
+		f.Done()
+		compiled, err := engine.Instrument(b.Build(), wasabi.AllCaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := compiled.NewSession(&nopOnly{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		_, err = sess.Instantiate("wasabi_hooks", nil)
+		if !errors.Is(err, wasabi.ErrHookModuleCollision) {
+			t.Fatalf("got %v, want ErrHookModuleCollision", err)
+		}
+		var typed *wasabi.HookCollisionError
+		if !errors.As(err, &typed) {
+			t.Fatal("errors.As failed on the instance-name collision path")
+		}
+		if typed.Name != "wasabi_hooks" {
+			t.Errorf("Name = %q", typed.Name)
+		}
+	})
+}
+
+// nopOnly implements exactly one hook.
+type nopOnly struct{}
+
+func (*nopOnly) Nop(wasabi.Location) {}

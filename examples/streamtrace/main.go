@@ -1,0 +1,134 @@
+// Streamtrace: consume hook events as a packed-record stream instead of
+// callbacks, and prove both surfaces observe the same execution.
+//
+// The program builds a small module whose main loop calls a three-argument
+// callee (so call_pre events spill into continuation records), then traces
+// one run twice: through the callback Tracer, and through the stream-native
+// StreamTracer consuming record batches on its own goroutine. The two
+// traces must match line for line.
+//
+// Run with:
+//
+//	go run ./examples/streamtrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wasabi"
+	"wasabi/internal/analyses"
+	"wasabi/internal/builder"
+	"wasabi/internal/interp"
+	"wasabi/internal/wasm"
+)
+
+// batchCounter wraps the stream tracer to also count delivered batches.
+type batchCounter struct {
+	*analyses.StreamTracer
+	batches int
+	events  int
+}
+
+func (b *batchCounter) Events(batch []wasabi.Event) {
+	b.batches++
+	b.events += len(batch)
+	b.StreamTracer.Events(batch)
+}
+
+func buildModule() *wasm.Module {
+	b := builder.New()
+	b.Memory(1)
+	callee := b.Func("mix", builder.V(wasm.I32, wasm.I64, wasm.I32), builder.V(wasm.I64))
+	callee.Get(0).Op(wasm.OpI64ExtendI32U)
+	callee.Get(1).Op(wasm.OpI64Add)
+	callee.Get(2).Op(wasm.OpI64ExtendI32U).Op(wasm.OpI64Mul)
+	callee.Done()
+
+	f := b.Func("main", builder.V(wasm.I32), builder.V(wasm.I64))
+	i := f.Local(wasm.I32)
+	acc := f.Local(wasm.I64)
+	f.I64(1).Set(acc)
+	f.ForI32(i, func(fb *builder.FuncBuilder) { fb.Get(0) }, func(fb *builder.FuncBuilder) {
+		// acc = mix(i, acc, 3); memory keeps a running copy.
+		fb.Get(i).Get(acc).I32(3).Call(callee.Index).Set(acc)
+		fb.I32(8).Get(acc).Store(wasm.OpI64Store, 0)
+		fb.I32(8).Load(wasm.OpI64Load, 0).Drop()
+	})
+	f.Get(acc)
+	f.Done()
+	return b.Build()
+}
+
+func main() {
+	module := buildModule()
+	engine := wasabi.NewEngine()
+	compiled, err := engine.Instrument(module, wasabi.AllCaps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run 1: the callback tracer (synchronous dispatch).
+	cb := analyses.NewTracer()
+	cbSess, err := compiled.NewSession(cb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cbInst, err := cbSess.Instantiate("", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cbRes, err := cbInst.Invoke("main", interp.I32(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cbSess.Close()
+
+	// Run 2: the stream tracer — hooks append packed records, the consumer
+	// goroutine decodes whole batches.
+	sink := &batchCounter{StreamTracer: analyses.NewStreamTracer()}
+	sess, err := compiled.NewSession(sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	stream, err := sess.Stream(wasabi.StreamBatchSize(128))
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		stream.Serve(sink)
+	}()
+	inst, err := sess.Instantiate("", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := inst.Invoke("main", interp.I32(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream.Close()
+	<-done
+
+	if interp.AsI64(res[0]) != interp.AsI64(cbRes[0]) {
+		log.Fatalf("results differ: stream %d, callback %d", interp.AsI64(res[0]), interp.AsI64(cbRes[0]))
+	}
+	if len(sink.Lines) != len(cb.Events) {
+		log.Fatalf("stream observed %d events, callbacks %d", len(sink.Lines), len(cb.Events))
+	}
+	for i := range cb.Events {
+		if sink.Lines[i] != cb.Events[i] {
+			log.Fatalf("event %d differs:\n  callback: %s\n  stream:   %s", i, cb.Events[i], sink.Lines[i])
+		}
+	}
+
+	fmt.Printf("main(4) = %d on both surfaces\n", interp.AsI64(res[0]))
+	fmt.Printf("streamed %d records in %d batches (dropped %d)\n", sink.events, sink.batches, stream.Dropped())
+	fmt.Printf("callback and stream traces match (%d events)\n", len(cb.Events))
+	fmt.Println("--- first events ---")
+	for _, line := range sink.Lines[:min(6, len(sink.Lines))] {
+		fmt.Println(line)
+	}
+}

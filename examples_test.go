@@ -47,6 +47,10 @@ func TestExamples(t *testing.T) {
 			"main(5) = square(5) + cube(5) = 150 (expect 150)",
 			"cross-module imports resolved through the engine registry",
 		}},
+		{"streamtrace", []string{
+			"main(4) = 135 on both surfaces",
+			"callback and stream traces match (148 events)",
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -35,6 +35,10 @@ func TestFig9BaselineGuard(t *testing.T) {
 		Hooks           map[string]struct {
 			Ratio float64 `json:"ratio"`
 		} `json:"hooks"`
+		Stream struct {
+			EventsPerSec float64 `json:"events_per_sec"`
+			BatchSize    int     `json:"batch_size"`
+		} `json:"stream"`
 	}
 	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatalf("BENCH_fig9.json: %v", err)
@@ -99,4 +103,62 @@ func TestFig9BaselineGuard(t *testing.T) {
 			t.Errorf("Fig9 %s ratio regressed >2x: %.2fx vs recorded %.2fx", cfg.name, ratio, recorded.Ratio)
 		}
 	}
+
+	// Event-stream guard: packed-record delivery (all hooks, consumer on its
+	// own goroutine, default batch size) must stay within 2x of the recorded
+	// events/sec. The consumer only counts, like the recorded measurement —
+	// this guards the encode/hand-off pipeline, not any analysis body.
+	recorded := report.Stream.EventsPerSec
+	if recorded <= 0 {
+		t.Fatal("BENCH_fig9.json has no recorded stream events/sec")
+	}
+	engine := wasabi.NewEngine()
+	compiled, err := engine.Instrument(k.Module(16), wasabi.AllCaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &guardSink{}
+	sess, err := compiled.NewSession(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	stream, err := sess.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		stream.Serve(sink)
+	}()
+	sinst, err := sess.Instantiate("", polybench.HostImports(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	invokes := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sinst.Invoke("kernel"); err != nil {
+				b.Fatal(err)
+			}
+			invokes++
+		}
+	})
+	stream.Close()
+	<-done
+	eventsPerSec := float64(sink.events) / float64(invokes) / float64(r.NsPerOp()) * 1e9
+	slimit := recorded / 2
+	t.Logf("Fig9 stream: measured %.1f M events/s, recorded %.1f M events/s (limit %.1f M)",
+		eventsPerSec/1e6, recorded/1e6, slimit/1e6)
+	if eventsPerSec < slimit {
+		t.Errorf("Fig9 stream events/sec regressed >2x: %.0f vs recorded %.0f", eventsPerSec, recorded)
+	}
 }
+
+// guardSink is the minimal stream consumer of the events/sec guard: it
+// counts records and nothing else, mirroring wasabi-bench's measurement.
+type guardSink struct{ events uint64 }
+
+func (s *guardSink) StreamCaps() wasabi.Cap      { return wasabi.AllCaps }
+func (s *guardSink) Events(batch []wasabi.Event) { s.events += uint64(len(batch)) }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,6 +11,12 @@ import (
 	"wasabi/internal/validate"
 	"wasabi/internal/wasm"
 )
+
+// ErrHookNamespaceImport reports an input module that imports from the
+// generated hook namespace (HookModule): instrumenting it would merge the
+// program's imports with the generated hooks. The public layer wraps it into
+// wasabi.ErrHookModuleCollision; matched with errors.Is.
+var ErrHookNamespaceImport = errors.New("core: input module imports from the generated hook import namespace")
 
 // Options configure an instrumentation run.
 type Options struct {
@@ -49,7 +56,7 @@ func Instrument(m *wasm.Module, opts Options) (*wasm.Module, *Metadata, error) {
 	// instrumented output.
 	for _, imp := range m.Imports {
 		if imp.Module == HookModule {
-			return nil, nil, fmt.Errorf("core: input module imports %q.%q, which collides with the generated hook import namespace %q", imp.Module, imp.Name, HookModule)
+			return nil, nil, fmt.Errorf("%w: input module imports %q.%q (namespace %q)", ErrHookNamespaceImport, imp.Module, imp.Name, HookModule)
 		}
 	}
 

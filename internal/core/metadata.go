@@ -112,6 +112,33 @@ type Metadata struct {
 	Info analysis.ModuleInfo `json:"-"`
 }
 
+// EventTable builds the decode table of the event-stream surface: one
+// EventSpec per generated hook, carrying the kind, interned instruction
+// name, block kind, and payload types a stream consumer needs to interpret
+// packed Event records. The result is immutable; callers build it once per
+// instrumentation and share it across streams.
+func (md *Metadata) EventTable() *analysis.EventTable {
+	specs := make([]analysis.EventSpec, len(md.Hooks))
+	for i := range md.Hooks {
+		h := &md.Hooks[i]
+		es := analysis.EventSpec{
+			Kind:     h.Kind,
+			Name:     h.Name,
+			Block:    h.Block,
+			Types:    h.Types,
+			Indirect: h.Indirect,
+			Post:     h.Post,
+		}
+		switch h.Kind {
+		case analysis.KindUnary, analysis.KindBinary, analysis.KindLocal,
+			analysis.KindGlobal, analysis.KindLoad, analysis.KindStore:
+			es.Op = h.OpName()
+		}
+		specs[i] = es
+	}
+	return &analysis.EventTable{Specs: specs}
+}
+
 // OriginalFuncIdx maps a function index of the instrumented index space back
 // to the original one (used when resolving indirect-call targets from the
 // runtime table, which holds instrumented indices).

@@ -62,6 +62,7 @@ const (
 	iCall         // a = function index (defined function), b = param count
 	iCallHost     // a = function index (imported host function), b = param count
 	iCallHostFast // iCallHost via the zero-copy Fast convention (result-less)
+	iCallHostEmit // iCallHostFast's record-emit twin (Emit convention: no error path)
 	iCallIndirect // a = type index, b = param count
 
 	iDrop
@@ -380,7 +381,12 @@ func (c *compiler) step(in wasm.Instr) error {
 					c.elideArgs(len(ft.Params))
 					return nil
 				}
-				if hf.Fast != nil {
+				if hf.Emit != nil {
+					// Record encoders (the stream dispatch pipeline): same
+					// stack-window convention as Fast, but the callee cannot
+					// return an error, so the exec case skips the error check.
+					callOp = iCallHostEmit
+				} else if hf.Fast != nil {
 					callOp = iCallHostFast
 				}
 			}

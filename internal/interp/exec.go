@@ -162,6 +162,14 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value, fr *frame) []Value {
 			np := int(in.b)
 			hostErr(inst.funcs[in.a].host.Fast(inst, stack[sp-np:sp]))
 			sp -= np
+		case iCallHostEmit:
+			// Record-emit twin of iCallHostFast: the encoder appends one
+			// packed event record (or a short group of them) to the session's
+			// batch buffer and signals failure only via a trap panic, so the
+			// hot loop has no error check here at all.
+			np := int(in.b)
+			inst.funcs[in.a].host.Emit(inst, stack[sp-np:sp])
+			sp -= np
 		case iCallIndirect:
 			sp--
 			ti := uint32(stack[sp])

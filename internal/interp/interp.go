@@ -60,6 +60,14 @@ type HostFunc struct {
 	// for result-less signatures. See the aliasing rules above.
 	Fast func(inst *Instance, args []Value) error
 
+	// Emit, when non-nil, takes precedence over Fast: it is the record-emit
+	// twin of the zero-copy convention, used by the Wasabi runtime's stream
+	// encoders. Same stack-window aliasing rules as Fast, but the callee
+	// reports failure only by panicking with a *Trap (record encoders have
+	// no error path), so the dispatch opcode skips the per-call error check.
+	// Only honored for result-less signatures.
+	Emit func(inst *Instance, args []Value)
+
 	// NoOp declares the function observably side-effect free (the runtime
 	// sets it for hooks the analysis does not implement). Calls to a no-op
 	// host function are elided at compile time, including the lowering of
@@ -126,6 +134,12 @@ type Instance struct {
 	// callDepth guards against runaway recursion.
 	callDepth int
 	maxDepth  int
+
+	// onTopReturn, when set, runs after every top-level call completes
+	// (normally or by trap) — the Wasabi runtime's stream sessions flush
+	// their partial event batch here, so consumers observe every event of
+	// an Invoke without waiting for the next one.
+	onTopReturn func()
 }
 
 // frameAt returns the reusable frame for depth d, growing the arena lazily.
@@ -212,11 +226,11 @@ func InstantiateIn(reg *Registry, name string, m *wasm.Module, imports Imports) 
 			if !hf.Type.Equal(want) {
 				return nil, fmt.Errorf("interp: import %q.%q type mismatch: want %s, have %s", imp.Module, imp.Name, want, hf.Type)
 			}
-			if hf.Fn == nil && hf.Fast == nil {
-				return nil, fmt.Errorf("interp: import %q.%q has neither Fn nor Fast", imp.Module, imp.Name)
+			if hf.Fn == nil && hf.Fast == nil && hf.Emit == nil {
+				return nil, fmt.Errorf("interp: import %q.%q has neither Fn, Fast, nor Emit", imp.Module, imp.Name)
 			}
 			if hf.Fn == nil && len(hf.Type.Results) != 0 {
-				return nil, fmt.Errorf("interp: import %q.%q: Fast-only host functions must be result-less", imp.Module, imp.Name)
+				return nil, fmt.Errorf("interp: import %q.%q: Fast/Emit-only host functions must be result-less", imp.Module, imp.Name)
 			}
 			inst.funcs = append(inst.funcs, funcInst{typeIdx: imp.TypeIdx, host: hf})
 		case wasm.ExternMemory:
@@ -363,6 +377,11 @@ func (inst *Instance) FuncSig(idx uint32) (wasm.FuncType, error) {
 	return inst.Module.Types[inst.funcs[idx].typeIdx], nil
 }
 
+// SetTopReturnHook installs f to run after every top-level call completes,
+// whether it returns normally or traps (see the field comment). Pass nil to
+// clear.
+func (inst *Instance) SetTopReturnHook(f func()) { inst.onTopReturn = f }
+
 // ResolveTable returns the function index stored at table slot i, or -1.
 func (inst *Instance) ResolveTable(i uint32) int64 {
 	if inst.Table == nil || int(i) >= len(inst.Table.Elems) {
@@ -376,6 +395,14 @@ func (inst *Instance) ResolveTable(i uint32) int64 {
 // arena and are reused by later calls.
 func (inst *Instance) call(idx uint32, args []Value) (results []Value, err error) {
 	savedDepth := inst.callDepth
+	// Registered before the trap recovery below, so it runs after it
+	// (LIFO): the hook observes the instance in its settled state. Only the
+	// outermost call fires it.
+	defer func() {
+		if savedDepth == 0 && inst.onTopReturn != nil {
+			inst.onTopReturn()
+		}
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			if t, ok := r.(*Trap); ok {
@@ -414,10 +441,15 @@ func (inst *Instance) invoke(idx uint32, args []Value) []Value {
 }
 
 // callHost invokes a host function, converting its error into a trap panic.
-// Shared by invoke and exec's generic host-call opcode (iCallHost). Fast-only
-// host functions (no Fn) are result-less by the Instantiate-time check.
+// Shared by invoke and exec's generic host-call opcode (iCallHost). Fast- and
+// Emit-only host functions (no Fn) are result-less by the Instantiate-time
+// check.
 func (inst *Instance) callHost(hf *HostFunc, args []Value) []Value {
 	if hf.Fn == nil {
+		if hf.Emit != nil {
+			hf.Emit(inst, args)
+			return nil
+		}
 		hostErr(hf.Fast(inst, args))
 		return nil
 	}

@@ -1,0 +1,201 @@
+package runtime
+
+// Emitter is the transport of the event-stream surface: a small ring of
+// fixed-capacity batch buffers between one producer (the session goroutine
+// running instrumented code, appending packed records through the compiled
+// encoders in encoder.go) and one consumer (the analysis goroutine pulling
+// whole batches). Buffers cycle — producer fills, consumer borrows, buffer
+// returns — so steady-state emission allocates nothing.
+//
+// Flush points: a batch is handed to the consumer when it fills, when a
+// top-level call into an instance completes (the session installs Flush as
+// the instance's top-return hook), and on explicit Flush/Close.
+//
+// Backpressure when the consumer lags is a policy choice: Block makes the
+// producer wait (lossless — the instrumented program stalls until the
+// consumer catches up), Drop discards the full batch and counts it
+// (lossy — the program never stalls). Block requires a concurrently running
+// consumer; a single-goroutine run-then-drain loop must use Drop.
+
+import (
+	"sync/atomic"
+
+	"wasabi/internal/analysis"
+)
+
+// Backpressure selects what the producer does when every batch buffer is
+// full because the consumer lags.
+type Backpressure int
+
+const (
+	// Block stalls event production until the consumer frees a batch.
+	// Lossless; requires the consumer to run concurrently.
+	Block Backpressure = iota
+	// Drop discards the batch being flushed when no buffer is free and keeps
+	// running, counting the dropped events (Emitter.Dropped). Lossy; never
+	// stalls the instrumented program.
+	Drop
+)
+
+// emitterDepth is the number of filled batches that may be in flight between
+// producer and consumer. Total buffers = emitterDepth + 2 (one being filled
+// by the producer, one borrowed by the consumer): after any successful
+// hand-off the free ring is provably non-empty, so the producer only ever
+// blocks waiting for the consumer, never on its own bookkeeping.
+const emitterDepth = 2
+
+// Emitter is the producer/consumer pair of one event stream.
+type Emitter struct {
+	cur  []analysis.Event // batch being filled (producer-owned)
+	full chan []analysis.Event
+	free chan []analysis.Event
+
+	drop    bool
+	closed  bool
+	dropped atomic.Uint64
+
+	prev []analysis.Event // batch last handed out by Next (consumer-owned)
+}
+
+// NewEmitter creates an emitter whose batches hold batchSize records.
+func NewEmitter(batchSize int, mode Backpressure) *Emitter {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	em := &Emitter{
+		full: make(chan []analysis.Event, emitterDepth),
+		free: make(chan []analysis.Event, emitterDepth+2),
+		drop: mode == Drop,
+	}
+	em.cur = make([]analysis.Event, 0, batchSize)
+	for i := 0; i < emitterDepth+1; i++ {
+		em.free <- make([]analysis.Event, 0, batchSize)
+	}
+	return em
+}
+
+// emit appends one record, flushing first when the batch is full.
+func (em *Emitter) emit(e analysis.Event) {
+	if len(em.cur) == cap(em.cur) {
+		em.Flush()
+	}
+	em.cur = append(em.cur, e)
+}
+
+// reserve makes room for an n-record group (a primary record plus its
+// continuations), so the group never straddles a batch boundary: emit's
+// batch-full check cannot fire mid-group once len+n <= cap holds. A group
+// larger than the batch capacity itself replaces the current buffer with a
+// grown one (the undersized buffer it displaces leaves the ring, keeping
+// the buffer count — and therefore the backpressure accounting — intact);
+// the grown buffer then cycles like any other, so this is a rare one-time
+// allocation, not a per-event one.
+func (em *Emitter) reserve(n int) {
+	if len(em.cur)+n <= cap(em.cur) {
+		return
+	}
+	em.Flush()
+	if n > cap(em.cur) {
+		em.cur = make([]analysis.Event, 0, n)
+	}
+}
+
+// Flush hands the current batch to the consumer. In Block mode it waits for
+// a slot; in Drop mode it discards the batch (counting its events) when the
+// consumer is behind. Safe to call with an empty batch (no-op), and after
+// Close (events are counted as dropped).
+func (em *Emitter) Flush() {
+	if len(em.cur) == 0 {
+		return
+	}
+	if em.closed {
+		em.dropped.Add(uint64(len(em.cur)))
+		em.cur = em.cur[:0]
+		return
+	}
+	if em.drop {
+		select {
+		case em.full <- em.cur:
+			em.cur = <-em.free // non-blocking by the buffer-count invariant
+		default:
+			em.dropped.Add(uint64(len(em.cur)))
+			em.cur = em.cur[:0]
+		}
+		return
+	}
+	em.full <- em.cur
+	em.cur = <-em.free
+}
+
+// Close flushes the pending batch and ends the stream: after the in-flight
+// batches are drained, Next reports ok == false. Close is producer-side
+// like Flush: call it only when no instrumented code is running. Idempotent.
+func (em *Emitter) Close() {
+	if em.closed {
+		return
+	}
+	em.Flush()
+	em.closed = true
+	close(em.full)
+}
+
+// CloseDiscard ends the stream WITHOUT waiting for the consumer: the
+// pending batch and any undelivered in-flight batches are discarded and
+// counted as dropped. Unlike Close (whose final flush waits for a buffer in
+// Block mode) it never blocks, which makes it the teardown path — Session
+// .Close uses it so closing a session cannot hang on a consumer that
+// stopped draining. Producer-side, idempotent, and safe after Close.
+func (em *Emitter) CloseDiscard() {
+	if !em.closed {
+		em.dropped.Add(uint64(len(em.cur)))
+		em.cur = em.cur[:0]
+		em.closed = true
+		close(em.full)
+	}
+	for {
+		select {
+		case batch, ok := <-em.full:
+			if !ok {
+				return
+			}
+			em.dropped.Add(uint64(len(batch)))
+		default:
+			return
+		}
+	}
+}
+
+// Dropped returns the total number of events discarded: under Drop
+// backpressure, when emitting after Close, and by CloseDiscard's teardown.
+func (em *Emitter) Dropped() uint64 { return em.dropped.Load() }
+
+// Next returns the next filled batch, blocking until one is flushed or the
+// emitter is closed and drained (ok == false). The returned slice is
+// borrowed: it is recycled on the following Next call.
+func (em *Emitter) Next() ([]analysis.Event, bool) {
+	if em.prev != nil {
+		em.free <- em.prev[:0]
+		em.prev = nil
+	}
+	batch, ok := <-em.full
+	if !ok {
+		return nil, false
+	}
+	em.prev = batch
+	return batch, true
+}
+
+// Release drops the producer-side buffers so a closed stream does not pin
+// its batch memory (Session.Close calls it, after Close). Producer-side: it
+// leaves the consumer's in-flight batch alone — a consumer still draining
+// keeps working, and its buffers are collected with the emitter.
+func (em *Emitter) Release() {
+	em.cur = nil
+	for {
+		select {
+		case <-em.free:
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package runtime
+
+// Unit parity + allocation guard for the record encoders (the stream
+// siblings of the trampolines): every generated HookSpec is dispatched
+// through the callback trampoline (bound to the callback Tracer) and the
+// record encoder (whose records are decoded by the StreamTracer) on
+// identical lowered argument vectors, and the formatted event lines must
+// match exactly — the strongest available statement that the packed record
+// format carries everything the callbacks carry. The allocation guard is
+// TestDispatchZeroAllocs's twin for the stream path.
+
+import (
+	"testing"
+	"time"
+
+	"wasabi/internal/analyses"
+	"wasabi/internal/analysis"
+	"wasabi/internal/core"
+	"wasabi/internal/interp"
+)
+
+// encoderFixture compiles every encoder against an emitter, next to a
+// trampoline set bound to a callback tracer on the same metadata.
+type encoderFixture struct {
+	md      *core.Metadata
+	inst    *interp.Instance
+	em      *Emitter
+	tracer  *analyses.Tracer
+	specs   []*core.HookSpec
+	tramps  []hookFn
+	encs    []emitFn
+	encNoop []bool
+}
+
+func newEncoderFixture(t testing.TB, batchSize int, mode Backpressure) *encoderFixture {
+	t.Helper()
+	m := parityModule()
+	instrumented, md, err := core.Instrument(m, core.Options{Hooks: analysis.AllHooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := analyses.NewTracer()
+	rtT := New(md, tracer)
+
+	em := NewEmitter(batchSize, mode)
+	rtE := New(md, struct{}{})
+	rtE.SetEmitter(em, analysis.AllCaps)
+
+	inst, err := interp.Instantiate(instrumented, rtT.Imports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtE.BindInstance(inst)
+
+	fx := &encoderFixture{md: md, inst: inst, em: em, tracer: tracer}
+	for i := range md.Hooks {
+		spec := &md.Hooks[i]
+		lay := spec.Layout()
+		tramp, tn := rtT.compileTrampoline(spec, lay)
+		if tn {
+			t.Fatalf("hook %s: tracer bound to no-op trampoline", spec.Name)
+		}
+		enc, en := rtE.compileEncoder(spec, lay, i)
+		if en {
+			t.Fatalf("hook %s: AllCaps stream bound to no-op encoder", spec.Name)
+		}
+		fx.specs = append(fx.specs, spec)
+		fx.tramps = append(fx.tramps, tramp)
+		fx.encs = append(fx.encs, enc)
+		fx.encNoop = append(fx.encNoop, en)
+	}
+	return fx
+}
+
+func TestEncoderParityWithTrampolines(t *testing.T) {
+	fx := newEncoderFixture(t, 1<<14, Block)
+	for i, spec := range fx.specs {
+		args := synthArgs(spec, spec.Layout().Arity)
+		if err := fx.tramps[i](fx.inst, args); err != nil {
+			t.Fatalf("hook %s: trampoline: %v", spec.Name, err)
+		}
+		fx.encs[i](fx.inst, args)
+	}
+	fx.em.Close()
+
+	st := analyses.NewStreamTracer()
+	st.SetEventTable(fx.md.EventTable())
+	for {
+		batch, ok := fx.em.Next()
+		if !ok {
+			break
+		}
+		st.Events(batch)
+	}
+
+	// The callback tracer formats location-first; both tracers share the
+	// format strings, so compare line for line.
+	if len(st.Lines) != len(fx.tracer.Events) {
+		t.Fatalf("stream decoded %d events, callbacks dispatched %d", len(st.Lines), len(fx.tracer.Events))
+	}
+	for i := range st.Lines {
+		if st.Lines[i] != fx.tracer.Events[i] {
+			t.Errorf("event %d:\n  callback: %s\n  stream:   %s", i, fx.tracer.Events[i], st.Lines[i])
+		}
+	}
+	if len(st.Lines) == 0 {
+		t.Fatal("parity suite produced no events")
+	}
+}
+
+// TestEncoderDeadHookElision pins that hooks outside the stream capability
+// set compile to elidable no-ops, exactly like dead callback hooks.
+func TestEncoderDeadHookElision(t *testing.T) {
+	m := parityModule()
+	_, md, err := core.Instrument(m, core.Options{Hooks: analysis.AllHooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(md, struct{}{})
+	rt.SetEmitter(NewEmitter(16, Drop), analysis.CapBinary)
+	for i := range md.Hooks {
+		spec := &md.Hooks[i]
+		_, noop := rt.compileEncoder(spec, spec.Layout(), i)
+		if want := spec.Kind != analysis.KindBinary; noop != want {
+			t.Errorf("hook %s: noop = %v, want %v under CapBinary-only stream", spec.Name, noop, want)
+		}
+	}
+}
+
+// TestStreamEmitZeroAllocs is the stream twin of TestDispatchZeroAllocs:
+// steady-state record emission — including batch hand-off and Drop-mode
+// recycling — must not allocate, for every hook kind.
+func TestStreamEmitZeroAllocs(t *testing.T) {
+	fx := newEncoderFixture(t, 256, Drop) // small batches: exercise flush/drop inside the measurement
+	for i, spec := range fx.specs {
+		args := synthArgs(spec, spec.Layout().Arity)
+		enc := fx.encs[i]
+		allocs := testing.AllocsPerRun(200, func() {
+			enc(fx.inst, args)
+		})
+		if allocs != 0 {
+			t.Errorf("hook %s: %.1f allocs/op, want 0", spec.Name, allocs)
+		}
+	}
+	if fx.em.Dropped() == 0 {
+		t.Error("no batch was dropped; the guard did not exercise the flush path")
+	}
+}
+
+// TestEmitterBlockDelivery checks the lossless hand-off: a concurrent
+// consumer sees every emitted record, in order, across many batch cycles.
+func TestEmitterBlockDelivery(t *testing.T) {
+	em := NewEmitter(64, Block)
+	const n = 10_000
+	got := make([]uint32, 0, n)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			batch, ok := em.Next()
+			if !ok {
+				return
+			}
+			for i := range batch {
+				got = append(got, batch[i].Aux)
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		em.emit(analysis.Event{Aux: uint32(i)})
+	}
+	em.Close()
+	<-done
+	if len(got) != n {
+		t.Fatalf("consumer saw %d events, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != uint32(i) {
+			t.Fatalf("event %d out of order: %d", i, v)
+		}
+	}
+	if em.Dropped() != 0 {
+		t.Errorf("Block mode dropped %d events", em.Dropped())
+	}
+}
+
+// TestEmitterCloseDiscardNeverBlocks pins the teardown path: with the full
+// ring at capacity, a non-empty current batch, and no consumer, CloseDiscard
+// must return (Close's lossless final flush would wait forever here) and
+// account every event as dropped.
+func TestEmitterCloseDiscardNeverBlocks(t *testing.T) {
+	em := NewEmitter(4, Block)
+	const n = 11 // two full batches into the ring + 3 pending in cur
+	for i := 0; i < n; i++ {
+		em.emit(analysis.Event{Aux: uint32(i)})
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		em.CloseDiscard()
+		em.CloseDiscard() // idempotent
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("CloseDiscard blocked")
+	}
+	if em.Dropped() != n {
+		t.Errorf("dropped %d events, want all %d", em.Dropped(), n)
+	}
+	if _, ok := em.Next(); ok {
+		t.Error("Next delivered a batch after CloseDiscard")
+	}
+}
+
+// TestEmitterDropBackpressure checks the lossy mode: with no consumer the
+// producer never stalls, the ring's batches survive, and the overflow is
+// counted.
+func TestEmitterDropBackpressure(t *testing.T) {
+	em := NewEmitter(8, Drop)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		em.emit(analysis.Event{Aux: uint32(i)})
+	}
+	em.Close()
+	var got int
+	for {
+		batch, ok := em.Next()
+		if !ok {
+			break
+		}
+		got += len(batch)
+	}
+	if got == 0 {
+		t.Error("drop mode delivered nothing; the in-flight batches should survive")
+	}
+	if em.Dropped() == 0 {
+		t.Error("drop mode with no consumer dropped nothing")
+	}
+	if uint64(got)+em.Dropped() != n {
+		t.Errorf("delivered %d + dropped %d != emitted %d", got, em.Dropped(), n)
+	}
+}

@@ -50,8 +50,14 @@ type Runtime struct {
 	inst   *interp.Instance // bound after instantiation; fallback for table resolution
 	caps   analysis.Cap     // which callbacks the analysis implements
 
+	// Stream mode (SetEmitter): hooks in streamCaps compile to record
+	// encoders writing packed events into emitter instead of callback
+	// trampolines. Exclusive with callback dispatch per runtime.
+	emitter    *Emitter
+	streamCaps analysis.Cap
+
 	importsOnce sync.Once
-	imports     interp.Imports // compiled trampolines, built once per runtime
+	imports     interp.Imports // compiled trampolines/encoders, built once per runtime
 
 	// Pre-bound high-level hook callbacks; nil when the analysis does not
 	// implement the corresponding interface. The trampoline builder captures
@@ -176,22 +182,35 @@ func NewBound(meta *core.Metadata, a any, shared *Shared) *Runtime {
 // per session, each hook resolves against the instance that fired it).
 func (r *Runtime) BindInstance(inst *interp.Instance) { r.inst = inst }
 
+// SetEmitter switches the runtime to stream dispatch: Imports() compiles
+// record encoders (encoder.go) for the hooks selected by caps, writing
+// packed event records into em, and binds every other hook to an elidable
+// no-op. Callback dispatch is disabled for this runtime. Must be called
+// before Imports() is first consulted (i.e. before the session
+// instantiates); the public layer enforces the ordering.
+func (r *Runtime) SetEmitter(em *Emitter, caps analysis.Cap) {
+	r.emitter = em
+	r.streamCaps = caps
+}
+
 // Imports returns the host imports providing every generated low-level hook
 // under the core.HookModule namespace, each bound to its compiled trampoline
-// via the zero-copy Fast convention. Merge them with the program's own
-// imports before instantiation. The trampolines are compiled on the first
-// call and reused: a session instantiating N instances binds them once.
+// (zero-copy Fast convention) — or, in stream mode, to its compiled record
+// encoder (Emit convention). Merge them with the program's own imports
+// before instantiation. The dispatchers are compiled on the first call and
+// reused: a session instantiating N instances binds them once.
 func (r *Runtime) Imports() interp.Imports {
 	r.importsOnce.Do(func() {
 		fields := make(map[string]any, len(r.meta.Hooks))
 		for i := range r.meta.Hooks {
 			spec := &r.meta.Hooks[i]
-			fast, noop := r.compileTrampoline(spec, r.shared.Layouts[i])
-			fields[spec.Name] = &interp.HostFunc{
-				Type: spec.WasmType(),
-				Fast: fast,
-				NoOp: noop,
+			hf := &interp.HostFunc{Type: spec.WasmType()}
+			if r.emitter != nil {
+				hf.Emit, hf.NoOp = r.compileEncoder(spec, r.shared.Layouts[i], i)
+			} else {
+				hf.Fast, hf.NoOp = r.compileTrampoline(spec, r.shared.Layouts[i])
 			}
+			fields[spec.Name] = hf
 		}
 		r.imports = interp.Imports{core.HookModule: fields}
 	})

@@ -3,6 +3,7 @@ package wasabi
 import (
 	"fmt"
 
+	"wasabi/internal/analysis"
 	"wasabi/internal/core"
 	"wasabi/internal/interp"
 	wruntime "wasabi/internal/runtime"
@@ -11,28 +12,49 @@ import (
 
 // Session binds one analysis value to a CompiledAnalysis and owns the
 // instances it instantiates. Hook events from every instance of the session
-// dispatch to the one analysis value, so a single analysis can observe a
-// whole multi-instance workload. A Session (like the instances it creates)
-// must be driven from one goroutine at a time; run concurrent workloads by
-// giving each goroutine its own Session off the shared CompiledAnalysis.
+// dispatch to the one analysis value — through callbacks by default, or as
+// packed record batches after Session.Stream. A Session (like the instances
+// it creates) must be driven from one goroutine at a time; run concurrent
+// workloads by giving each goroutine its own Session off the shared
+// CompiledAnalysis. Close a session when done so its named instances leave
+// the engine registry and its stream buffers are released.
 type Session struct {
 	compiled *CompiledAnalysis
 	analysis any
 	rt       *wruntime.Runtime
+
+	names        []string // instance names this session registered
+	stream       *Stream  // non-nil after Stream()
+	instantiated bool
+	closed       bool
 }
 
 // Instantiate instantiates the instrumented module: the generated hook
 // imports are merged with the program's own imports, unresolved imports fall
 // back to the engine's named instances (so modules can import each other's
 // exports), and — when name is non-empty — the new instance is registered
-// under name for later instantiations to link against. Call it repeatedly
-// for multiple instances of the same instrumented module.
+// under name for later instantiations to link against (Session.Close, or
+// Engine.RemoveInstance manually, unregisters it). Call it repeatedly for
+// multiple instances of the same instrumented module.
 func (s *Session) Instantiate(name string, programImports interp.Imports) (*interp.Instance, error) {
+	if s.closed {
+		return nil, fmt.Errorf("%w: Instantiate", ErrSessionClosed)
+	}
+	// A stream-only analysis (EventStreamer without callback interfaces)
+	// observes nothing unless its stream is open: refuse the silent no-op,
+	// like every other unobservable-analysis path.
+	if _, streamOnly := s.analysis.(analysis.EventStreamer); streamOnly &&
+		s.stream == nil && analysis.CapsOf(s.analysis) == 0 {
+		return nil, &NoHooksError{
+			AnalysisType: fmt.Sprintf("%T", s.analysis),
+			Detail:       "analysis is stream-only; call Session.Stream before Instantiate",
+		}
+	}
 	if name == core.HookModule {
-		return nil, fmt.Errorf("%w: instance name %q is the generated hook import namespace", ErrHookModuleCollision, name)
+		return nil, &HookCollisionError{Name: name, Reason: "is the generated hook import namespace, so an instance cannot register under it"}
 	}
 	if _, clash := programImports[core.HookModule]; clash {
-		return nil, fmt.Errorf("%w: program imports provide module %q, which the instrumented module resolves its generated hooks from", ErrHookModuleCollision, core.HookModule)
+		return nil, &HookCollisionError{Name: core.HookModule, Reason: "is provided by the program imports, but the instrumented module resolves its generated hooks from it"}
 	}
 	merged := make(interp.Imports, len(programImports)+1)
 	for mod, fields := range programImports {
@@ -41,12 +63,44 @@ func (s *Session) Instantiate(name string, programImports interp.Imports) (*inte
 	for mod, fields := range s.rt.Imports() {
 		merged[mod] = fields
 	}
+	s.instantiated = true
 	inst, err := interp.InstantiateIn(s.compiled.reg, name, s.compiled.module, merged)
 	if err != nil {
 		return nil, err
 	}
+	if name != "" {
+		s.names = append(s.names, name)
+	}
+	// Stream flush point: hand the partial batch to the consumer whenever a
+	// top-level call into this instance completes (normally or by trap), so
+	// an Invoke's events never linger until the next batch fills.
+	if s.stream != nil {
+		inst.SetTopReturnHook(s.stream.em.Flush)
+	}
 	s.rt.BindInstance(inst)
 	return inst, nil
+}
+
+// Close ends the session: every instance name it registered is removed from
+// the engine's registry (so long-running engines do not accumulate retired
+// instances — the registry-eviction half of the instance lifecycle), and an
+// active event stream is closed and its pooled batch buffers released. The
+// instances themselves stay usable for an embedder that still holds them;
+// they are simply no longer reachable by name. Idempotent; the session
+// cannot Instantiate or Stream afterwards.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, name := range s.names {
+		s.compiled.reg.Remove(name)
+	}
+	s.names = nil
+	if s.stream != nil {
+		s.stream.release()
+	}
+	return nil
 }
 
 // Analysis returns the analysis value the session dispatches to.

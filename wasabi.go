@@ -31,6 +31,17 @@
 // with wasabi.Values(args).Clone() to retain one. Every scalar hook argument
 // is a plain copy and may always be kept. This is what makes slice-carrying
 // hook dispatch allocation-free.
+//
+// # Event streams
+//
+// Beside the callback API there is a stream-native surface: Session.Stream
+// compiles the session's hooks into record encoders that append packed,
+// fixed-width Event records to a batch ring instead of calling analysis Go
+// code, and the consumer pulls whole batches (Stream.Next / Stream.Serve)
+// — on its own goroutine if desired. Stream-native analyses implement
+// EventStreamer (declaring their event classes) and EventSink (consuming
+// batches); batches follow the same borrow rule as hook value vectors. See
+// stream.go and the README's "Event streams" section.
 package wasabi
 
 import (
