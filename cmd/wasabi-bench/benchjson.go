@@ -92,7 +92,10 @@ type Fig9Report struct {
 	// dispatch (borrowed, engine-pooled value vectors).
 	CallReturnAllocs CallReturnAllocs `json:"call_return_allocs"`
 	// Stream records the event-stream pipeline's delivery rate.
-	Stream       StreamBench   `json:"stream"`
+	Stream StreamBench `json:"stream"`
+	// Fuel records metered vs unmetered execution (the containment guard
+	// cost, and the zero-overhead-when-disabled reference CI guards at 5%).
+	Fuel         FuelBench     `json:"fuel"`
 	PR1Reference Fig9Reference `json:"pr1_reference"`
 	// PR2Reference freezes the generic-dispatch (Kind-switch + argReader)
 	// numbers the per-spec trampolines replaced.
@@ -319,11 +322,17 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 		if err != nil {
 			return err
 		}
+		fmt.Fprintln(os.Stderr, "bench: Fuel")
+		fuelBench, err := measureFuelBench()
+		if err != nil {
+			return err
+		}
 		report := Fig9Report{
 			BaselineNsPerOp:  baseline.NsPerOp,
 			Hooks:            hooks,
 			CallReturnAllocs: crAllocs,
 			Stream:           streamBench,
+			Fuel:             fuelBench,
 			PR1Reference:     pr1Reference,
 			PR2Reference:     pr2Reference,
 			PR3Reference:     pr3Reference,

@@ -1,0 +1,132 @@
+package main
+
+// The -fuel mode measures what containment costs: the Fig 9 kernel
+// uninstrumented on the plain interpreter (unmetered — the compiled code
+// contains no guard instructions at all) against the same kernel compiled
+// with fuel metering (one fused fuel/interrupt check per basic block). The
+// unmetered number doubles as the zero-overhead regression guard: disabled
+// metering emits nothing, so it must track the ordinary Fig 9 baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"wasabi/internal/interp"
+	"wasabi/internal/polybench"
+)
+
+// FuelBench records metered vs unmetered execution of the Fig 9 kernel in
+// BENCH_fig9.json. Unmetered is the ordinary baseline (no guard
+// instructions); metered compiles with containment guards and an ample fuel
+// budget, so the ratio is the per-basic-block guard cost.
+type FuelBench struct {
+	UnmeteredNsPerOp float64 `json:"unmetered_ns_per_op"`
+	MeteredNsPerOp   float64 `json:"metered_ns_per_op"`
+	Ratio            float64 `json:"ratio"`
+	// FuelPerKernel is the deterministic fuel consumption of one kernel
+	// invocation (source instructions executed).
+	FuelPerKernel uint64 `json:"fuel_per_kernel"`
+}
+
+// fuelBudget comfortably covers one gemm kernel invocation at n=16.
+const fuelBudget = 1 << 40
+
+// fuelBenchRuns is the samples-per-measurement of the fuel comparison. The
+// CI guard on these numbers is tight (5%), so one noisy sample cannot carry
+// it: noise only ever adds time, which makes the minimum over a few runs a
+// stable estimator of the true cost on both sides of the comparison.
+const fuelBenchRuns = 5
+
+// bestOf returns the minimum ns/op over fuelBenchRuns benchmark runs.
+func bestOf(fn func(b *testing.B)) float64 {
+	best := math.Inf(1)
+	for i := 0; i < fuelBenchRuns; i++ {
+		if ns := float64(testing.Benchmark(fn).NsPerOp()); ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// measureFuelBench runs the metered-vs-unmetered comparison.
+func measureFuelBench() (FuelBench, error) {
+	gemm, ok := polybench.ByName("gemm")
+	if !ok {
+		return FuelBench{}, fmt.Errorf("gemm kernel missing")
+	}
+	gm := gemm.Module(16)
+
+	plain, err := interp.Instantiate(gm, polybench.HostImports(nil))
+	if err != nil {
+		return FuelBench{}, err
+	}
+	unm := bestOf(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plain.Invoke("kernel"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	metered, err := interp.InstantiateWith(nil, "", gm, polybench.HostImports(nil),
+		interp.Config{Guarded: true, Fuel: fuelBudget})
+	if err != nil {
+		return FuelBench{}, err
+	}
+	// One deterministic consumption sample before timing (SetFuel between
+	// runs keeps the budget from draining across b.N iterations).
+	if _, err := metered.Invoke("kernel"); err != nil {
+		return FuelBench{}, err
+	}
+	perKernel := fuelBudget - metered.Fuel()
+	met := bestOf(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			metered.SetFuel(fuelBudget)
+			if _, err := metered.Invoke("kernel"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return FuelBench{
+		UnmeteredNsPerOp: unm,
+		MeteredNsPerOp:   met,
+		Ratio:            met / unm,
+		FuelPerKernel:    perKernel,
+	}, nil
+}
+
+// runFuel is the -fuel mode: print the comparison and, when combined with
+// -fig9 PATH, record it by rewriting just the "fuel" section of the existing
+// report — the fuel numbers can be refreshed on a quiet machine without
+// re-running the whole Fig 9 suite (whose other sections are guarded with
+// coarse margins and need no such care).
+func runFuel(fig9Path string) error {
+	fmt.Fprintln(os.Stderr, "bench: Fig9_Fuel (unmetered vs metered gemm)")
+	fb, err := measureFuelBench()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fig9 fuel: unmetered %.0f ns/op, metered %.0f ns/op (%.3fx), %d fuel/kernel\n",
+		fb.UnmeteredNsPerOp, fb.MeteredNsPerOp, fb.Ratio, fb.FuelPerKernel)
+	if fig9Path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(fig9Path)
+	if err != nil {
+		return fmt.Errorf("-fuel -fig9 updates an existing report: %w", err)
+	}
+	// Decode into a generic map so every other section survives verbatim.
+	var report map[string]json.RawMessage
+	if err := json.Unmarshal(data, &report); err != nil {
+		return fmt.Errorf("%s: %w", fig9Path, err)
+	}
+	fuelJSON, err := json.Marshal(&fb)
+	if err != nil {
+		return err
+	}
+	report["fuel"] = fuelJSON
+	return writeJSONFile(fig9Path, report)
+}

@@ -8,6 +8,7 @@
 //	wasabi-bench -json BENCH_instrument.json -fig9 BENCH_fig9.json
 //	wasabi-bench -sessions N    (instrument once, N concurrent sessions)
 //	wasabi-bench -stream        (event-stream events/sec + batch-size sweep)
+//	wasabi-bench -fuel [-fig9 BENCH_fig9.json]   (metered vs unmetered Fig 9 kernel)
 package main
 
 import (
@@ -28,7 +29,16 @@ func main() {
 	fig9Out := flag.String("fig9", "", "write the interpreter's Fig 9 baseline + per-hook ratios (e.g. BENCH_fig9.json); skips the experiments; combines with -json")
 	sessions := flag.Int("sessions", 0, "instrument once and run N concurrent sessions off the one CompiledAnalysis; skips the experiments")
 	stream := flag.Bool("stream", false, "measure event-stream delivery (events/sec, batch-size sweep) on the Fig 9 workload; skips the experiments")
+	fuel := flag.Bool("fuel", false, "measure metered vs unmetered execution of the Fig 9 kernel (containment guard cost); skips the experiments")
 	flag.Parse()
+
+	if *fuel {
+		if err := runFuel(*fig9Out); err != nil {
+			fmt.Fprintf(os.Stderr, "wasabi-bench: -fuel: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *stream {
 		if err := runStream(); err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"wasabi/internal/analysis"
 	"wasabi/internal/binary"
@@ -41,6 +42,8 @@ type Engine struct {
 	cacheLimit   int
 	streamBatch  int
 	backpressure Backpressure
+	exec         interp.Config // containment config for every instance (see WithFuel etc.)
+	deadline     time.Duration // default InvokeContext deadline (WithDeadline)
 	reg          *interp.Registry
 	pool         *wruntime.ValuePool
 
@@ -86,6 +89,61 @@ func WithBackpressure(mode Backpressure) EngineOption {
 // override it with StreamBatchSize.
 func WithStreamBatchSize(n int) EngineOption {
 	return func(e *Engine) { e.streamBatch = n }
+}
+
+// WithFuel enables deterministic fuel metering: instances compile with
+// containment guards and start with the given fuel budget (one unit per
+// source instruction; 0 means unlimited but still guarded). A guest that
+// exhausts its budget fails with ErrFuelExhausted; Instance.SetFuel tops the
+// budget up between invocations. Guarded compilation also makes instances
+// interruptible (Session.InvokeContext). See README "Containment & limits"
+// for the overhead (one fused check per basic block).
+func WithFuel(budget uint64) EngineOption {
+	return func(e *Engine) {
+		e.exec.Guarded = true
+		e.exec.Fuel = budget
+	}
+}
+
+// WithInterruption enables asynchronous interruption without fuel metering:
+// instances compile with containment guards (unlimited fuel) so
+// Session.InvokeContext can stop them on context cancellation or deadline
+// expiry. Implied by WithFuel and WithDeadline.
+func WithInterruption() EngineOption {
+	return func(e *Engine) { e.exec.Guarded = true }
+}
+
+// WithDeadline bounds every Session.InvokeContext call whose context has no
+// earlier deadline to d, and enables guarded compilation so the deadline can
+// actually stop a runaway guest. Plain Invoke calls are not affected.
+func WithDeadline(d time.Duration) EngineOption {
+	return func(e *Engine) {
+		e.exec.Guarded = true
+		e.deadline = d
+	}
+}
+
+// WithMemoryLimitPages caps linear-memory size (initial allocation and
+// growth alike) of every instance at n 64 KiB pages, replacing the default
+// interp.DefaultMaxMemoryPages cap. A module whose declared minimum exceeds
+// the cap fails to instantiate with ErrLimit; in-run growth past it makes
+// memory.grow return -1 (the spec's failure value), not a trap.
+func WithMemoryLimitPages(n uint32) EngineOption {
+	return func(e *Engine) { e.exec.MaxMemoryPages = n }
+}
+
+// WithTableLimit caps table size (initial allocation and host-driven growth)
+// of every instance at n elements, replacing the default
+// interp.DefaultMaxTableElems cap. Violations fail like memory-limit ones.
+func WithTableLimit(n uint32) EngineOption {
+	return func(e *Engine) { e.exec.MaxTableElems = n }
+}
+
+// WithMaxCallDepth caps wasm call recursion of every instance at n frames
+// (default interp.MaxCallDepthDefault); exceeding it traps with "call stack
+// exhausted".
+func WithMaxCallDepth(n int) EngineOption {
+	return func(e *Engine) { e.exec.MaxCallDepth = n }
 }
 
 // NewEngine creates an engine.

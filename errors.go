@@ -3,6 +3,8 @@ package wasabi
 import (
 	"errors"
 	"fmt"
+
+	"wasabi/internal/interp"
 )
 
 // The exported error surface. Every sentinel below matches with errors.Is
@@ -37,6 +39,40 @@ var ErrStreamActive = errors.New("wasabi: session already has an event stream")
 // already instantiated an instance: the hook dispatchers are compiled at
 // first instantiation, so the delivery mode cannot change afterwards.
 var ErrStreamAfterInstantiate = errors.New("wasabi: Stream must be called before the session's first Instantiate")
+
+// The containment error surface (see README "Containment & limits"): the
+// interp layer's sentinels and typed errors, re-exported so embedders match
+// guest failures without importing internal packages. All of them come back
+// from Invoke/InvokeContext (and from Stream.Err after a stream teardown).
+var (
+	// ErrFuelExhausted matches the trap of a guest that ran out of fuel
+	// (WithFuel / Instance.SetFuel).
+	ErrFuelExhausted = interp.ErrFuelExhausted
+	// ErrInterrupted matches the trap of a guest stopped asynchronously —
+	// context cancellation, deadline expiry, or Instance.Interrupt. An
+	// InvokeContext error matches the context error too (context.Canceled /
+	// context.DeadlineExceeded), via interp.InterruptError.
+	ErrInterrupted = interp.ErrInterrupted
+	// ErrLimit matches instantiation failures caused by a configured
+	// resource limit (WithMemoryLimitPages, WithTableLimit, per-function
+	// operand-stack bounds).
+	ErrLimit = interp.ErrLimit
+	// ErrRuntimeFault matches any *RuntimeFault — a non-trap panic out of
+	// guest execution converted into an error instead of crashing the host.
+	ErrRuntimeFault = interp.ErrRuntimeFault
+)
+
+type (
+	// Trap is a WebAssembly runtime trap (spec semantics plus the
+	// containment traps); recover it with errors.As.
+	Trap = interp.Trap
+	// RuntimeFault is a non-trap guest panic converted into an error,
+	// carrying function/pc context; recover it with errors.As.
+	RuntimeFault = interp.RuntimeFault
+	// InterruptError joins an interruption trap with the context condition
+	// that caused it; errors.Is matches both sides.
+	InterruptError = interp.InterruptError
+)
 
 // NoHooksError is the typed form of ErrNoHooks: it names the analysis type
 // that could observe nothing and, when the failure is a capability mismatch

@@ -11,6 +11,7 @@ package wasabi_test
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"testing"
 
@@ -153,6 +154,111 @@ func TestFig9BaselineGuard(t *testing.T) {
 		eventsPerSec/1e6, recorded/1e6, slimit/1e6)
 	if eventsPerSec < slimit {
 		t.Errorf("Fig9 stream events/sec regressed >2x: %.0f vs recorded %.0f", eventsPerSec, recorded)
+	}
+}
+
+// TestFig9FuelOverheadGuard is the zero-overhead-when-disabled guard of the
+// containment layer: fuel metering compiles to guard instructions only when
+// enabled, so disabling it must cost nothing — within 5% of the frozen
+// BENCH_fig9.json fuel reference. A bound that tight cannot ride on absolute
+// ns/op across binaries: identical interpreter code measures up to ~20%
+// apart between the bench tool and the test binary (code-layout effects on
+// the tight dispatch loop), which is exactly why TestFig9BaselineGuard uses
+// 2x margins. So the 5% comparison is made on the unmetered/metered ratio —
+// numerator and denominator come from the same binary in the same run, so
+// layout and machine drift cancel, while a stray containment check leaking
+// into the disabled dispatch path moves the ratio straight up (unmetered
+// drifts toward metered). Both sides are minimum-of-N measurements
+// (wasabi-bench -fuel records the frozen side the same way). Gated behind
+// FIG9_GUARD like the other timing guards.
+func TestFig9FuelOverheadGuard(t *testing.T) {
+	if os.Getenv("FIG9_GUARD") == "" {
+		t.Skip("set FIG9_GUARD=1 to run the fuel-overhead guard")
+	}
+	data, err := os.ReadFile("BENCH_fig9.json")
+	if err != nil {
+		t.Fatalf("BENCH_fig9.json missing (regenerate with `go run ./cmd/wasabi-bench -fig9 BENCH_fig9.json`): %v", err)
+	}
+	var report struct {
+		Fuel struct {
+			UnmeteredNsPerOp float64 `json:"unmetered_ns_per_op"`
+			MeteredNsPerOp   float64 `json:"metered_ns_per_op"`
+			Ratio            float64 `json:"ratio"`
+			FuelPerKernel    uint64  `json:"fuel_per_kernel"`
+		} `json:"fuel"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_fig9.json: %v", err)
+	}
+	if report.Fuel.UnmeteredNsPerOp <= 0 || report.Fuel.MeteredNsPerOp <= 0 {
+		t.Fatal("BENCH_fig9.json has no recorded fuel section (regenerate with `go run ./cmd/wasabi-bench -fig9 BENCH_fig9.json`)")
+	}
+
+	k, ok := polybench.ByName("gemm")
+	if !ok {
+		t.Fatal("gemm kernel missing")
+	}
+	gm := k.Module(16)
+	// A 5% bound cannot ride on one testing.Benchmark sample — scheduler
+	// noise alone swings single runs by ~10%. Noise only ever adds time, so
+	// the minimum over a few runs converges on the true cost.
+	measure := func(inst *interp.Instance, refuel bool) float64 {
+		best := math.Inf(1)
+		for run := 0; run < 5; run++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if refuel {
+						inst.SetFuel(1 << 40)
+					}
+					if _, err := inst.Invoke("kernel"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if ns := float64(r.NsPerOp()); ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+
+	plain, err := interp.Instantiate(gm, polybench.HostImports(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmetered := measure(plain, false)
+
+	// Metered instance: one consumption sample first — recorded fuel/kernel
+	// must reproduce exactly (deterministic metering), regardless of timing.
+	metered, err := interp.InstantiateWith(nil, "", gm, polybench.HostImports(nil),
+		interp.Config{Guarded: true, Fuel: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := metered.Invoke("kernel"); err != nil {
+		t.Fatal(err)
+	}
+	perKernel := uint64(1<<40) - metered.Fuel()
+	if recorded := report.Fuel.FuelPerKernel; recorded != 0 && perKernel != recorded {
+		t.Errorf("fuel consumption not deterministic across trees: %d fuel/kernel vs recorded %d",
+			perKernel, recorded)
+	}
+	meteredNs := measure(metered, true)
+
+	// The 5% fuel-disabled overhead bound, on the layout-immune ratio.
+	rel := unmetered / meteredNs
+	frozenRel := report.Fuel.UnmeteredNsPerOp / report.Fuel.MeteredNsPerOp
+	limit := 1.05 * frozenRel
+	t.Logf("Fig9 fuel: unmetered %.0f ns/op, metered %.0f ns/op, unmetered/metered %.3f (frozen %.3f, limit %.3f), %d fuel/kernel",
+		unmetered, meteredNs, rel, frozenRel, limit, perKernel)
+	if rel > limit {
+		t.Errorf("fuel-disabled overhead >5%%: unmetered/metered %.3f vs frozen %.3f — disabled metering is no longer free",
+			rel, frozenRel)
+	}
+	// And a loose absolute sanity bound on the metering cost itself: the
+	// per-block guard should cost nowhere near 2x.
+	if ratio := meteredNs / unmetered; ratio > 2 {
+		t.Errorf("fuel-metering ratio %.2fx exceeds the 2x sanity bound", ratio)
 	}
 }
 

@@ -436,7 +436,7 @@ func decodeCustom(r *reader, m *wasm.Module) error {
 		if id == 1 {
 			sr := &reader{data: nr.data[nr.pos:end]}
 			cnt := sr.u32()
-			names := make(map[uint32]string, cnt)
+			names := make(map[uint32]string, capHint(cnt))
 			for i := uint32(0); i < cnt && sr.err == nil; i++ {
 				idx := sr.u32()
 				names[idx] = sr.name()

@@ -95,6 +95,14 @@ const (
 	iGetGet          // push locals[a], then locals[b]
 	iGetGetGet       // push locals[a], locals[b], locals[bits]
 	iSetTee          // pop into locals[a]; then locals[b] = top (set;tee pair)
+
+	// Containment guard, emitted only under Config.Guarded: one per basic
+	// block, at the first real instruction of the block. a = fuel cost (the
+	// number of source instructions the block covers, patched when the block
+	// closes), b = source-instruction offset (fault/trap context). Guards sit
+	// on every loop header and before every call, so they bound both loops
+	// and recursion; a disabled config emits none of them (zero overhead).
+	iGuard
 )
 
 // fuseLocalMask bounds the local index a fused compare-and-branch can encode
@@ -217,6 +225,16 @@ type compiler struct {
 	barrier  int  // peepholes must not reach into code[:barrier]
 	dead     bool // current position is statically unreachable
 	deadSkip int  // nesting depth of fully-dead blocks being skipped
+
+	// Containment-guard bookkeeping (Config.Guarded): the pending iGuard of
+	// the current basic block and the fuel cost accumulated for it. Guards
+	// are emitted lazily at the block's first charged instruction and their
+	// cost is patched when the block closes (closeGuard), so bookkeeping
+	// opcodes never grow the code and a disabled config emits nothing.
+	guarded   bool
+	srcPC     int    // source-instruction offset of the instruction being compiled
+	guardIdx  int    // code index of the pending guard, -1 when none
+	guardCost uint32 // source instructions charged to the pending guard
 }
 
 // compileFunc lowers one function body into the threaded-code form. It
@@ -226,16 +244,25 @@ type compiler struct {
 // imported-function vector (may be nil when compiling without an instance);
 // it lets the pass pick the Fast host-call convention and elide calls to
 // no-op hooks together with their argument lowering.
-func compileFunc(m *wasm.Module, sig wasm.FuncType, f *wasm.Func, hosts []*HostFunc) (*compiledFunc, error) {
-	c := &compiler{m: m, f: f, hosts: hosts, nLocals: len(sig.Params) + len(f.Locals)}
+func compileFunc(m *wasm.Module, sig wasm.FuncType, f *wasm.Func, hosts []*HostFunc, cfg *Config) (*compiledFunc, error) {
+	c := &compiler{
+		m: m, f: f, hosts: hosts,
+		nLocals:  len(sig.Params) + len(f.Locals),
+		guarded:  cfg.Guarded,
+		guardIdx: -1,
+	}
 	c.ctrl = append(c.ctrl, cframe{op: wasm.OpCall, arity: len(sig.Results), elseJump: -1})
 	for pc := range f.Body {
+		c.srcPC = pc
 		if err := c.step(f.Body[pc]); err != nil {
 			return nil, fmt.Errorf("pc %d (%s): %w", pc, f.Body[pc].Op, err)
 		}
 	}
 	if len(c.ctrl) != 0 {
 		return nil, fmt.Errorf("%d unclosed blocks", len(c.ctrl))
+	}
+	if max := cfg.maxFuncStack(); c.maxStack > max {
+		return nil, fmt.Errorf("%w: operand-stack high-water mark %d exceeds limit %d", ErrLimit, c.maxStack, max)
 	}
 	return &compiledFunc{
 		sig:       sig,
@@ -273,6 +300,32 @@ func (c *compiler) popN(n int) error {
 	}
 	c.height -= n
 	return nil
+}
+
+// chargeGuard accounts one source instruction to the current basic block's
+// containment guard, emitting the guard lazily at the block's first charged
+// instruction. Structural opcodes (block/loop/if/else/end/nop) are never
+// charged — they emit no runtime work — so step calls this only for real
+// instructions.
+func (c *compiler) chargeGuard() {
+	if c.guardIdx < 0 {
+		c.guardIdx = len(c.code)
+		c.emit(instr{op: iGuard, b: uint32(c.srcPC)})
+	}
+	c.guardCost++
+}
+
+// closeGuard patches the pending guard with the fuel cost accumulated for
+// its basic block; the next charged instruction opens a fresh one. Called
+// wherever a basic block ends: loop headers (so every iteration re-executes
+// the header's guard), if/else edges, frame ends, and after conditional
+// branches (so the taken path is not charged for the fall-through).
+func (c *compiler) closeGuard() {
+	if c.guardIdx >= 0 {
+		c.code[c.guardIdx].a = c.guardCost
+		c.guardIdx = -1
+		c.guardCost = 0
+	}
 }
 
 // markDead starts a statically-unreachable region: nothing is emitted until
@@ -315,6 +368,15 @@ func (c *compiler) step(in wasm.Instr) error {
 		return nil
 	}
 
+	if c.guarded {
+		switch op {
+		case wasm.OpNop, wasm.OpBlock, wasm.OpLoop, wasm.OpIf, wasm.OpElse, wasm.OpEnd:
+			// Structural opcodes are free: they emit no runtime instructions.
+		default:
+			c.chargeGuard()
+		}
+	}
+
 	switch op {
 	case wasm.OpNop:
 		// Emits nothing: the threaded form has no use for it.
@@ -325,6 +387,9 @@ func (c *compiler) step(in wasm.Instr) error {
 	case wasm.OpBlock:
 		c.ctrl = append(c.ctrl, cframe{op: op, height: c.height, arity: len(in.Block.Results()), elseJump: -1})
 	case wasm.OpLoop:
+		// The loop body is its own basic block: its guard sits at the header
+		// position (the branch target), so every iteration re-executes it.
+		c.closeGuard()
 		c.ctrl = append(c.ctrl, cframe{op: op, height: c.height, arity: len(in.Block.Results()), loopStart: len(c.code), elseJump: -1})
 		c.barrier = len(c.code) // the header is a branch target
 	case wasm.OpIf:
@@ -333,6 +398,7 @@ func (c *compiler) step(in wasm.Instr) error {
 		}
 		c.ctrl = append(c.ctrl, cframe{op: op, height: c.height, arity: len(in.Block.Results()), elseJump: len(c.code)})
 		c.emit(instr{op: iBrIfZero}) // target patched at else/end
+		c.closeGuard()               // the then arm is a new basic block
 	case wasm.OpElse:
 		return c.beginElse()
 	case wasm.OpEnd:
@@ -347,6 +413,7 @@ func (c *compiler) step(in wasm.Instr) error {
 		if err := c.compileBrIf(int(in.Idx)); err != nil {
 			return err
 		}
+		c.closeGuard() // the fall-through is a new basic block
 	case wasm.OpBrTable:
 		if err := c.compileBrTable(in); err != nil {
 			return err
@@ -822,6 +889,7 @@ func (c *compiler) beginElse() error {
 	if fr.op != wasm.OpIf {
 		return fmt.Errorf("else without matching if")
 	}
+	c.closeGuard() // the then arm's block ends here
 	if !c.dead {
 		if c.height != fr.height+fr.arity {
 			return fmt.Errorf("stack height %d at else, want %d", c.height, fr.height+fr.arity)
@@ -848,6 +916,7 @@ func (c *compiler) endFrame() error {
 	if !c.dead && c.height != fr.height+fr.arity {
 		return fmt.Errorf("stack height %d at end, want %d", c.height, fr.height+fr.arity)
 	}
+	c.closeGuard() // the frame's last basic block ends here
 	end := len(c.code)
 	if fr.elseJump >= 0 {
 		// if without else: the false edge lands at the end. (Validation

@@ -1,0 +1,93 @@
+package interp
+
+import "math"
+
+// Default resource limits. Each is the effective bound when the matching
+// Config field is zero; embedders raise or lower them per instance through
+// InstantiateWith (or per engine through the wasabi options).
+const (
+	// MaxCallDepthDefault bounds wasm call recursion.
+	MaxCallDepthDefault = 8192
+	// DefaultMaxMemoryPages bounds linear-memory growth to 512 MiB.
+	DefaultMaxMemoryPages = 8192
+	// DefaultMaxTableElems bounds host-driven table growth.
+	DefaultMaxTableElems = 1 << 20
+	// DefaultMaxFuncStack bounds the per-function operand-stack high-water
+	// mark the compile pass accepts. The threaded form pre-allocates one flat
+	// buffer of this many values per active call, so the bound is what keeps
+	// a hostile function body from demanding an absurd allocation.
+	DefaultMaxFuncStack = 1 << 16
+)
+
+// Config is the containment configuration of one instance: whether the
+// compile pass weaves fuel/interruption guards into the threaded code, and
+// the resource limits instantiation and execution enforce. The zero value is
+// the permissive default — unguarded code (zero metering overhead, not
+// interruptible) under the package's default limits.
+type Config struct {
+	// Guarded compiles containment guards into the threaded form: one fused
+	// fuel-decrement + interrupt-check instruction per basic block. Required
+	// for fuel metering and asynchronous interruption; costs nothing when
+	// false because no guard instructions are emitted at all.
+	Guarded bool
+
+	// Fuel is the initial fuel budget of a guarded instance. Each guard
+	// charges the number of source instructions its basic block covers, so
+	// consumption is deterministic: the same invocation consumes the same
+	// fuel. Zero means unlimited (guards still check the interrupt flag).
+	// Instance.SetFuel adjusts the budget between invocations.
+	Fuel uint64
+
+	// MaxMemoryPages caps linear-memory size in 64 KiB pages, growth and
+	// initial allocation alike. Zero means DefaultMaxMemoryPages.
+	MaxMemoryPages uint32
+
+	// MaxTableElems caps table size, growth and initial allocation alike.
+	// Zero means DefaultMaxTableElems.
+	MaxTableElems uint32
+
+	// MaxCallDepth caps wasm call recursion. Zero means MaxCallDepthDefault.
+	MaxCallDepth int
+
+	// MaxFuncStack caps the operand-stack high-water mark of a single
+	// function body; compile rejects bodies beyond it with ErrLimit. Zero
+	// means DefaultMaxFuncStack.
+	MaxFuncStack int
+}
+
+func (c *Config) maxMemoryPages() uint32 {
+	if c.MaxMemoryPages == 0 {
+		return DefaultMaxMemoryPages
+	}
+	return c.MaxMemoryPages
+}
+
+func (c *Config) maxTableElems() uint32 {
+	if c.MaxTableElems == 0 {
+		return DefaultMaxTableElems
+	}
+	return c.MaxTableElems
+}
+
+func (c *Config) maxCallDepth() int {
+	if c.MaxCallDepth == 0 {
+		return MaxCallDepthDefault
+	}
+	return c.MaxCallDepth
+}
+
+func (c *Config) maxFuncStack() int {
+	if c.MaxFuncStack == 0 {
+		return DefaultMaxFuncStack
+	}
+	return c.MaxFuncStack
+}
+
+// initialFuel maps the configured budget to the runtime representation:
+// unlimited is MaxInt64, never reachable by per-block decrements.
+func (c *Config) initialFuel() int64 {
+	if c.Fuel == 0 || c.Fuel > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(c.Fuel)
+}

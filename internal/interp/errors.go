@@ -1,6 +1,9 @@
 package interp
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Trap is the error type for WebAssembly runtime traps. Code identifies the
 // trap kind with the spec's wording.
@@ -16,7 +19,20 @@ func (t *Trap) Error() string {
 	return "wasm trap: " + t.Code + ": " + t.Info
 }
 
-// Trap codes, mirroring the spec's execution errors.
+// Unwrap maps the containment trap kinds onto their sentinel errors so
+// embedders can match with errors.Is without inspecting Code strings.
+func (t *Trap) Unwrap() error {
+	switch t.Code {
+	case TrapFuelExhausted:
+		return ErrFuelExhausted
+	case TrapInterrupted:
+		return ErrInterrupted
+	}
+	return nil
+}
+
+// Trap codes, mirroring the spec's execution errors, plus the containment
+// traps this engine adds (fuel and interruption have no spec wording).
 const (
 	TrapUnreachable       = "unreachable executed"
 	TrapOutOfBounds       = "out of bounds memory access"
@@ -27,7 +43,59 @@ const (
 	TrapIndirectMismatch  = "indirect call type mismatch"
 	TrapStackExhausted    = "call stack exhausted"
 	TrapTableOutOfBounds  = "out of bounds table access"
+	TrapFuelExhausted     = "fuel exhausted"
+	TrapInterrupted       = "execution interrupted"
 )
+
+// Sentinel errors for the containment surface, matched with errors.Is.
+var (
+	// ErrFuelExhausted matches the trap raised when a guarded instance runs
+	// out of fuel (Config.Fuel / Instance.SetFuel).
+	ErrFuelExhausted = errors.New("interp: fuel exhausted")
+	// ErrInterrupted matches the trap raised when a guarded instance is
+	// stopped asynchronously (Instance.Interrupt, context cancellation,
+	// deadline expiry).
+	ErrInterrupted = errors.New("interp: execution interrupted")
+	// ErrLimit matches instantiation and compile failures caused by an
+	// engine-configured resource limit (memory pages, table elements,
+	// per-function operand-stack growth).
+	ErrLimit = errors.New("interp: resource limit exceeded")
+	// ErrRuntimeFault matches any *RuntimeFault: a non-trap panic out of
+	// guest execution (host function bug, interpreter invariant violation)
+	// converted into an error instead of crashing the host process.
+	ErrRuntimeFault = errors.New("interp: runtime fault")
+)
+
+// RuntimeFault is a non-trap panic out of guest execution, captured by the
+// invocation boundary and returned as an error instead of re-panicking into
+// the embedder. It carries the execution context of the innermost active
+// wasm frame: the function index, its name-section name when present, and
+// the source-instruction offset of the most recent containment guard (pc is
+// best effort — 0 when the instance runs unguarded).
+type RuntimeFault struct {
+	FuncIdx  uint32
+	FuncName string
+	PC       uint32
+	Panic    any    // the recovered panic value
+	Stack    []byte // the Go stack at recovery, for host-side diagnosis
+}
+
+func (f *RuntimeFault) Error() string {
+	loc := fmt.Sprintf("func %d", f.FuncIdx)
+	if f.FuncName != "" {
+		loc = fmt.Sprintf("func %d (%s)", f.FuncIdx, f.FuncName)
+	}
+	return fmt.Sprintf("interp: runtime fault in %s at pc %d: %v", loc, f.PC, f.Panic)
+}
+
+// Unwrap surfaces ErrRuntimeFault (and the panic value itself when it is an
+// error) to errors.Is/errors.As.
+func (f *RuntimeFault) Unwrap() []error {
+	if err, ok := f.Panic.(error); ok {
+		return []error{ErrRuntimeFault, err}
+	}
+	return []error{ErrRuntimeFault}
+}
 
 func trap(code string) {
 	panic(&Trap{Code: code})
@@ -35,4 +103,13 @@ func trap(code string) {
 
 func trapf(code, format string, args ...any) {
 	panic(&Trap{Code: code, Info: fmt.Sprintf(format, args...)})
+}
+
+// faultf panics with a RuntimeFault describing a broken interpreter
+// invariant (an opcode the dispatch tables do not handle, corrupt threaded
+// code). The invocation boundary fills in the execution context and returns
+// it as an error, so an engine gap degrades into a failed call instead of a
+// crashed host process.
+func faultf(format string, args ...any) {
+	panic(&RuntimeFault{Panic: fmt.Sprintf(format, args...)})
 }

@@ -41,6 +41,20 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value, fr *frame) []Value {
 		in := &code[pc]
 		pc++
 		switch in.op {
+		case iGuard:
+			// Containment guard (Config.Guarded): one interrupt check and one
+			// fuel decrement per basic block. Cost a is the block's source
+			// instruction count, so consumption is deterministic; b records
+			// the source offset for trap/fault context.
+			inst.curPC = in.b
+			if inst.intr.Load() != 0 {
+				trap(TrapInterrupted)
+			}
+			inst.fuel -= int64(in.a)
+			if inst.fuel < 0 {
+				inst.fuel = 0
+				trap(TrapFuelExhausted)
+			}
 		case iConst:
 			stack[sp] = in.bits
 			sp++
@@ -229,7 +243,7 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value, fr *frame) []Value {
 		case iUnreachable:
 			trap(TrapUnreachable)
 		default:
-			trapf(TrapUnreachable, "corrupt threaded code: opcode %d", in.op)
+			faultf("interp: corrupt threaded code: opcode %d", in.op)
 		}
 	}
 }
@@ -463,7 +477,10 @@ func binop(op wasm.Opcode, a, b Value) Value {
 	case wasm.OpF64Copysign:
 		return F64(math.Copysign(AsF64(a), AsF64(b)))
 	}
-	panic("interp: unhandled binary opcode " + op.String())
+	// A typed fault, not a plain panic: a decoder/compiler gap surfaces as a
+	// failed invocation (*RuntimeFault) instead of crashing the host process.
+	faultf("interp: unhandled binary opcode %s", op)
+	return 0
 }
 
 // unop implements every fixed-signature unary numeric instruction (tests,
@@ -567,5 +584,6 @@ func unop(op wasm.Opcode, v Value) Value {
 		wasm.OpF32ReinterpretI32, wasm.OpF64ReinterpretI64:
 		return v
 	}
-	panic("interp: unhandled unary opcode " + op.String())
+	faultf("interp: unhandled unary opcode %s", op) // typed fault, like binop
+	return 0
 }

@@ -8,6 +8,8 @@ package interp
 import (
 	"fmt"
 	"math"
+	"runtime/debug"
+	"sync/atomic"
 
 	"wasabi/internal/wasm"
 )
@@ -135,11 +137,25 @@ type Instance struct {
 	callDepth int
 	maxDepth  int
 
-	// onTopReturn, when set, runs after every top-level call completes
-	// (normally or by trap) — the Wasabi runtime's stream sessions flush
-	// their partial event batch here, so consumers observe every event of
-	// an Invoke without waiting for the next one.
-	onTopReturn func()
+	// Containment state (see Config). fuel is the remaining budget consumed
+	// by the guard instructions of a Guarded instance (MaxInt64 when
+	// unlimited); intr is the asynchronous interrupt flag those same guards
+	// check — the ONLY Instance field that may be touched from another
+	// goroutine. curFunc/curPC are the best-effort execution context for
+	// RuntimeFault: the innermost active function and the source offset of
+	// the last executed guard.
+	guarded bool
+	fuel    int64
+	intr    atomic.Uint32
+	curFunc uint32
+	curPC   uint32
+
+	// onTopReturn, when set, runs after every top-level call completes —
+	// err is nil on normal return, the *Trap or *RuntimeFault otherwise. The
+	// Wasabi runtime's stream sessions flush their partial event batch here
+	// (so consumers observe every event of an Invoke without waiting for the
+	// next one) and tear the stream down on failure.
+	onTopReturn func(err error)
 }
 
 // frameAt returns the reusable frame for depth d, growing the arena lazily.
@@ -150,14 +166,11 @@ func (inst *Instance) frameAt(d int) *frame {
 	return inst.frames[d]
 }
 
-// MaxCallDepthDefault bounds wasm call recursion.
-const MaxCallDepthDefault = 8192
-
 // Instantiate allocates and initializes an instance: resolves imports,
 // allocates table/memory/globals, applies element and data segments, and
 // runs the start function.
 func Instantiate(m *wasm.Module, imports Imports) (*Instance, error) {
-	return InstantiateIn(nil, "", m, imports)
+	return InstantiateWith(nil, "", m, imports, Config{})
 }
 
 // InstantiateIn is Instantiate with cross-instance linking: imports are
@@ -166,7 +179,16 @@ func Instantiate(m *wasm.Module, imports Imports) (*Instance, error) {
 // On success the new instance is registered in reg under name (name "" stays
 // anonymous). The name is reserved for the duration of the call, so
 // concurrent instantiations cannot claim the same name.
-func InstantiateIn(reg *Registry, name string, m *wasm.Module, imports Imports) (inst *Instance, err error) {
+func InstantiateIn(reg *Registry, name string, m *wasm.Module, imports Imports) (*Instance, error) {
+	return InstantiateWith(reg, name, m, imports, Config{})
+}
+
+// InstantiateWith is InstantiateIn under an explicit containment Config:
+// guarded compilation (fuel metering + interruption), resource limits, and
+// recursion bounds. Limit violations at instantiation time (a declared
+// memory or table minimum beyond the configured cap, a function body whose
+// operand stack exceeds MaxFuncStack) fail with errors wrapping ErrLimit.
+func InstantiateWith(reg *Registry, name string, m *wasm.Module, imports Imports, cfg Config) (inst *Instance, err error) {
 	if name != "" && reg == nil {
 		return nil, fmt.Errorf("interp: named instantiation %q requires a registry", name)
 	}
@@ -185,7 +207,12 @@ func InstantiateIn(reg *Registry, name string, m *wasm.Module, imports Imports) 
 		}()
 	}
 
-	inst = &Instance{Module: m, maxDepth: MaxCallDepthDefault}
+	inst = &Instance{
+		Module:   m,
+		maxDepth: cfg.maxCallDepth(),
+		guarded:  cfg.Guarded,
+		fuel:     cfg.initialFuel(),
+	}
 
 	lookup := func(mod, name string) (any, error) {
 		if fields, ok := imports[mod]; ok {
@@ -266,19 +293,29 @@ func InstantiateIn(reg *Registry, name string, m *wasm.Module, imports Imports) 
 		if int(f.TypeIdx) >= len(m.Types) {
 			return nil, fmt.Errorf("interp: function %d type index out of range", i)
 		}
-		cf, err := compileFunc(m, m.Types[f.TypeIdx], f, hosts)
+		cf, err := compileFunc(m, m.Types[f.TypeIdx], f, hosts, &cfg)
 		if err != nil {
 			return nil, fmt.Errorf("interp: function %d: %w", i, err)
 		}
 		inst.funcs = append(inst.funcs, funcInst{typeIdx: f.TypeIdx, code: cf})
 	}
 
-	// Defined table and memory.
+	// Defined table and memory, bounded by the configured caps: a declared
+	// minimum beyond the cap is refused outright, and the caps carry into
+	// Grow so guest- or host-driven growth cannot exceed them either.
 	for _, t := range m.Tables {
+		if t.Min > cfg.maxTableElems() {
+			return nil, fmt.Errorf("%w: table minimum %d elements exceeds limit %d", ErrLimit, t.Min, cfg.maxTableElems())
+		}
 		inst.Table = NewTable(t)
+		inst.Table.Cap = cfg.MaxTableElems
 	}
 	for _, mem := range m.Memories {
+		if mem.Min > cfg.maxMemoryPages() {
+			return nil, fmt.Errorf("%w: memory minimum %d pages exceeds limit %d", ErrLimit, mem.Min, cfg.maxMemoryPages())
+		}
 		inst.Memory = NewMemory(mem)
+		inst.Memory.Cap = cfg.MaxMemoryPages
 	}
 
 	// Defined globals.
@@ -377,10 +414,46 @@ func (inst *Instance) FuncSig(idx uint32) (wasm.FuncType, error) {
 	return inst.Module.Types[inst.funcs[idx].typeIdx], nil
 }
 
-// SetTopReturnHook installs f to run after every top-level call completes,
-// whether it returns normally or traps (see the field comment). Pass nil to
-// clear.
-func (inst *Instance) SetTopReturnHook(f func()) { inst.onTopReturn = f }
+// SetTopReturnHook installs f to run after every top-level call completes —
+// err is nil on normal return and the *Trap or *RuntimeFault otherwise (see
+// the field comment). Pass nil to clear.
+func (inst *Instance) SetTopReturnHook(f func(err error)) { inst.onTopReturn = f }
+
+// SetFuel sets the remaining fuel budget. Fuel is consumed by the guard
+// instructions of a Guarded instance (one unit per source instruction) and
+// persists across invocations: top up between calls to grant a fresh budget.
+// Values above MaxInt64 are clamped. No-op semantics on an unguarded
+// instance (nothing consumes fuel there).
+func (inst *Instance) SetFuel(n uint64) {
+	if n > math.MaxInt64 {
+		n = math.MaxInt64
+	}
+	inst.fuel = int64(n)
+}
+
+// Fuel returns the remaining fuel budget.
+func (inst *Instance) Fuel() uint64 {
+	if inst.fuel < 0 {
+		return 0
+	}
+	return uint64(inst.fuel)
+}
+
+// Guarded reports whether the instance was compiled with containment guards
+// (fuel metering + asynchronous interruption).
+func (inst *Instance) Guarded() bool { return inst.guarded }
+
+// Interrupt requests asynchronous interruption: the next guard instruction
+// the instance executes raises TrapInterrupted. It is the one Instance
+// method safe to call from another goroutine, and the flag stays set (every
+// subsequent invocation traps immediately) until ClearInterrupt. On an
+// unguarded instance it only affects future guarded behavior — nothing
+// checks the flag mid-run.
+func (inst *Instance) Interrupt() { inst.intr.Store(1) }
+
+// ClearInterrupt re-arms an interrupted instance. Producer-side: call it
+// only while no code of the instance runs.
+func (inst *Instance) ClearInterrupt() { inst.intr.Store(0) }
 
 // ResolveTable returns the function index stored at table slot i, or -1.
 func (inst *Instance) ResolveTable(i uint32) int64 {
@@ -390,9 +463,11 @@ func (inst *Instance) ResolveTable(i uint32) int64 {
 	return inst.Table.Elems[i]
 }
 
-// call invokes a function by index, catching traps. The returned slice is a
-// copy owned by the caller: the internal result buffers live in the frame
-// arena and are reused by later calls.
+// call invokes a function by index, catching traps and converting every
+// other panic into a *RuntimeFault (fault isolation: a host-function bug or
+// an interpreter gap fails the call, never the host process). The returned
+// slice is a copy owned by the caller: the internal result buffers live in
+// the frame arena and are reused by later calls.
 func (inst *Instance) call(idx uint32, args []Value) (results []Value, err error) {
 	savedDepth := inst.callDepth
 	// Registered before the trap recovery below, so it runs after it
@@ -400,19 +475,36 @@ func (inst *Instance) call(idx uint32, args []Value) (results []Value, err error
 	// outermost call fires it.
 	defer func() {
 		if savedDepth == 0 && inst.onTopReturn != nil {
-			inst.onTopReturn()
+			inst.onTopReturn(err)
 		}
 	}()
 	defer func() {
-		if r := recover(); r != nil {
-			if t, ok := r.(*Trap); ok {
-				// Unwind the call-depth accounting past the aborted frames
-				// so the instance stays usable after a trap.
-				inst.callDepth = savedDepth
-				results, err = nil, t
-				return
+		r := recover()
+		if r == nil {
+			return
+		}
+		// Unwind the call-depth accounting past the aborted frames so the
+		// instance stays usable after a trap or fault.
+		inst.callDepth = savedDepth
+		results = nil
+		switch p := r.(type) {
+		case *Trap:
+			err = p
+		case *RuntimeFault:
+			// An internal faultf panic: attach the execution context.
+			p.FuncIdx = inst.curFunc
+			p.FuncName = inst.Module.FuncNames[inst.curFunc]
+			p.PC = inst.curPC
+			p.Stack = debug.Stack()
+			err = p
+		default:
+			err = &RuntimeFault{
+				FuncIdx:  inst.curFunc,
+				FuncName: inst.Module.FuncNames[inst.curFunc],
+				PC:       inst.curPC,
+				Panic:    r,
+				Stack:    debug.Stack(),
 			}
-			panic(r)
 		}
 	}()
 	if res := inst.invoke(idx, args); len(res) > 0 {
@@ -434,8 +526,11 @@ func (inst *Instance) invoke(idx uint32, args []Value) []Value {
 	if inst.callDepth > inst.maxDepth {
 		trap(TrapStackExhausted)
 	}
+	savedFunc := inst.curFunc
+	inst.curFunc = idx
 	fr := inst.frameAt(inst.callDepth - 1)
 	res := inst.exec(fi.code, args, fr)
+	inst.curFunc = savedFunc
 	inst.callDepth--
 	return res
 }

@@ -6,15 +6,16 @@ import (
 
 // Memory is an instantiated linear memory. HasMax records whether the module
 // declared a maximum at all: a declared maximum of 0 is a real limit (the
-// memory may never grow), which is different from "no maximum".
+// memory may never grow), which is different from "no maximum". Cap is the
+// host-side ceiling beyond the declared maximum: instantiation sets it from
+// Config.MaxMemoryPages (0 means DefaultMaxMemoryPages) so a module without
+// a declared maximum still cannot grow the host without bound.
 type Memory struct {
 	Data   []byte
 	MaxPgs uint32 // the declared maximum; meaningful only when HasMax
 	HasMax bool
+	Cap    uint32 // host-configured page ceiling; 0 means DefaultMaxMemoryPages
 }
-
-// maxPagesCap bounds memory growth to 512 MiB to protect the host process.
-const maxPagesCap = 8192
 
 // NewMemory allocates a memory with the given limits.
 func NewMemory(l wasm.Limits) *Memory {
@@ -30,11 +31,14 @@ func (m *Memory) Pages() uint32 { return uint32(len(m.Data) / wasm.PageSize) }
 
 // Grow adds delta pages, returning the previous page count, or -1 on failure
 // (the memory.grow semantics). Growth fails past the declared maximum — even
-// a declared maximum of 0 — or past the implementation cap.
+// a declared maximum of 0 — or past the host-configured cap.
 func (m *Memory) Grow(delta uint32) int32 {
 	old := m.Pages()
 	newPages := uint64(old) + uint64(delta)
-	limit := uint64(maxPagesCap)
+	limit := uint64(DefaultMaxMemoryPages)
+	if m.Cap != 0 {
+		limit = uint64(m.Cap)
+	}
 	if m.HasMax && uint64(m.MaxPgs) < limit {
 		limit = uint64(m.MaxPgs)
 	}
@@ -91,15 +95,14 @@ func (m *Memory) store(addr, offset, size uint32, v uint64) {
 
 // Table is an instantiated funcref table; -1 marks uninitialized slots.
 // Like Memory, HasMax distinguishes a declared maximum of 0 (a real limit)
-// from "no maximum".
+// from "no maximum", and Cap is the host-configured element ceiling
+// (Config.MaxTableElems; 0 means DefaultMaxTableElems).
 type Table struct {
 	Elems  []int64
 	Max    uint32 // the declared maximum; meaningful only when HasMax
 	HasMax bool
+	Cap    uint32 // host-configured element ceiling; 0 means DefaultMaxTableElems
 }
-
-// maxTableCap bounds host-driven table growth, mirroring maxPagesCap.
-const maxTableCap = 1 << 20
 
 // NewTable allocates a table with the given limits.
 func NewTable(l wasm.Limits) *Table {
@@ -112,12 +115,15 @@ func NewTable(l wasm.Limits) *Table {
 
 // Grow adds delta uninitialized slots, returning the previous element count,
 // or -1 when growth would exceed the declared maximum (even a maximum of 0)
-// or the implementation cap. The MVP has no table.grow instruction; this is
+// or the host-configured cap. The MVP has no table.grow instruction; this is
 // the embedder-facing path (reference-types-style semantics).
 func (t *Table) Grow(delta uint32) int32 {
 	old := uint32(len(t.Elems))
 	newLen := uint64(old) + uint64(delta)
-	limit := uint64(maxTableCap)
+	limit := uint64(DefaultMaxTableElems)
+	if t.Cap != 0 {
+		limit = uint64(t.Cap)
+	}
 	if t.HasMax && uint64(t.Max) < limit {
 		limit = uint64(t.Max)
 	}

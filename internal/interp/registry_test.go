@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -26,27 +27,35 @@ func regTestModule() *wasm.Module {
 }
 
 // TestInstantiateInReleasesNameOnPanic: a panic out of a host import during
-// instantiation (here: the start function) must release the reserved name —
-// committing a half-built instance would poison later lookups and block
-// retries (regression test for the err==nil-during-unwind commit bug).
+// instantiation (here: the start function) must surface as a *RuntimeFault
+// (fault isolation — the host process never sees the panic) AND release the
+// reserved name — committing a half-built instance would poison later
+// lookups and block retries (regression test for the err==nil-during-unwind
+// commit bug).
 func TestInstantiateInReleasesNameOnPanic(t *testing.T) {
 	reg := NewRegistry()
 	m := regTestModule()
 	panicking := Imports{"env": {"boom": &HostFunc{
 		Type: wasm.FuncType{},
 		Fn: func(*Instance, []Value) ([]Value, error) {
-			panic("host bug") // non-*Trap: propagates out of Instantiate
+			panic("host bug") // non-*Trap: converted to a RuntimeFault
 		},
 	}}}
 
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("expected the host panic to propagate")
-			}
-		}()
-		_, _ = InstantiateIn(reg, "app", m, panicking)
-	}()
+	_, err := InstantiateIn(reg, "app", m, panicking)
+	if err == nil {
+		t.Fatal("expected the host panic to fail instantiation")
+	}
+	var fault *RuntimeFault
+	if !errors.As(err, &fault) {
+		t.Fatalf("expected a *RuntimeFault, got %T: %v", err, err)
+	}
+	if fault.Panic != any("host bug") {
+		t.Errorf("fault carries panic value %v, want \"host bug\"", fault.Panic)
+	}
+	if !errors.Is(err, ErrRuntimeFault) {
+		t.Error("fault does not match ErrRuntimeFault under errors.Is")
+	}
 
 	if _, ok := reg.Lookup("app"); ok {
 		t.Error("panicked instantiation left a half-built instance registered")

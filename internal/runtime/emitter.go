@@ -18,6 +18,7 @@ package runtime
 // consumer; a single-goroutine run-then-drain loop must use Drop.
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"wasabi/internal/analysis"
@@ -54,6 +55,15 @@ type Emitter struct {
 	closed  bool
 	dropped atomic.Uint64
 
+	// Interruption support: stopc is closed by Interrupt (any goroutine) to
+	// unwedge a Block-mode producer waiting in Flush — the batch it carried
+	// is dropped and counted, and the producer returns to guest code, which
+	// traps at its next containment guard. intrMu serializes Interrupt
+	// against ClearInterrupt's re-arm; stopped dedupes the close.
+	intrMu  sync.Mutex
+	stopc   chan struct{}
+	stopped bool
+
 	prev []analysis.Event // batch last handed out by Next (consumer-owned)
 }
 
@@ -63,9 +73,10 @@ func NewEmitter(batchSize int, mode Backpressure) *Emitter {
 		batchSize = 1
 	}
 	em := &Emitter{
-		full: make(chan []analysis.Event, emitterDepth),
-		free: make(chan []analysis.Event, emitterDepth+2),
-		drop: mode == Drop,
+		full:  make(chan []analysis.Event, emitterDepth),
+		free:  make(chan []analysis.Event, emitterDepth+2),
+		drop:  mode == Drop,
+		stopc: make(chan struct{}),
 	}
 	em.cur = make([]analysis.Event, 0, batchSize)
 	for i := 0; i < emitterDepth+1; i++ {
@@ -123,8 +134,48 @@ func (em *Emitter) Flush() {
 		}
 		return
 	}
-	em.full <- em.cur
-	em.cur = <-em.free
+	// Block mode. Prefer delivery when a slot is already free, then wait on
+	// either the consumer or an interrupt: a deadline expiring while the
+	// producer is wedged here must unblock it (the guest then traps at its
+	// next containment guard), or the interruption could never take effect.
+	select {
+	case em.full <- em.cur:
+		em.cur = <-em.free
+		return
+	default:
+	}
+	select {
+	case em.full <- em.cur:
+		em.cur = <-em.free
+	case <-em.stopc:
+		em.dropped.Add(uint64(len(em.cur)))
+		em.cur = em.cur[:0]
+	}
+}
+
+// Interrupt unwedges a Block-mode producer blocked in Flush (dropping the
+// batch it carried) and makes further Block-mode flushes non-blocking until
+// ClearInterrupt. The one Emitter method safe to call from any goroutine;
+// the session layer pairs it with Instance.Interrupt so a cancelled
+// invocation cannot stay wedged on a lagging consumer. Idempotent.
+func (em *Emitter) Interrupt() {
+	em.intrMu.Lock()
+	if !em.stopped {
+		em.stopped = true
+		close(em.stopc)
+	}
+	em.intrMu.Unlock()
+}
+
+// ClearInterrupt re-arms Block-mode backpressure after an Interrupt.
+// Producer-side, like Flush: call it only between invocations.
+func (em *Emitter) ClearInterrupt() {
+	em.intrMu.Lock()
+	if em.stopped {
+		em.stopped = false
+		em.stopc = make(chan struct{})
+	}
+	em.intrMu.Unlock()
 }
 
 // Close flushes the pending batch and ends the stream: after the in-flight

@@ -1,6 +1,7 @@
 package wasabi
 
 import (
+	"context"
 	"fmt"
 
 	"wasabi/internal/analysis"
@@ -64,21 +65,57 @@ func (s *Session) Instantiate(name string, programImports interp.Imports) (*inte
 		merged[mod] = fields
 	}
 	s.instantiated = true
-	inst, err := interp.InstantiateIn(s.compiled.reg, name, s.compiled.module, merged)
+	inst, err := interp.InstantiateWith(s.compiled.reg, name, s.compiled.module, merged, s.compiled.engine.exec)
 	if err != nil {
 		return nil, err
 	}
 	if name != "" {
 		s.names = append(s.names, name)
 	}
-	// Stream flush point: hand the partial batch to the consumer whenever a
-	// top-level call into this instance completes (normally or by trap), so
-	// an Invoke's events never linger until the next batch fills.
+	// Stream flush point and teardown: hand the partial batch to the
+	// consumer whenever a top-level call into this instance completes
+	// (normally or not), and when the call failed — trap or fault — end the
+	// stream with that error so a consumer blocked in Next/Serve observes
+	// the failure (Stream.Err) instead of waiting forever.
 	if s.stream != nil {
-		inst.SetTopReturnHook(s.stream.em.Flush)
+		st := s.stream
+		inst.SetTopReturnHook(func(err error) {
+			st.em.Flush()
+			if err != nil {
+				st.fail(err)
+			}
+		})
 	}
 	s.rt.BindInstance(inst)
 	return inst, nil
+}
+
+// InvokeContext is Instance.InvokeContext for an instance of this session:
+// on cancellation or deadline expiry both the instance and the session's
+// event stream (if any) are interrupted, so a Block-mode producer wedged on
+// a lagging consumer unblocks too. When the engine was built WithDeadline
+// and ctx carries no earlier deadline, the engine default applies. The
+// instance must belong to this session (its hooks dispatch to the session's
+// analysis); interruption requires the engine to compile guarded code
+// (WithFuel / WithInterruption / WithDeadline).
+func (s *Session) InvokeContext(ctx context.Context, inst *interp.Instance, fn string, args ...interp.Value) ([]interp.Value, error) {
+	if s.closed {
+		return nil, fmt.Errorf("%w: InvokeContext", ErrSessionClosed)
+	}
+	if d := s.compiled.engine.deadline; d > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+	}
+	var onInterrupt func()
+	if s.stream != nil {
+		em := s.stream.em
+		onInterrupt = em.Interrupt
+		defer em.ClearInterrupt()
+	}
+	return inst.InvokeInterruptible(ctx, onInterrupt, fn, args...)
 }
 
 // Close ends the session: every instance name it registered is removed from

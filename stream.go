@@ -26,6 +26,7 @@ package wasabi
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"wasabi/internal/analysis"
 	wruntime "wasabi/internal/runtime"
@@ -93,6 +94,7 @@ func StreamBackpressure(mode Backpressure) StreamOption {
 type Stream struct {
 	em  *wruntime.Emitter
 	tbl *analysis.EventTable
+	err atomic.Value // first terminal error (fail); read via Err
 }
 
 // Stream switches the session from callback dispatch to stream delivery and
@@ -191,6 +193,32 @@ func (st *Stream) Dropped() uint64 { return st.em.Dropped() }
 // Table returns the decode table mapping Event.Hook indices back to hook
 // kinds, instruction names, and payload types. Shared and immutable.
 func (st *Stream) Table() *EventTable { return st.tbl }
+
+// Err returns the terminal error of a stream that was torn down by a guest
+// failure — the *Trap or *RuntimeFault of the invocation that ended it —
+// and nil for a stream that is still live or ended cleanly (Close). Like a
+// bufio.Scanner's Err, it is meaningful once the stream has ended: when
+// Next reports ok == false / Serve returns, the error (if any) is already
+// visible to the consumer goroutine.
+func (st *Stream) Err() error {
+	if v := st.err.Load(); v != nil {
+		return v.(streamErr).error
+	}
+	return nil
+}
+
+// streamErr gives every stored terminal error the same concrete type, which
+// atomic.Value requires across stores.
+type streamErr struct{ error }
+
+// fail tears the stream down with a terminal error: the partial batch was
+// already flushed by the top-return hook, the error is recorded for Err,
+// and the stream is closed so blocked consumers wake up. The first error
+// wins. Producer-side (runs from the instance's top-return hook).
+func (st *Stream) fail(err error) {
+	st.err.CompareAndSwap(nil, streamErr{err})
+	st.em.Close()
+}
 
 // release is Session.Close's teardown: end the stream without waiting for
 // the consumer (undelivered batches are discarded and counted in Dropped —
