@@ -22,6 +22,7 @@ import (
 	"wasabi/internal/core"
 	"wasabi/internal/interp"
 	"wasabi/internal/polybench"
+	"wasabi/internal/static"
 	"wasabi/internal/synthapp"
 	"wasabi/internal/wasm"
 )
@@ -69,6 +70,53 @@ func BenchmarkTable5_InstrumentApp(b *testing.B) {
 		if _, _, err := core.Instrument(m, core.Options{Hooks: analysis.AllHooks, SkipValidation: true}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTable5_InstrumentAppStatic is BenchmarkTable5_InstrumentApp with
+// the static-analysis pass in the loop: CFG + call-graph construction and
+// plan computation, then plan-guided instrumentation. The gap to the plain
+// Table 5 row is the cost of analysis-aware elision (kept within 5%).
+func BenchmarkTable5_InstrumentAppStatic(b *testing.B) {
+	m, size := appModule(b, 1<<20)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := static.PlanFor(m, analysis.AllHooks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := core.Instrument(m, core.Options{Hooks: analysis.AllHooks, SkipValidation: true, Plan: plan}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9_Coverage measures the gemm kernel under instruction coverage
+// instrumented two ways: per-instruction begin/end hooks (plain engine) vs
+// one block_probe per reachable CFG block (WithStaticAnalysis). The ratio of
+// the two is the Fig 9 coverage-overhead reduction from block-probe elision.
+func BenchmarkFig9_Coverage(b *testing.B) {
+	cases := []struct {
+		name string
+		eng  *wasabi.Engine
+	}{
+		{"per_instr", wasabi.NewEngine()},
+		{"block_probe", wasabi.NewEngine(wasabi.WithStaticAnalysis())},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			m := gemmModule(b, 16)
+			ca, err := tc.eng.InstrumentFor(m, analyses.NewInstructionCoverage())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := ca.NewSession(analyses.NewInstructionCoverage())
+			if err != nil {
+				b.Fatal(err)
+			}
+			runKernel(b, sess)
+		})
 	}
 }
 

@@ -1,0 +1,98 @@
+// Command borrowcheck is the standalone `go vet -vettool` driver for the
+// borrowcheck linter (internal/lint/borrowcheck): Wasabi's buffer-ownership
+// rule that borrowed hook-value slices must not be retained beyond the
+// callback. It implements the cmd/go vet-tool protocol directly (version
+// probe, flag listing, and one JSON vet.cfg per package) so it needs no
+// dependencies outside the standard library.
+//
+// Usage:
+//
+//	go build -o bin/borrowcheck ./cmd/borrowcheck
+//	go vet -vettool=$PWD/bin/borrowcheck ./...
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+
+	"wasabi/internal/lint/borrowcheck"
+)
+
+const version = "borrowcheck version v1.0.0 buildID=borrowcheck-v1.0.0"
+
+// vetConfig is the subset of the cmd/go vet.cfg schema this tool needs.
+type vetConfig struct {
+	ID         string   `json:"ID"`
+	Dir        string   `json:"Dir"`
+	GoFiles    []string `json:"GoFiles"`
+	VetxOutput string   `json:"VetxOutput"`
+	VetxOnly   bool     `json:"VetxOnly"`
+
+	SucceedOnTypecheckFailure bool `json:"SucceedOnTypecheckFailure"`
+}
+
+func main() {
+	args := os.Args[1:]
+	// Protocol probes from cmd/go: -V=full prints an identity line used as
+	// the content hash of the tool, -flags lists the tool's flags.
+	if len(args) == 1 && args[0] == "-V=full" {
+		fmt.Println(version)
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintln(os.Stderr, "usage: go vet -vettool=borrowcheck ./... (or: borrowcheck vet.cfg)")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fatal("read %s: %v", args[0], err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal("parse %s: %v", args[0], err)
+	}
+
+	// The tool exports no facts, but cmd/go requires the vetx output file to
+	// exist to cache the run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("borrowcheck.vetx\n"), 0o666); err != nil {
+			fatal("write %s: %v", cfg.VetxOutput, err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	found := false
+	for _, path := range cfg.GoFiles {
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fatal("%v", err)
+		}
+		for _, d := range borrowcheck.CheckFile(fset, file) {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+			found = true
+		}
+	}
+	if found {
+		os.Exit(2)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "borrowcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -14,6 +14,7 @@ import (
 	"wasabi/internal/core"
 	"wasabi/internal/interp"
 	"wasabi/internal/polybench"
+	"wasabi/internal/static"
 	"wasabi/internal/synthapp"
 	"wasabi/internal/wasm"
 )
@@ -81,6 +82,22 @@ type StreamBench struct {
 	BatchSweep      map[string]float64 `json:"batch_sweep_events_per_sec,omitempty"`
 }
 
+// CoverageBench records instruction coverage on the Fig 9 kernel before and
+// after block-probe elision: per-instruction Begin/End/hook dispatch (plain
+// engine) vs one block_probe call per CFG-reachable basic block
+// (WithStaticAnalysis). HookSites counts the emitted hook call sites in each
+// instrumented module; the ratios are relative to the uninstrumented
+// baseline, Speedup is per-instr time over block-probe time.
+type CoverageBench struct {
+	PerInstrNsPerOp   float64 `json:"per_instr_ns_per_op"`
+	PerInstrRatio     float64 `json:"per_instr_ratio"`
+	PerInstrHookSites int     `json:"per_instr_hook_sites"`
+	BlockNsPerOp      float64 `json:"block_ns_per_op"`
+	BlockRatio        float64 `json:"block_ratio"`
+	BlockHookSites    int     `json:"block_hook_sites"`
+	Speedup           float64 `json:"speedup"`
+}
+
 // Fig9Report is the schema of BENCH_fig9.json: interpreter progress tracked
 // like instrumentation progress (BENCH_instrument.json), one file per
 // concern. CI's bench smoke fails when BaselineNsPerOp regresses >2x against
@@ -93,6 +110,9 @@ type Fig9Report struct {
 	CallReturnAllocs CallReturnAllocs `json:"call_return_allocs"`
 	// Stream records the event-stream pipeline's delivery rate.
 	Stream StreamBench `json:"stream"`
+	// Coverage records instruction coverage before/after block-probe
+	// elision (the static-analysis engine's headline runtime win).
+	Coverage CoverageBench `json:"coverage"`
 	// Fuel records metered vs unmetered execution (the containment guard
 	// cost, and the zero-overhead-when-disabled reference CI guards at 5%).
 	Fuel         FuelBench     `json:"fuel"`
@@ -249,6 +269,21 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 			}
 		})
 		cur["Table5_InstrumentApp"] = toResult(r, int64(len(appBytes)))
+
+		fmt.Fprintln(os.Stderr, "bench: Table5_InstrumentAppStatic")
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan, err := static.PlanFor(app, analysis.AllHooks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := core.Instrument(app, core.Options{Hooks: analysis.AllHooks, SkipValidation: true, Plan: plan}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cur["Table5_InstrumentAppStatic"] = toResult(r, int64(len(appBytes)))
 	}
 
 	fmt.Fprintln(os.Stderr, "bench: Fig9_Baseline")
@@ -312,6 +347,11 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 		}
 	}
 	if fig9Path != "" {
+		fmt.Fprintln(os.Stderr, "bench: Coverage")
+		covBench, err := measureCoverageBench(gm, baseline.NsPerOp)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(os.Stderr, "bench: CallReturnAllocs")
 		crAllocs, err := measureCallReturnAllocs(engine)
 		if err != nil {
@@ -332,6 +372,7 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 			Hooks:            hooks,
 			CallReturnAllocs: crAllocs,
 			Stream:           streamBench,
+			Coverage:         covBench,
 			Fuel:             fuelBench,
 			PR1Reference:     pr1Reference,
 			PR2Reference:     pr2Reference,
@@ -342,6 +383,71 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 		}
 	}
 	return nil
+}
+
+// countHookCallSites counts OpCall instructions targeting a hook import in
+// an instrumented module (the number of emitted hook call sites).
+func countHookCallSites(c *wasabi.CompiledAnalysis) int {
+	md := c.Metadata()
+	lo, hi := uint32(md.NumImportedFuncs), uint32(md.NumImportedFuncs+len(md.Hooks))
+	n := 0
+	m := c.Module()
+	for di := range m.Funcs {
+		for _, ins := range m.Funcs[di].Body {
+			if ins.Op == wasm.OpCall && ins.Idx >= lo && ins.Idx < hi {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// measureCoverageBench runs the gemm kernel under instruction coverage both
+// ways — per-instruction hooks (plain engine) and block probes
+// (WithStaticAnalysis) — and records times, hook-site counts, and ratios
+// against the uninstrumented baseline.
+func measureCoverageBench(gm *wasm.Module, baselineNs float64) (CoverageBench, error) {
+	run := func(eng *wasabi.Engine) (float64, int, error) {
+		ca, err := eng.InstrumentFor(gm, analyses.NewInstructionCoverage())
+		if err != nil {
+			return 0, 0, err
+		}
+		sess, err := ca.NewSession(analyses.NewInstructionCoverage())
+		if err != nil {
+			return 0, 0, err
+		}
+		inst, err := sess.Instantiate("", polybench.HostImports(nil))
+		if err != nil {
+			return 0, 0, err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := inst.Invoke("kernel"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.NsPerOp()), countHookCallSites(ca), nil
+	}
+
+	perInstrNs, perInstrSites, err := run(wasabi.NewEngine())
+	if err != nil {
+		return CoverageBench{}, err
+	}
+	blockNs, blockSites, err := run(wasabi.NewEngine(wasabi.WithStaticAnalysis()))
+	if err != nil {
+		return CoverageBench{}, err
+	}
+	return CoverageBench{
+		PerInstrNsPerOp:   perInstrNs,
+		PerInstrRatio:     perInstrNs / baselineNs,
+		PerInstrHookSites: perInstrSites,
+		BlockNsPerOp:      blockNs,
+		BlockRatio:        blockNs / baselineNs,
+		BlockHookSites:    blockSites,
+		Speedup:           perInstrNs / blockNs,
+	}, nil
 }
 
 // callHeavyModule builds main(n): a loop of n calls to a callee with an

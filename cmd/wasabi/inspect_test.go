@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wasabi/internal/builder"
+	"wasabi/internal/wasm"
+)
+
+// TestRunInspect smoke-tests the report: dead functions are listed, the
+// per-function profile renders, and every bundled analysis gets a
+// before/after hook-site row.
+func TestRunInspect(t *testing.T) {
+	b := builder.New()
+	live := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+	live.Get(0).I32(3).Op(wasm.OpI32Add)
+	live.Done()
+	dead := b.Func("", builder.V(wasm.I32), builder.V(wasm.I32))
+	dead.Get(0)
+	dead.Done()
+	m := b.Build()
+
+	var buf bytes.Buffer
+	if err := runInspect(m, &buf); err != nil {
+		t.Fatalf("runInspect: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1 dead", "unreachable from exports/start", "maxstack", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "coverage") {
+		t.Errorf("report missing per-analysis rows:\n%s", out)
+	}
+}

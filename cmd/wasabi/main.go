@@ -7,6 +7,13 @@
 // Usage:
 //
 //	wasabi [-hooks all|h1,h2,...] [-o out.wasm] [-meta out.json] [-p N] input.wasm
+//	wasabi -inspect input.wasm
+//
+// With -inspect no output is written: the command prints the module's
+// static profile (dead functions, per-function basic-block and stack
+// facts, indirect-call fan-out) and, for every bundled analysis, the
+// number of hook call sites instrumentation would insert with and without
+// analysis-aware elision.
 package main
 
 import (
@@ -30,6 +37,7 @@ func main() {
 	metaOut := flag.String("meta", "", "metadata JSON file (default: <input>.wasabi.json)")
 	par := flag.Int("p", 0, "instrumentation parallelism (0 = GOMAXPROCS)")
 	check := flag.Bool("validate", true, "validate the instrumented output")
+	inspect := flag.Bool("inspect", false, "print the static-analysis report instead of instrumenting")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wasabi [flags] input.wasm\n\nhook kinds: all, or any of:\n  ")
 		var names []string
@@ -69,6 +77,12 @@ func main() {
 		if err != nil {
 			fatal("decode %s: %v", input, err)
 		}
+	}
+	if *inspect {
+		if err := runInspect(m, os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+		return
 	}
 	engine := wasabi.NewEngine(wasabi.WithParallelism(*par))
 	compiled, err := engine.InstrumentHooks(m, set)

@@ -11,6 +11,8 @@ import (
 	"wasabi/internal/core"
 	"wasabi/internal/interp"
 	wruntime "wasabi/internal/runtime"
+	"wasabi/internal/static"
+	"wasabi/internal/validate"
 	"wasabi/internal/wasm"
 )
 
@@ -44,6 +46,8 @@ type Engine struct {
 	backpressure Backpressure
 	exec         interp.Config // containment config for every instance (see WithFuel etc.)
 	deadline     time.Duration // default InvokeContext deadline (WithDeadline)
+	static       bool          // analysis-aware instrumentation (WithStaticAnalysis)
+	noValidate   bool          // skip input validation (WithoutValidation)
 	reg          *interp.Registry
 	pool         *wruntime.ValuePool
 
@@ -146,6 +150,32 @@ func WithMaxCallDepth(n int) EngineOption {
 	return func(e *Engine) { e.exec.MaxCallDepth = n }
 }
 
+// WithStaticAnalysis enables analysis-aware instrumentation: before
+// instrumenting, the engine runs the static-analysis pipeline
+// (internal/static: call graph, per-function CFGs, dataflow) and elides hooks
+// its results prove unobservable — functions unreachable from the module's
+// exports and start function are copied through uninstrumented, and
+// InstrumentFor collapses coverage-class analyses (those implementing
+// BlockCoverageHooker) from per-instruction hooks to one probe per CFG basic
+// block. The elision is exact for reachability (an unreachable function can
+// never fire a hook); block-probe collapse changes the event vocabulary the
+// analysis sees, which is why it is gated on the analysis opting in. See
+// README "Static analysis".
+func WithStaticAnalysis() EngineOption {
+	return func(e *Engine) { e.static = true }
+}
+
+// WithoutValidation skips validating input modules before instrumentation.
+// By default every Instrument call validates first and rejects malformed
+// modules with a positioned ValidationError; an embedder whose modules are
+// already validated (e.g. straight from a toolchain it trusts) can waive the
+// cost. Instrumenting an invalid module without validation is undefined
+// behavior — typically an instrumenter error, possibly a broken output
+// module.
+func WithoutValidation() EngineOption {
+	return func(e *Engine) { e.noValidate = true }
+}
+
 // NewEngine creates an engine.
 func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{
@@ -193,7 +223,20 @@ func (e *Engine) InstrumentFor(m *wasm.Module, a any) (*CompiledAnalysis, error)
 	if caps == 0 {
 		return nil, errNoHooksFor(a)
 	}
-	return e.Instrument(m, caps)
+	// Block-probe collapse (WithStaticAnalysis): a coverage-class analysis —
+	// one that can consume a single probe event per CFG basic block — is
+	// instrumented with one probe per block instead of hooks at every
+	// instruction it implements a callback for. Analyses that additionally
+	// need a few per-instruction kinds the probes cannot reconstruct (e.g.
+	// branch directions) keep exactly those via BlockModeHooks.
+	if e.static && caps.Has(analysis.CapBlockCoverage) {
+		hooks := analysis.Set(analysis.KindBlockProbe)
+		if k, ok := a.(analysis.BlockModeKeeper); ok {
+			hooks |= k.BlockModeHooks()
+		}
+		return e.InstrumentHooks(m, hooks)
+	}
+	return e.Instrument(m, caps&^analysis.CapBlockCoverage)
 }
 
 // InstrumentHooks is Instrument with an explicit low-level hook-kind set
@@ -271,6 +314,21 @@ func (e *Engine) InstrumentBytes(wasmBytes []byte, caps Cap) (*CompiledAnalysis,
 // inputs whose module pointer will never be seen again (decoded bytes, the
 // deprecated one-shot shims), caching would retain every module forever.
 func (e *Engine) instrumentUncached(m *wasm.Module, opts core.Options) (*CompiledAnalysis, error) {
+	if !e.noValidate {
+		if err := validate.Module(m); err != nil {
+			return nil, validationError(err)
+		}
+	}
+	// Validated above (or explicitly waived); don't pay for it again inside
+	// the instrumenter.
+	opts.SkipValidation = true
+	if e.static {
+		plan, err := static.PlanFor(m, opts.Hooks)
+		if err != nil {
+			return nil, fmt.Errorf("wasabi: static analysis: %w", err)
+		}
+		opts.Plan = plan
+	}
 	instrumented, meta, err := core.Instrument(m, opts)
 	if err != nil {
 		if errors.Is(err, core.ErrHookNamespaceImport) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"wasabi/internal/interp"
+	"wasabi/internal/validate"
 )
 
 // The exported error surface. Every sentinel below matches with errors.Is
@@ -27,6 +28,14 @@ var ErrNoHooks = errors.New("wasabi: analysis implements no hook interface")
 // Matched with errors.Is; errors.As with *HookCollisionError recovers the
 // colliding name.
 var ErrHookModuleCollision = errors.New("wasabi: import module name collides with the generated hook imports")
+
+// ErrInvalidModule reports an input module that failed validation before
+// instrumentation. Instrumenting is rejected by default so malformed inputs
+// fail with a positioned diagnostic instead of undefined instrumenter
+// behavior; WithoutValidation waives the check for pre-validated modules.
+// Matched with errors.Is; errors.As with *ValidationError recovers the
+// failure position.
+var ErrInvalidModule = errors.New("wasabi: input module invalid")
 
 // ErrSessionClosed reports use of a session after Session.Close.
 var ErrSessionClosed = errors.New("wasabi: session is closed")
@@ -96,6 +105,38 @@ func (e *NoHooksError) Unwrap() error { return ErrNoHooks }
 // analysis type.
 func errNoHooksFor(a any) error {
 	return &NoHooksError{AnalysisType: fmt.Sprintf("%T", a)}
+}
+
+// ValidationError is the typed form of ErrInvalidModule: where validation of
+// the input module failed. FuncIdx (whole function index space) and Instr
+// (original instruction index) are -1 when the failure is not scoped to a
+// function or instruction; Op names the opcode at Instr when there is one.
+type ValidationError struct {
+	FuncIdx  int
+	FuncName string
+	Instr    int
+	Op       string
+	Err      error // the full positioned validation failure
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("%v: %v", ErrInvalidModule, e.Err)
+}
+
+func (e *ValidationError) Unwrap() []error { return []error{ErrInvalidModule, e.Err} }
+
+// validationError lifts the internal validator's failure into the public
+// typed error, copying the position fields when the failure carries them.
+func validationError(err error) error {
+	ve := &ValidationError{FuncIdx: -1, Instr: -1, Err: err}
+	var ie *validate.Error
+	if errors.As(err, &ie) {
+		ve.FuncIdx, ve.FuncName, ve.Instr = ie.FuncIdx, ie.FuncName, ie.Instr
+		if ie.Instr >= 0 {
+			ve.Op = ie.Op.String()
+		}
+	}
+	return ve
 }
 
 // HookCollisionError is the typed form of ErrHookModuleCollision: Name is

@@ -55,6 +55,18 @@ func (a *BranchCoverage) Select(loc analysis.Location, cond bool, _, _ analysis.
 	a.add(loc, boolBit(cond))
 }
 
+// BlockCovered opts the analysis into block-probe mode under a
+// static-analysis engine; the probes themselves carry no decision, so the
+// callback only exists to set analysis.CapBlockCoverage.
+func (a *BranchCoverage) BlockCovered(analysis.Location, int) {}
+
+// BlockModeHooks keeps the four decision-carrying hooks alive in block-probe
+// mode: which direction a branch took cannot be reconstructed from
+// block-entry events alone.
+func (a *BranchCoverage) BlockModeHooks() analysis.HookSet {
+	return analysis.Set(analysis.KindIf, analysis.KindBrIf, analysis.KindBrTable, analysis.KindSelect)
+}
+
 // FullyCovered returns how many branch sites saw ≥2 distinct decisions and
 // the total number of observed branch sites.
 func (a *BranchCoverage) FullyCovered() (full, total int) {

@@ -74,6 +74,19 @@ func (a *InstructionCoverage) CallPre(loc analysis.Location, _ int, _ []analysis
 }
 func (a *InstructionCoverage) Return(loc analysis.Location, _ []analysis.Value) { a.mark(loc) }
 
+// BlockCovered marks the whole basic block [loc.Instr, end] covered from one
+// probe event. Implementing it declares the analysis coverage-class
+// (analysis.CapBlockCoverage): a static-analysis-enabled engine instruments
+// one probe per CFG block instead of hooks at every instruction, which
+// reaches the same covered set over non-structural instructions (`end` and
+// `else` are block delimiters; per-instruction mode observes some of them
+// via frame-exit events that block mode deliberately does not reconstruct).
+func (a *InstructionCoverage) BlockCovered(loc analysis.Location, end int) {
+	for i := loc.Instr; i <= end; i++ {
+		a.mark(analysis.Location{Func: loc.Func, Instr: i})
+	}
+}
+
 // CoveredInFunc returns how many distinct instruction locations were covered
 // in the given function.
 func (a *InstructionCoverage) CoveredInFunc(fn int) int {

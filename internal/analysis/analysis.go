@@ -282,3 +282,24 @@ type ReturnHooker interface {
 
 // StartHooker observes execution of the module's start function.
 type StartHooker interface{ Start(loc Location) }
+
+// BlockCoverageHooker marks a coverage-class analysis that can consume one
+// probe event per CFG basic block instead of a hook per instruction. loc is
+// the block's first original instruction; end is the index of its last, so
+// the analysis can mark the whole [loc.Instr, end] range covered from one
+// event. A static-analysis-enabled engine (wasabi.WithStaticAnalysis)
+// collapses the instrumentation of such analyses to block probes; without a
+// static plan the probe never fires and the analysis falls back to whatever
+// per-instruction hooks it also implements.
+type BlockCoverageHooker interface {
+	BlockCovered(loc Location, end int)
+}
+
+// BlockModeKeeper optionally refines block-probe elision: when a
+// BlockCoverageHooker also implements it, the returned kinds stay
+// instrumented per-instruction alongside the probes (for hooks whose payload
+// — e.g. branch directions — cannot be reconstructed from block coverage
+// alone). Analyses without it run on probes only.
+type BlockModeKeeper interface {
+	BlockModeHooks() HookSet
+}

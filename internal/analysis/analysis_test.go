@@ -62,8 +62,16 @@ func TestHookSetOps(t *testing.T) {
 	if AllHooks.String() != "all" {
 		t.Errorf("AllHooks String: %s", AllHooks)
 	}
-	if got := len(AllHooks.Kinds()); got != NumKinds {
-		t.Errorf("AllHooks has %d kinds, want %d", got, NumKinds)
+	// AllHooks covers every per-instruction kind but not the synthetic
+	// block probe, which only exists where a static plan places it.
+	if got := len(AllHooks.Kinds()); got != NumKinds-1 {
+		t.Errorf("AllHooks has %d kinds, want %d", got, NumKinds-1)
+	}
+	if AllHooks.Has(KindBlockProbe) {
+		t.Error("AllHooks must not include block_probe")
+	}
+	if s, ok := ParseHookSet("block_probe"); !ok || !s.Has(KindBlockProbe) {
+		t.Error("block_probe must parse by name")
 	}
 	if HookSet(0).String() != "" || !HookSet(0).IsEmpty() {
 		t.Error("empty set wrong")

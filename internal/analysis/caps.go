@@ -34,12 +34,18 @@ const (
 	CapCallPost
 	CapReturn
 	CapStart
+	// CapBlockCoverage marks an analysis that can consume one probe event
+	// per CFG basic block (BlockCoverageHooker) instead of per-instruction
+	// hooks: a static-analysis-enabled engine collapses its coverage-class
+	// instrumentation to block probes (see internal/static).
+	CapBlockCoverage
 )
 
-// AllCaps selects every callback: instrumenting for AllCaps produces a module
-// any analysis can attach to (the engine's compile-once / instrument-many
-// default).
-const AllCaps = Cap(1<<(numKinds+1) - 1) // one bit per kind, plus the call pre/post split
+// AllCaps selects every per-instruction callback: instrumenting for AllCaps
+// produces a module any analysis can attach to (the engine's compile-once /
+// instrument-many default). CapBlockCoverage is excluded — block probes are
+// an opt-in elision strategy, not part of "observe everything".
+const AllCaps = Cap(1<<(numKinds+1)-1) &^ CapBlockCoverage // one bit per kind, plus the call pre/post split
 
 // Has reports whether every bit of x is set in c.
 func (c Cap) Has(x Cap) bool { return c&x == x }
@@ -120,6 +126,9 @@ func CapsOf(a any) Cap {
 	if _, ok := a.(StartHooker); ok {
 		c |= CapStart
 	}
+	if _, ok := a.(BlockCoverageHooker); ok {
+		c |= CapBlockCoverage
+	}
 	return c
 }
 
@@ -148,6 +157,7 @@ var capOfKind = [NumKinds]Cap{
 	KindBrIf:        CapBrIf,
 	KindBrTable:     CapBrTable,
 	KindStart:       CapStart,
+	KindBlockProbe:  CapBlockCoverage,
 }
 
 // HookSet converts capability bits to the coarser HookSet used by the

@@ -54,6 +54,7 @@ const EventSynth = uint16(0xFFFE)
 //	load/store    static offset        address          value        —
 //	memory_size   current pages        —                —            —
 //	memory_grow   delta pages          previous pages   —            —
+//	block_probe   block end instr      —                —            —
 //	call (pre)    target func (int32)  table idx (i64,  arg0         arg1
 //	                                   -1 if direct)    (rest in continuations)
 //	call (post)/

@@ -37,6 +37,13 @@ const (
 	KindBrIf
 	KindBrTable
 	KindStart
+	// KindBlockProbe is the synthetic coverage probe emitted once per CFG
+	// basic block when instrumentation runs under a static plan (see
+	// internal/static): its payload is the block's last original instruction
+	// index, so a coverage analysis can mark the whole [loc.Instr, end]
+	// range from one event. It is not part of AllHooks — probes only exist
+	// where a plan places them, never under "instrument everything".
+	KindBlockProbe
 	numKinds
 )
 
@@ -44,6 +51,7 @@ var kindNames = [...]string{
 	"nop", "unreachable", "memory_size", "memory_grow", "select", "drop",
 	"load", "store", "call", "return", "const", "unary", "binary", "global",
 	"local", "begin", "end", "if", "br", "br_if", "br_table", "start",
+	"block_probe",
 }
 
 func (k HookKind) String() string {
@@ -69,8 +77,10 @@ const NumKinds = int(numKinds)
 // HookSet is a set of hook kinds, used to drive selective instrumentation.
 type HookSet uint32
 
-// AllHooks selects every hook kind (full instrumentation).
-const AllHooks = HookSet(1<<numKinds - 1)
+// AllHooks selects every per-instruction hook kind (full instrumentation).
+// The synthetic KindBlockProbe is excluded: block probes are placed by a
+// static plan, not by instrumenting every instruction of their kind.
+const AllHooks = HookSet(1<<numKinds-1) &^ HookSet(1<<KindBlockProbe)
 
 // With returns s with kind k added.
 func (s HookSet) With(k HookKind) HookSet { return s | 1<<k }

@@ -119,7 +119,13 @@ func FuzzInstrumentRoundTrip(f *testing.F) {
 			return // rejected: fine
 		}
 		if validate.Module(m) != nil {
-			return // decodable but invalid: the API rejects it before instrumenting
+			// Decodable but invalid: the default (validating) instrument
+			// path must refuse it — instrumentation is never reached on
+			// invalid input.
+			if _, _, err := core.Instrument(m, core.Options{Hooks: analysis.AllHooks}); err == nil {
+				t.Fatal("invalid module was instrumented instead of rejected")
+			}
+			return
 		}
 		instrumented, _, err := core.Instrument(m, core.Options{Hooks: analysis.AllHooks, SkipValidation: true})
 		if err != nil {

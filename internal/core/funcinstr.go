@@ -111,6 +111,7 @@ type funcInstrumenter struct {
 	isStart     bool
 	brTableBase int
 	brTables    []BrTableInfo
+	probeBlocks []BlockSpan // CFG blocks receiving one block_probe each (static plan)
 }
 
 // instrPool recycles instrumenters across Instrument runs, so repeated
@@ -151,8 +152,11 @@ func releaseInstrumenter(fi *funcInstrumenter) {
 // the emitted OpCall instructions (for the restricted remap pass). The
 // returned slices are exact-size copies owned by the caller; the
 // instrumenter's internal buffers are reused for the next function.
-func (fi *funcInstrumenter) instrumentFunc(definedIdx int, isStart bool, brTableBase int) (body []wasm.Instr, extraLocals []wasm.ValType, brTables []BrTableInfo, callSites []uint32, err error) {
+func (fi *funcInstrumenter) instrumentFunc(definedIdx int, isStart bool, brTableBase int, plan *Plan) (body []wasm.Instr, extraLocals []wasm.ValType, brTables []BrTableInfo, callSites []uint32, err error) {
 	f := &fi.mod.Funcs[definedIdx]
+	if plan.skip(definedIdx) {
+		return copyUninstrumented(f.Body)
+	}
 	fi.funcIdx = fi.mod.NumImportedFuncs() + definedIdx
 	fi.typeIdx = f.TypeIdx
 	fi.sig = fi.mod.Types[f.TypeIdx]
@@ -177,6 +181,10 @@ func (fi *funcInstrumenter) instrumentFunc(definedIdx int, isStart bool, brTable
 	fi.brTableBase = brTableBase
 	fi.brTables = nil
 	fi.callSites = fi.callSites[:0]
+	fi.probeBlocks = nil
+	if fi.set.Has(analysis.KindBlockProbe) {
+		fi.probeBlocks = plan.blocks(definedIdx)
+	}
 
 	if err := fi.run(); err != nil {
 		return nil, nil, nil, nil, fmt.Errorf("core: func %d: %w", fi.funcIdx, err)
@@ -359,8 +367,22 @@ func (fi *funcInstrumenter) run() error {
 		fi.emitBeginHook(analysis.BlockFunction)
 	}
 
+	nb := 0
 	for i, in := range fi.body {
 		reachable := !fi.tr.UnreachableNow()
+		// A block_probe sits immediately before its block's first original
+		// instruction: structured control flow guarantees branches only land
+		// at block leaders, so the probe fires exactly when the block is
+		// entered (including loop backedges). Statically dead leaders are
+		// skipped — they can never execute.
+		for nb < len(fi.probeBlocks) && fi.probeBlocks[nb].Start == i {
+			if reachable {
+				fi.emitLoc(i)
+				fi.emit(wasm.I32Const(int32(fi.probeBlocks[nb].End)))
+				fi.emitFixedHook(fhBlockProbe)
+			}
+			nb++
+		}
 		if err := fi.instr(i, in, reachable, matchEnd, matchElse); err != nil {
 			return fmt.Errorf("instr %d (%s): %w", i, in.Op, err)
 		}
@@ -813,6 +835,21 @@ func constTypeOf(op wasm.Opcode) (wasm.ValType, []wasm.ValType, bool) {
 		return 0, nil, false
 	}
 	return outs[0], outs, true
+}
+
+// copyUninstrumented passes a function body through without hooks (the
+// static plan proved the function unreachable from exports/start). The body
+// must still be copied — the remap pass rewrites call indices in place — and
+// its direct calls recorded as call sites so that remapping happens.
+func copyUninstrumented(orig []wasm.Instr) (body []wasm.Instr, extraLocals []wasm.ValType, brTables []BrTableInfo, callSites []uint32, err error) {
+	body = make([]wasm.Instr, len(orig))
+	copy(body, orig)
+	for i := range body {
+		if body[i].Op == wasm.OpCall {
+			callSites = append(callSites, uint32(i))
+		}
+	}
+	return body, nil, nil, callSites, nil
 }
 
 // controlMatches computes, for every block/loop/if instruction, the index of

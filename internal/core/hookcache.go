@@ -38,6 +38,7 @@ const (
 	fhBrTable
 	fhMemorySize
 	fhMemoryGrow
+	fhBlockProbe
 	numFixedHooks
 )
 
@@ -59,8 +60,10 @@ func fixedHookSpec(f fixedHook) HookSpec {
 		return specBrTable()
 	case fhMemorySize:
 		return specMemorySize()
-	default:
+	case fhMemoryGrow:
 		return specMemoryGrow()
+	default:
+		return specBlockProbe()
 	}
 }
 

@@ -201,6 +201,11 @@ func specMemoryGrow() HookSpec {
 	return specSimple("memory_grow", analysis.KindMemoryGrow, wasm.I32, wasm.I32)
 }
 
+func specBlockProbe() HookSpec {
+	// payload: instruction index of the block's last original instruction
+	return specSimple("block_probe", analysis.KindBlockProbe, wasm.I32)
+}
+
 func specNop() HookSpec         { return specSimple("nop", analysis.KindNop) }
 func specUnreachable() HookSpec { return specSimple("unreachable", analysis.KindUnreachable) }
 func specStart() HookSpec       { return specSimple("start", analysis.KindStart) }

@@ -34,6 +34,12 @@ type Options struct {
 	// SkipValidation skips validating the input module first. The
 	// instrumenter assumes a valid module; only skip for trusted inputs.
 	SkipValidation bool
+
+	// Plan optionally elides hooks using static-analysis results (computed
+	// by internal/static): functions it marks unreachable are copied through
+	// uninstrumented, and when Hooks selects analysis.KindBlockProbe one
+	// probe per listed CFG block is emitted. nil disables elision.
+	Plan *Plan
 }
 
 // Instrument rewrites m into an instrumented module that calls imported
@@ -109,7 +115,7 @@ func Instrument(m *wasm.Module, opts Options) (*wasm.Module, *Metadata, error) {
 			if i >= len(m.Funcs) {
 				return
 			}
-			body, locals, brs, calls, err := fi.instrumentFunc(i, i == startDefined, brBase[i])
+			body, locals, brs, calls, err := fi.instrumentFunc(i, i == startDefined, brBase[i], opts.Plan)
 			results[i] = result{body, locals, brs, calls, err}
 		}
 	}

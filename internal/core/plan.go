@@ -1,0 +1,41 @@
+package core
+
+// BlockSpan is one CFG basic block of a function body, as a closed range of
+// ORIGINAL instruction indices. Spans of one function are disjoint, sorted by
+// Start, and non-empty (Start <= End).
+type BlockSpan struct {
+	Start int
+	End   int
+}
+
+// Plan is the static instrumentation plan computed by internal/static and
+// consumed by Instrument: it elides hooks the analysis provably cannot need.
+// Both slices are indexed by DEFINED function index (parallel to
+// Module.Funcs); a nil Plan means "no elision" (instrument everything the
+// hook set selects).
+type Plan struct {
+	// SkipFunc marks functions that are statically unreachable from the
+	// module's exports and start function: their bodies are copied through
+	// uninstrumented (no hook can ever fire in them). nil means skip none.
+	SkipFunc []bool
+
+	// Blocks lists, per function, the CFG basic blocks that receive one
+	// block_probe hook each (placed immediately before the block's first
+	// instruction). Only meaningful when Options.Hooks selects
+	// analysis.KindBlockProbe; nil (or a nil entry) places no probes.
+	Blocks [][]BlockSpan
+}
+
+// skip reports whether the plan elides all instrumentation of the defined
+// function at definedIdx.
+func (p *Plan) skip(definedIdx int) bool {
+	return p != nil && definedIdx < len(p.SkipFunc) && p.SkipFunc[definedIdx]
+}
+
+// blocks returns the probe spans of the defined function at definedIdx.
+func (p *Plan) blocks(definedIdx int) []BlockSpan {
+	if p == nil || definedIdx >= len(p.Blocks) {
+		return nil
+	}
+	return p.Blocks[definedIdx]
+}

@@ -25,11 +25,12 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value, fr *frame) []Value {
 	n := copy(locals, args)
 	clear(locals[n:])
 
-	// The compile pass knows the exact operand-stack high-water mark, so the
-	// stack is a flat pre-sized buffer indexed by sp: no append, no growth
-	// checks in the hot loop.
+	// The compile pass knows the exact operand-stack high-water mark (the
+	// static dataflow pass computes the same number independently and a test
+	// asserts they agree over the spec corpus), so the stack is a flat buffer
+	// sized to exactly that mark: no append, no growth checks, no slack.
 	if cap(fr.stack) < cf.maxStack {
-		fr.stack = make([]Value, cf.maxStack+16)
+		fr.stack = make([]Value, cf.maxStack)
 	}
 	stack := fr.stack[:cap(fr.stack)]
 	fr.stack = stack

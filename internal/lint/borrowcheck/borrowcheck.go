@@ -1,0 +1,243 @@
+// Package borrowcheck is a repo-invariant linter for Wasabi's buffer
+// ownership rule: hook callbacks and stream consumers receive BORROWED
+// slices — []analysis.Value argument/result vectors, []analysis.BranchTarget
+// br_table target tables, []analysis.Event batches — that are only valid
+// for the duration of the callback (the buffers are pooled and recycled by
+// the runtime). Retaining such a slice past the callback aliases memory the
+// next event will overwrite.
+//
+// The check is purely syntactic (go/ast, no type information), so it can
+// run as a standalone `go vet -vettool` binary without golang.org/x/tools.
+// A function is in scope when it declares a parameter whose type is a slice
+// of Value, BranchTarget, or Event (package-qualified or not). Within such
+// a function the check flags, for every borrowed parameter that is never
+// reassigned to a fresh copy:
+//
+//   - stores through a selector, index, or dereference (a.f = vals,
+//     m[k] = vals, *p = vals): the slice escapes to heap-visible state;
+//   - returning the slice;
+//   - sending the slice on a channel;
+//   - capturing the slice in a `go` statement's function literal or
+//     arguments: the goroutine outlives the callback.
+//
+// Reassigning the parameter itself (vals = append(nil-slice, vals...)) is
+// treated as sanitizing: the name no longer aliases the pooled buffer, and
+// the function is not reported for it. Copying elements (vals[i]) is always
+// fine — records are plain values. A finding can be suppressed with a
+// `//borrowcheck:ignore` comment on the offending line.
+package borrowcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// BorrowedElemTypes are the element type names whose slices are borrowed.
+var BorrowedElemTypes = map[string]bool{
+	"Value":        true,
+	"BranchTarget": true,
+	"Event":        true,
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s", d.Pos, d.Message)
+}
+
+// CheckFile runs the check over one parsed file.
+func CheckFile(fset *token.FileSet, file *ast.File) []Diagnostic {
+	ignored := ignoredLines(fset, file)
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		if ignored[p.Line] {
+			return
+		}
+		diags = append(diags, Diagnostic{Pos: p, Message: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				checkFunc(fn.Type, fn.Body, report)
+			}
+		case *ast.FuncLit:
+			checkFunc(fn.Type, fn.Body, report)
+		}
+		return true
+	})
+	return diags
+}
+
+// ignoredLines collects the lines carrying a //borrowcheck:ignore comment.
+func ignoredLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//borrowcheck:ignore") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// borrowedSliceElem returns the element type name when t is a slice of a
+// borrowed record type, "" otherwise.
+func borrowedSliceElem(t ast.Expr) string {
+	arr, ok := t.(*ast.ArrayType)
+	if !ok || arr.Len != nil {
+		return ""
+	}
+	var name string
+	switch e := arr.Elt.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	}
+	if BorrowedElemTypes[name] {
+		return name
+	}
+	return ""
+}
+
+// checkFunc checks one function body given its signature.
+func checkFunc(sig *ast.FuncType, body *ast.BlockStmt, report func(token.Pos, string, ...any)) {
+	borrowed := make(map[string]string) // param name -> element type
+	if sig.Params != nil {
+		for _, field := range sig.Params.List {
+			elem := borrowedSliceElem(field.Type)
+			if elem == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					borrowed[name.Name] = elem
+				}
+			}
+		}
+	}
+	if len(borrowed) == 0 {
+		return
+	}
+
+	// Pass 1: names reassigned to something that does not alias a borrowed
+	// buffer are sanitized — the author made a copy.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || borrowed[id.Name] == "" {
+				continue
+			}
+			if i < len(as.Rhs) && aliasedParam(as.Rhs[i], borrowed) == "" {
+				delete(borrowed, id.Name)
+			}
+		}
+		return true
+	})
+	if len(borrowed) == 0 {
+		return
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			// Anything of the borrowed buffer reaching a goroutine outlives
+			// the callback.
+			ast.Inspect(s.Call, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && borrowed[id.Name] != "" {
+					report(id.Pos(), "borrowed %s buffer %q captured by goroutine; copy it first (buffers are recycled after the callback)", borrowed[id.Name], id.Name)
+				}
+				return true
+			})
+			return false
+		case *ast.AssignStmt:
+			for i := range s.Rhs {
+				name := aliasedParam(s.Rhs[i], borrowed)
+				if name == "" {
+					name = appendedParam(s.Rhs[i], borrowed)
+				}
+				if name == "" {
+					continue
+				}
+				if i < len(s.Lhs) && escapes(s.Lhs[i]) {
+					report(s.Rhs[i].Pos(), "borrowed %s buffer %q stored beyond the callback; copy it first (buffers are recycled after the callback)", borrowed[name], name)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if name := aliasedParam(r, borrowed); name != "" {
+					report(r.Pos(), "borrowed %s buffer %q returned from the callback; copy it first (buffers are recycled after the callback)", borrowed[name], name)
+				}
+			}
+		case *ast.SendStmt:
+			if name := aliasedParam(s.Value, borrowed); name != "" {
+				report(s.Value.Pos(), "borrowed %s buffer %q sent on a channel; copy it first (buffers are recycled after the callback)", borrowed[name], name)
+			}
+		}
+		return true
+	})
+}
+
+// aliasedParam reports the borrowed parameter an expression aliases: the
+// bare name, a re-slice of it (vals[a:b]), or a parenthesization. Element
+// reads (vals[i]) are value copies and do not alias.
+func aliasedParam(e ast.Expr, borrowed map[string]string) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if borrowed[x.Name] != "" {
+			return x.Name
+		}
+	case *ast.ParenExpr:
+		return aliasedParam(x.X, borrowed)
+	case *ast.SliceExpr:
+		return aliasedParam(x.X, borrowed)
+	}
+	return ""
+}
+
+// appendedParam reports a borrowed parameter appended AS AN ELEMENT into
+// another slice (append(r.batches, batch)): the stored slice header still
+// aliases the pooled buffer. Spreading with ... copies elements and is fine.
+func appendedParam(e ast.Expr, borrowed map[string]string) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || call.Ellipsis.IsValid() {
+		return ""
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return ""
+	}
+	if len(call.Args) < 2 {
+		return ""
+	}
+	for _, arg := range call.Args[1:] {
+		if name := aliasedParam(arg, borrowed); name != "" {
+			return name
+		}
+	}
+	return ""
+}
+
+// escapes reports whether an assignment target is heap-visible: a field,
+// map/slice element, or pointer dereference. Plain local identifiers are
+// not escapes by themselves (further aliasing through them is out of this
+// checker's syntactic scope).
+func escapes(lhs ast.Expr) bool {
+	switch lhs.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}

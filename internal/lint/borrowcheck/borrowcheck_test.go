@@ -1,0 +1,63 @@
+package borrowcheck
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestBrokenFixture parses the deliberately-broken testdata file and checks
+// the linter flags exactly the lines marked BAD — no misses, no extras.
+func TestBrokenFixture(t *testing.T) {
+	const path = "testdata/broken.go.src"
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make(map[int]bool)
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "// BAD") {
+			want[i+1] = true
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture has no BAD markers")
+	}
+
+	got := make(map[int]bool)
+	for _, d := range CheckFile(fset, file) {
+		if got[d.Pos.Line] {
+			continue
+		}
+		got[d.Pos.Line] = true
+		if !want[d.Pos.Line] {
+			t.Errorf("unexpected finding at line %d: %s", d.Pos.Line, d.Message)
+		}
+	}
+	for line := range want {
+		if !got[line] {
+			t.Errorf("line %d marked BAD but not flagged", line)
+		}
+	}
+}
+
+// TestCleanSources runs the linter over this package's own sources: the
+// checker must not flag its host repository (repo-invariant lint).
+func TestCleanSources(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "borrowcheck.go", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := CheckFile(fset, file); len(diags) != 0 {
+		t.Errorf("self-check found %d findings: %v", len(diags), diags)
+	}
+}

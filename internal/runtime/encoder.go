@@ -222,6 +222,13 @@ func (r *Runtime) compileEncoder(spec *core.HookSpec, lay core.ArgLayout, hookId
 		}
 		return auxOnly(), false
 
+	case analysis.KindBlockProbe:
+		// Aux = the block's last original instruction index.
+		if !caps.Has(analysis.CapBlockCoverage) {
+			return nopEmit, true
+		}
+		return auxOnly(), false
+
 	case analysis.KindBr:
 		if !caps.Has(analysis.CapBr) {
 			return nopEmit, true

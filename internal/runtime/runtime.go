@@ -85,6 +85,7 @@ type Runtime struct {
 	callPost    func(analysis.Location, []analysis.Value)
 	returnHook  func(analysis.Location, []analysis.Value)
 	start       func(analysis.Location)
+	blockCov    func(analysis.Location, int)
 }
 
 // New creates a runtime dispatching to the given analysis, with its own
@@ -168,6 +169,9 @@ func NewBound(meta *core.Metadata, a any, shared *Shared) *Runtime {
 	}
 	if v, ok := a.(analysis.StartHooker); ok {
 		r.start = v.Start
+	}
+	if v, ok := a.(analysis.BlockCoverageHooker); ok {
+		r.blockCov = v.BlockCovered
 	}
 	if v, ok := a.(analysis.ModuleInfoReceiver); ok {
 		v.SetModuleInfo(&meta.Info)

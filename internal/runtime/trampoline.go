@@ -113,6 +113,19 @@ func (r *Runtime) compileTrampoline(spec *core.HookSpec, lay core.ArgLayout) (fn
 		}
 		return locOnly(r.start, name, arity), false
 
+	case analysis.KindBlockProbe:
+		cb := r.blockCov
+		if !r.caps.Has(analysis.CapBlockCoverage) {
+			return nopHook, true
+		}
+		return func(_ *interp.Instance, args []interp.Value) error {
+			if len(args) != arity {
+				return arityTrap(name, arity, len(args))
+			}
+			cb(hookLoc(args), int(int32(uint32(args[2]))))
+			return nil
+		}, false
+
 	case analysis.KindIf:
 		cb := r.ifHook
 		if !r.caps.Has(analysis.CapIf) {

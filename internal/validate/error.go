@@ -1,0 +1,44 @@
+package validate
+
+import (
+	"fmt"
+
+	"wasabi/internal/wasm"
+)
+
+// Error is a position-annotated validation failure. FuncIdx (whole function
+// index space) and Instr (original instruction index) are -1 when the
+// failure is not scoped to a function or instruction; Op is meaningful only
+// when Instr >= 0. The rendered message matches the historical wrapped
+// formats ("func %d (%s): instr %d (%s): ..."), so callers that matched on
+// strings keep working while new callers use errors.As.
+type Error struct {
+	FuncIdx  int
+	FuncName string
+	Instr    int
+	Op       wasm.Opcode
+	Err      error
+}
+
+func (e *Error) Error() string {
+	msg := e.Err.Error()
+	if e.Instr >= 0 {
+		msg = fmt.Sprintf("instr %d (%s): %s", e.Instr, e.Op, msg)
+	}
+	if e.FuncIdx >= 0 {
+		msg = fmt.Sprintf("func %d (%s): %s", e.FuncIdx, e.FuncName, msg)
+	}
+	return msg
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// annotateFunc attaches function context to an error coming out of checkFunc:
+// typed errors are filled in place, anything else is wrapped.
+func annotateFunc(err error, idx int, name string) error {
+	if ve, ok := err.(*Error); ok {
+		ve.FuncIdx, ve.FuncName = idx, name
+		return ve
+	}
+	return &Error{FuncIdx: idx, FuncName: name, Instr: -1, Err: err}
+}

@@ -36,7 +36,8 @@ func Module(m *wasm.Module) error {
 	}
 	for i := range m.Funcs {
 		if err := checkFunc(m, i); err != nil {
-			return fmt.Errorf("func %d (%s): %w", m.NumImportedFuncs()+i, m.FuncName(uint32(m.NumImportedFuncs()+i)), err)
+			idx := m.NumImportedFuncs() + i
+			return annotateFunc(err, idx, m.FuncName(uint32(idx)))
 		}
 	}
 	return nil
@@ -238,7 +239,7 @@ func checkFunc(m *wasm.Module, defined int) error {
 	tr := NewTracker(m, sig, f.Locals, f.BrTargets)
 	for i := range f.Body {
 		if err := tr.Step(f.Body[i]); err != nil {
-			return fmt.Errorf("instr %d (%s): %w", i, f.Body[i].Op, err)
+			return &Error{FuncIdx: -1, Instr: i, Op: f.Body[i].Op, Err: err}
 		}
 	}
 	if !tr.Done() {
