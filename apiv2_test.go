@@ -24,7 +24,7 @@ import (
 // the same (module, caps) return the cached CompiledAnalysis.
 func TestInstrumentOnceManySessions(t *testing.T) {
 	m := buildTestModule()
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 	compiled, err := engine.Instrument(m, wasabi.AllCaps)
 	if err != nil {
 		t.Fatalf("Instrument: %v", err)
@@ -75,7 +75,7 @@ func TestInstrumentOnceManySessions(t *testing.T) {
 // -race (CI does).
 func TestConcurrentSessions(t *testing.T) {
 	m := buildTestModule()
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 	compiled, err := engine.Instrument(m, wasabi.AllCaps)
 	if err != nil {
 		t.Fatalf("Instrument: %v", err)
@@ -151,7 +151,7 @@ func appModuleImporting() *wasm.Module {
 // compiled modules — and both sessions' analyses observe their own module's
 // hooks.
 func TestMultiInstanceLinking(t *testing.T) {
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 
 	libRec := newRecording()
 	libCompiled, err := engine.Instrument(libModule(), wasabi.AllCaps)
@@ -229,7 +229,7 @@ func TestMultiInstanceLinking(t *testing.T) {
 // clobbered by (or clobber) the hook imports; now they are rejected.
 func TestHookModuleCollision(t *testing.T) {
 	m := buildTestModule()
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 	compiled, err := engine.Instrument(m, wasabi.AllCaps)
 	if err != nil {
 		t.Fatal(err)
@@ -281,7 +281,7 @@ func TestErrNoHooks(t *testing.T) {
 		t.Errorf("Analyze(hookless): err = %v, want ErrNoHooks", err)
 	}
 	// Instrumenting for nothing is rejected up front...
-	if _, err := wasabi.NewEngine().Instrument(m, wasabi.Cap(0)); !errors.Is(err, wasabi.ErrNoHooks) {
+	if _, err := mustEngine(t).Instrument(m, wasabi.Cap(0)); !errors.Is(err, wasabi.ErrNoHooks) {
 		t.Errorf("Instrument(empty mask): err = %v, want ErrNoHooks", err)
 	}
 	// ...and a no-op instrumentation smuggled through the deprecated shim
@@ -292,7 +292,7 @@ func TestErrNoHooks(t *testing.T) {
 	if _, err := wasabi.AnalyzeWithOptions(m, &hookless{}, core.Options{Hooks: analysis.AllHooks}); !errors.Is(err, wasabi.ErrNoHooks) {
 		t.Errorf("AnalyzeWithOptions(hookless): err = %v, want ErrNoHooks", err)
 	}
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 	if _, err := engine.InstrumentFor(m, &hookless{}); !errors.Is(err, wasabi.ErrNoHooks) {
 		t.Errorf("InstrumentFor(hookless): err = %v, want ErrNoHooks", err)
 	}

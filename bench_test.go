@@ -101,8 +101,8 @@ func BenchmarkFig9_Coverage(b *testing.B) {
 		name string
 		eng  *wasabi.Engine
 	}{
-		{"per_instr", wasabi.NewEngine()},
-		{"block_probe", wasabi.NewEngine(wasabi.WithStaticAnalysis())},
+		{"per_instr", mustEngine(b)},
+		{"block_probe", mustEngine(b, wasabi.WithStaticAnalysis())},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {

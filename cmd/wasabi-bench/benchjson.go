@@ -302,7 +302,10 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 	baseline := toResult(r, 0)
 	cur["Fig9_Baseline"] = baseline
 
-	engine := wasabi.NewEngine()
+	engine, err := wasabi.NewEngine()
+	if err != nil {
+		return err
+	}
 	hooks := map[string]Fig9Hook{}
 	for _, hook := range fig9HookSets {
 		if fig9Path == "" && !instrumentHookNames[hook.name] {
@@ -431,11 +434,19 @@ func measureCoverageBench(gm *wasm.Module, baselineNs float64) (CoverageBench, e
 		return float64(r.NsPerOp()), countHookCallSites(ca), nil
 	}
 
-	perInstrNs, perInstrSites, err := run(wasabi.NewEngine())
+	plainEng, err := wasabi.NewEngine()
 	if err != nil {
 		return CoverageBench{}, err
 	}
-	blockNs, blockSites, err := run(wasabi.NewEngine(wasabi.WithStaticAnalysis()))
+	staticEng, err := wasabi.NewEngine(wasabi.WithStaticAnalysis())
+	if err != nil {
+		return CoverageBench{}, err
+	}
+	perInstrNs, perInstrSites, err := run(plainEng)
+	if err != nil {
+		return CoverageBench{}, err
+	}
+	blockNs, blockSites, err := run(staticEng)
 	if err != nil {
 		return CoverageBench{}, err
 	}

@@ -25,7 +25,10 @@ func runSessions(n int) error {
 	}
 	m := k.Module(16)
 
-	engine := wasabi.NewEngine()
+	engine, err := wasabi.NewEngine()
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	compiled, err := engine.Instrument(m, wasabi.AllCaps)
 	if err != nil {

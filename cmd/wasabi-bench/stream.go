@@ -125,7 +125,10 @@ func runStream() error {
 	if !ok {
 		return fmt.Errorf("gemm kernel missing")
 	}
-	engine := wasabi.NewEngine()
+	engine, err := wasabi.NewEngine()
+	if err != nil {
+		return err
+	}
 	compiled, err := engine.Instrument(gemm.Module(16), wasabi.AllCaps)
 	if err != nil {
 		return err

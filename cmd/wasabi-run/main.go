@@ -85,7 +85,10 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	engine := wasabi.NewEngine()
+	engine, err := wasabi.NewEngine()
+	if err != nil {
+		fatal("%v", err)
+	}
 	compiled, err := engine.InstrumentFor(m, a)
 	if err != nil {
 		fatal("instrument: %v", err)

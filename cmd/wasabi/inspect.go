@@ -52,15 +52,23 @@ func runInspect(m *wasm.Module, w io.Writer) error {
 	}
 
 	fmt.Fprintf(w, "hook call sites per analysis (plain -> static-elided):\n")
+	plainEng, err := wasabi.NewEngine()
+	if err != nil {
+		return err
+	}
+	staticEng, err := wasabi.NewEngine(wasabi.WithStaticAnalysis())
+	if err != nil {
+		return err
+	}
 	names := analyses.Names()
 	sort.Strings(names)
 	for _, name := range names {
-		before, err := hookSites(wasabi.NewEngine(), m, name)
+		before, err := hookSites(plainEng, m, name)
 		if err != nil {
 			fmt.Fprintf(w, "  %-22s %v\n", name, err)
 			continue
 		}
-		after, err := hookSites(wasabi.NewEngine(wasabi.WithStaticAnalysis()), m, name)
+		after, err := hookSites(staticEng, m, name)
 		if err != nil {
 			fmt.Fprintf(w, "  %-22s %v\n", name, err)
 			continue

@@ -8,12 +8,24 @@
 //
 //	wasabi [-hooks all|h1,h2,...] [-o out.wasm] [-meta out.json] [-p N] input.wasm
 //	wasabi -inspect input.wasm
+//	wasabi -diff input.wasm [entry]
+//	wasabi -gen seed [-o out.wasm]
 //
 // With -inspect no output is written: the command prints the module's
 // static profile (dead functions, per-function basic-block and stack
 // facts, indirect-call fan-out) and, for every bundled analysis, the
 // number of hook call sites instrumentation would insert with and without
 // analysis-aware elision.
+//
+// With -diff the module is run through the differential-execution oracle:
+// the reference interpreter against every production configuration (plain,
+// hooked, static-elided, stream, fuel-guarded), invoking entry (default
+// "run") over a small argument sweep and comparing results, traps, and a
+// final memory+globals digest. Exit status 1 on divergence.
+//
+// With -gen a seeded structurally-valid random module (the differential
+// harness's generator; deterministic per seed, entry "run") is written to
+// -o instead of reading an input — handy as -diff fodder in scripts.
 package main
 
 import (
@@ -38,6 +50,8 @@ func main() {
 	par := flag.Int("p", 0, "instrumentation parallelism (0 = GOMAXPROCS)")
 	check := flag.Bool("validate", true, "validate the instrumented output")
 	inspect := flag.Bool("inspect", false, "print the static-analysis report instead of instrumenting")
+	diffMode := flag.Bool("diff", false, "run the differential-execution matrix instead of instrumenting")
+	genSeed := flag.String("gen", "", "generate a seeded random module to -o instead of reading an input")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wasabi [flags] input.wasm\n\nhook kinds: all, or any of:\n  ")
 		var names []string
@@ -48,7 +62,17 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if *genSeed != "" {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := runGen(*genSeed, *out); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	if flag.NArg() != 1 && !(*diffMode && flag.NArg() == 2) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -84,7 +108,24 @@ func main() {
 		}
 		return
 	}
-	engine := wasabi.NewEngine(wasabi.WithParallelism(*par))
+	if *diffMode {
+		entry := "run"
+		if flag.NArg() == 2 {
+			entry = flag.Arg(1)
+		}
+		ok, err := runDiff(m, entry, os.Stdout)
+		if err != nil {
+			fatal("diff: %v", err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	engine, err := wasabi.NewEngine(wasabi.WithParallelism(*par))
+	if err != nil {
+		fatal("%v", err)
+	}
 	compiled, err := engine.InstrumentHooks(m, set)
 	if err != nil {
 		fatal("instrument: %v", err)

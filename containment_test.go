@@ -19,6 +19,7 @@ import (
 	"wasabi"
 	"wasabi/internal/builder"
 	"wasabi/internal/interp"
+	"wasabi/internal/leakcheck"
 	"wasabi/internal/wasm"
 )
 
@@ -70,9 +71,10 @@ func spinSession(t *testing.T, engine *wasabi.Engine, a any) (*wasabi.Session, *
 // cancellation, and by deadline expiry — three independent mechanisms, each
 // surfacing typed errors.
 func TestContainmentThreeWays(t *testing.T) {
+	leakcheck.Check(t)
 	t.Run("fuel", func(t *testing.T) {
 		a := &brCounter{}
-		_, inst := spinSession(t, wasabi.NewEngine(wasabi.WithFuel(50_000)), a)
+		_, inst := spinSession(t, mustEngine(t, wasabi.WithFuel(50_000)), a)
 		_, err := inst.Invoke("spin")
 		if !errors.Is(err, wasabi.ErrFuelExhausted) {
 			t.Fatalf("err = %v, want ErrFuelExhausted", err)
@@ -87,7 +89,7 @@ func TestContainmentThreeWays(t *testing.T) {
 	})
 	t.Run("cancel", func(t *testing.T) {
 		a := &brCounter{}
-		sess, inst := spinSession(t, wasabi.NewEngine(wasabi.WithInterruption()), a)
+		sess, inst := spinSession(t, mustEngine(t, wasabi.WithInterruption()), a)
 		ctx, cancel := context.WithCancel(context.Background())
 		go func() {
 			time.Sleep(10 * time.Millisecond)
@@ -107,7 +109,7 @@ func TestContainmentThreeWays(t *testing.T) {
 	})
 	t.Run("deadline", func(t *testing.T) {
 		a := &brCounter{}
-		sess, inst := spinSession(t, wasabi.NewEngine(wasabi.WithDeadline(15*time.Millisecond)), a)
+		sess, inst := spinSession(t, mustEngine(t, wasabi.WithDeadline(15*time.Millisecond)), a)
 		_, err := sess.InvokeContext(context.Background(), inst, "spin")
 		if !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, wasabi.ErrInterrupted) {
 			t.Fatalf("err = %v, want context.DeadlineExceeded and ErrInterrupted", err)
@@ -123,7 +125,7 @@ func TestContainmentThreeWays(t *testing.T) {
 // and the analysis keeps everything it observed up to the trap.
 func TestFuelExhaustionCallbackPipeline(t *testing.T) {
 	a := &brCounter{}
-	_, inst := spinSession(t, wasabi.NewEngine(wasabi.WithFuel(20_000)), a)
+	_, inst := spinSession(t, mustEngine(t, wasabi.WithFuel(20_000)), a)
 	if _, err := inst.Invoke("spin"); !errors.Is(err, wasabi.ErrFuelExhausted) {
 		t.Fatalf("err = %v, want ErrFuelExhausted", err)
 	}
@@ -146,8 +148,9 @@ func TestFuelExhaustionCallbackPipeline(t *testing.T) {
 // encoders — the partial batch reaches the consumer and the stream ends with
 // the trap as its terminal error (Stream.Err), waking the Serve goroutine.
 func TestFuelExhaustionStreamPipeline(t *testing.T) {
+	leakcheck.Check(t)
 	a := &brCounter{}
-	engine := wasabi.NewEngine(wasabi.WithFuel(20_000))
+	engine := mustEngine(t, wasabi.WithFuel(20_000))
 	compiled, err := engine.InstrumentFor(spinModule(), a)
 	if err != nil {
 		t.Fatal(err)
@@ -193,8 +196,9 @@ func TestFuelExhaustionStreamPipeline(t *testing.T) {
 // at its next guard, and the stream ends with the interruption as its
 // terminal error.
 func TestDeadlineDuringBlockedStreamBatch(t *testing.T) {
+	leakcheck.Check(t)
 	a := &brCounter{}
-	engine := wasabi.NewEngine(wasabi.WithDeadline(20 * time.Millisecond))
+	engine := mustEngine(t, wasabi.WithDeadline(20*time.Millisecond))
 	compiled, err := engine.InstrumentFor(spinModule(), a)
 	if err != nil {
 		t.Fatal(err)
@@ -240,6 +244,7 @@ func TestDeadlineDuringBlockedStreamBatch(t *testing.T) {
 // that tears the stream down — the consumer sees end-of-stream and Err
 // reports the typed fault.
 func TestStreamErrAfterFault(t *testing.T) {
+	leakcheck.Check(t)
 	b := builder.New()
 	boom := b.ImportFunc("env", "boom", builder.Sig(nil, nil))
 	f := b.Func("go", nil, nil)
@@ -250,7 +255,7 @@ func TestStreamErrAfterFault(t *testing.T) {
 	f.Done()
 
 	a := &brCounter{}
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 	compiled, err := engine.InstrumentFor(b.Build(), a)
 	if err != nil {
 		t.Fatal(err)
@@ -327,7 +332,7 @@ func TestEngineResourceLimitOptions(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			a := &brCounter{}
-			compiled, err := wasabi.NewEngine(tc.opt).InstrumentFor(mod(), a)
+			compiled, err := mustEngine(t, tc.opt).InstrumentFor(mod(), a)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -344,12 +349,10 @@ func TestEngineResourceLimitOptions(t *testing.T) {
 	// Within the ceilings the same module instantiates and runs under a call
 	// -depth cap too.
 	a := &brCounter{}
-	compiled, err := wasabi.NewEngine(
-		wasabi.WithMemoryLimitPages(4),
+	compiled, err := mustEngine(t, wasabi.WithMemoryLimitPages(4),
 		wasabi.WithTableLimit(8),
 		wasabi.WithMaxCallDepth(64),
-		wasabi.WithFuel(10_000),
-	).InstrumentFor(mod(), a)
+		wasabi.WithFuel(10_000)).InstrumentFor(mod(), a)
 	if err != nil {
 		t.Fatal(err)
 	}

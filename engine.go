@@ -9,6 +9,7 @@ import (
 	"wasabi/internal/analysis"
 	"wasabi/internal/binary"
 	"wasabi/internal/core"
+	"wasabi/internal/failpoint"
 	"wasabi/internal/interp"
 	wruntime "wasabi/internal/runtime"
 	"wasabi/internal/static"
@@ -64,19 +65,34 @@ type compiledKey struct {
 // DefaultCompiledCacheLimit bounds the per-engine instrumented-module cache.
 const DefaultCompiledCacheLimit = 128
 
-// EngineOption configures a new Engine.
-type EngineOption func(*Engine)
+// EngineOption configures a new Engine. Option constructors validate their
+// values when applied: NewEngine rejects a misconfigured option with a
+// *BadOptionError (errors.Is ErrBadOption) instead of accepting a value that
+// would misbehave at runtime.
+type EngineOption func(*Engine) error
 
 // WithParallelism bounds the instrumenter's worker goroutines (0 means
 // GOMAXPROCS, 1 disables parallel instrumentation).
 func WithParallelism(n int) EngineOption {
-	return func(e *Engine) { e.parallelism = n }
+	return func(e *Engine) error {
+		if n < 0 {
+			return badOption("WithParallelism", n, "worker count cannot be negative")
+		}
+		e.parallelism = n
+		return nil
+	}
 }
 
 // WithCompiledCacheLimit overrides the instrumented-module cache bound; 0
 // disables caching entirely (every Instrument call runs the instrumenter).
 func WithCompiledCacheLimit(n int) EngineOption {
-	return func(e *Engine) { e.cacheLimit = n }
+	return func(e *Engine) error {
+		if n < 0 {
+			return badOption("WithCompiledCacheLimit", n, "cache bound cannot be negative (0 disables caching)")
+		}
+		e.cacheLimit = n
+		return nil
+	}
 }
 
 // WithBackpressure sets the engine-wide default backpressure policy of
@@ -85,14 +101,26 @@ func WithCompiledCacheLimit(n int) EngineOption {
 // counted when the consumer lags). Individual streams can override it with
 // StreamBackpressure.
 func WithBackpressure(mode Backpressure) EngineOption {
-	return func(e *Engine) { e.backpressure = mode }
+	return func(e *Engine) error {
+		if mode != BackpressureBlock && mode != BackpressureDrop {
+			return badOption("WithBackpressure", int(mode), "unknown backpressure mode")
+		}
+		e.backpressure = mode
+		return nil
+	}
 }
 
 // WithStreamBatchSize sets the engine-wide default number of event records
 // per stream batch (default DefaultStreamBatchSize). Individual streams can
 // override it with StreamBatchSize.
 func WithStreamBatchSize(n int) EngineOption {
-	return func(e *Engine) { e.streamBatch = n }
+	return func(e *Engine) error {
+		if n < 1 {
+			return badOption("WithStreamBatchSize", n, "a batch holds at least one record")
+		}
+		e.streamBatch = n
+		return nil
+	}
 }
 
 // WithFuel enables deterministic fuel metering: instances compile with
@@ -102,10 +130,14 @@ func WithStreamBatchSize(n int) EngineOption {
 // budget up between invocations. Guarded compilation also makes instances
 // interruptible (Session.InvokeContext). See README "Containment & limits"
 // for the overhead (one fused check per basic block).
-func WithFuel(budget uint64) EngineOption {
-	return func(e *Engine) {
+func WithFuel(budget int64) EngineOption {
+	return func(e *Engine) error {
+		if budget < 0 {
+			return badOption("WithFuel", budget, "fuel budget cannot be negative (0 means unlimited but guarded)")
+		}
 		e.exec.Guarded = true
-		e.exec.Fuel = budget
+		e.exec.Fuel = uint64(budget)
+		return nil
 	}
 }
 
@@ -114,16 +146,23 @@ func WithFuel(budget uint64) EngineOption {
 // Session.InvokeContext can stop them on context cancellation or deadline
 // expiry. Implied by WithFuel and WithDeadline.
 func WithInterruption() EngineOption {
-	return func(e *Engine) { e.exec.Guarded = true }
+	return func(e *Engine) error {
+		e.exec.Guarded = true
+		return nil
+	}
 }
 
 // WithDeadline bounds every Session.InvokeContext call whose context has no
 // earlier deadline to d, and enables guarded compilation so the deadline can
 // actually stop a runaway guest. Plain Invoke calls are not affected.
 func WithDeadline(d time.Duration) EngineOption {
-	return func(e *Engine) {
+	return func(e *Engine) error {
+		if d <= 0 {
+			return badOption("WithDeadline", d, "deadline must be positive")
+		}
 		e.exec.Guarded = true
 		e.deadline = d
+		return nil
 	}
 }
 
@@ -133,21 +172,39 @@ func WithDeadline(d time.Duration) EngineOption {
 // the cap fails to instantiate with ErrLimit; in-run growth past it makes
 // memory.grow return -1 (the spec's failure value), not a trap.
 func WithMemoryLimitPages(n uint32) EngineOption {
-	return func(e *Engine) { e.exec.MaxMemoryPages = n }
+	return func(e *Engine) error {
+		if n == 0 {
+			return badOption("WithMemoryLimitPages", n, "a zero-page cap makes every memory-carrying module fail; omit the option for the default cap")
+		}
+		e.exec.MaxMemoryPages = n
+		return nil
+	}
 }
 
 // WithTableLimit caps table size (initial allocation and host-driven growth)
 // of every instance at n elements, replacing the default
 // interp.DefaultMaxTableElems cap. Violations fail like memory-limit ones.
 func WithTableLimit(n uint32) EngineOption {
-	return func(e *Engine) { e.exec.MaxTableElems = n }
+	return func(e *Engine) error {
+		if n == 0 {
+			return badOption("WithTableLimit", n, "a zero-element cap makes every table-carrying module fail; omit the option for the default cap")
+		}
+		e.exec.MaxTableElems = n
+		return nil
+	}
 }
 
 // WithMaxCallDepth caps wasm call recursion of every instance at n frames
 // (default interp.MaxCallDepthDefault); exceeding it traps with "call stack
 // exhausted".
 func WithMaxCallDepth(n int) EngineOption {
-	return func(e *Engine) { e.exec.MaxCallDepth = n }
+	return func(e *Engine) error {
+		if n < 1 {
+			return badOption("WithMaxCallDepth", n, "recursion cap must allow at least one frame")
+		}
+		e.exec.MaxCallDepth = n
+		return nil
+	}
 }
 
 // WithStaticAnalysis enables analysis-aware instrumentation: before
@@ -162,7 +219,10 @@ func WithMaxCallDepth(n int) EngineOption {
 // analysis sees, which is why it is gated on the analysis opting in. See
 // README "Static analysis".
 func WithStaticAnalysis() EngineOption {
-	return func(e *Engine) { e.static = true }
+	return func(e *Engine) error {
+		e.static = true
+		return nil
+	}
 }
 
 // WithoutValidation skips validating input modules before instrumentation.
@@ -173,11 +233,15 @@ func WithStaticAnalysis() EngineOption {
 // behavior — typically an instrumenter error, possibly a broken output
 // module.
 func WithoutValidation() EngineOption {
-	return func(e *Engine) { e.noValidate = true }
+	return func(e *Engine) error {
+		e.noValidate = true
+		return nil
+	}
 }
 
-// NewEngine creates an engine.
-func NewEngine(opts ...EngineOption) *Engine {
+// NewEngine creates an engine. A misconfigured option fails the construction
+// with a *BadOptionError (errors.Is ErrBadOption).
+func NewEngine(opts ...EngineOption) (*Engine, error) {
 	e := &Engine{
 		cacheLimit:  DefaultCompiledCacheLimit,
 		streamBatch: DefaultStreamBatchSize,
@@ -186,13 +250,22 @@ func NewEngine(opts ...EngineOption) *Engine {
 		cache:       make(map[compiledKey]*CompiledAnalysis),
 	}
 	for _, o := range opts {
-		o(e)
+		if err := o(e); err != nil {
+			return nil, err
+		}
 	}
-	return e
+	return e, nil
 }
 
-// defaultEngine backs the deprecated one-shot API.
-var defaultEngine = sync.OnceValue(func() *Engine { return NewEngine() })
+// defaultEngine backs the deprecated one-shot API. An optionless NewEngine
+// cannot fail.
+var defaultEngine = sync.OnceValue(func() *Engine {
+	e, err := NewEngine()
+	if err != nil {
+		panic(err)
+	}
+	return e
+})
 
 // DefaultEngine returns the shared process-wide engine the deprecated
 // one-shot API delegates to.
@@ -265,6 +338,13 @@ func (e *Engine) InstrumentHooks(m *wasm.Module, hooks HookSet) (*CompiledAnalys
 	if prev, ok := e.cache[key]; ok { // lost a race to a concurrent Instrument
 		c = prev
 	} else if e.cacheLimit > 0 {
+		// Fault-injection seam for the cache insert: the instrumentation
+		// itself succeeded, so a fault here must leave the engine fully
+		// usable (a disarmed retry instruments again and caches normally).
+		if err := failpoint.Inject(failpoint.InstrumentCache); err != nil {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("wasabi: cache instrumented module: %w", err)
+		}
 		for len(e.cache) >= e.cacheLimit { // FIFO eviction at the bound
 			oldest := e.cacheOrder[0]
 			e.cacheOrder = e.cacheOrder[1:]

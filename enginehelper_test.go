@@ -1,0 +1,18 @@
+package wasabi_test
+
+import (
+	"testing"
+
+	"wasabi"
+)
+
+// mustEngine is the test-side NewEngine: options here are fixed by the test
+// author, so a bad one is a test bug, not a condition to assert on.
+func mustEngine(tb testing.TB, opts ...wasabi.EngineOption) *wasabi.Engine {
+	tb.Helper()
+	e, err := wasabi.NewEngine(opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}

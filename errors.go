@@ -37,6 +37,24 @@ var ErrHookModuleCollision = errors.New("wasabi: import module name collides wit
 // failure position.
 var ErrInvalidModule = errors.New("wasabi: input module invalid")
 
+// ErrBadOption reports an engine or stream option constructed with an
+// invalid value (negative fuel, zero batch size, zero resource limits, …).
+// The misconfiguration fails at construction — NewEngine / Session.Stream —
+// instead of being silently accepted and misbehaving at runtime. Matched
+// with errors.Is; errors.As with *BadOptionError recovers which option and
+// value were rejected.
+var ErrBadOption = errors.New("wasabi: invalid option value")
+
+// ErrUnsupported reports a module using instructions from a post-MVP
+// proposal the runtime does not implement yet (sign-extension operators,
+// saturating truncation, bulk memory). Such modules are rejected at
+// validation time with a position instead of faulting mid-execution — the
+// decoder deliberately represents these instructions so the failure is
+// typed, not a generic decode error. Matched with errors.Is (the error also
+// wraps ErrInvalidModule); errors.As with *UnsupportedError recovers the
+// instruction and proposal, *ValidationError the position.
+var ErrUnsupported = validate.ErrUnsupported
+
 // ErrSessionClosed reports use of a session after Session.Close.
 var ErrSessionClosed = errors.New("wasabi: session is closed")
 
@@ -106,6 +124,30 @@ func (e *NoHooksError) Unwrap() error { return ErrNoHooks }
 func errNoHooksFor(a any) error {
 	return &NoHooksError{AnalysisType: fmt.Sprintf("%T", a)}
 }
+
+// BadOptionError is the typed form of ErrBadOption: which option was
+// misconfigured, the offending value, and why it is invalid.
+type BadOptionError struct {
+	Option string // the option constructor, e.g. "WithFuel"
+	Value  string // the rejected value, formatted
+	Reason string
+}
+
+func (e *BadOptionError) Error() string {
+	return fmt.Sprintf("%v: %s(%s): %s", ErrBadOption, e.Option, e.Value, e.Reason)
+}
+
+func (e *BadOptionError) Unwrap() error { return ErrBadOption }
+
+// badOption is the shared BadOptionError construction.
+func badOption(option string, value any, reason string) error {
+	return &BadOptionError{Option: option, Value: fmt.Sprint(value), Reason: reason}
+}
+
+// UnsupportedError is the typed form of ErrUnsupported: the text name of
+// the unimplemented instruction and the proposal it belongs to. Recover the
+// module position from the enclosing *ValidationError.
+type UnsupportedError = validate.UnsupportedError
 
 // ValidationError is the typed form of ErrInvalidModule: where validation of
 // the input module failed. FuncIdx (whole function index space) and Instr

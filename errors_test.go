@@ -83,7 +83,7 @@ func TestTypedErrorsMatchAsAndIs(t *testing.T) {
 // TestErrorPathsReturnMatchableErrors drives the real API paths and
 // asserts the returned errors match under both Is and As.
 func TestErrorPathsReturnMatchableErrors(t *testing.T) {
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 
 	t.Run("InstrumentRejectsHookNamespaceImport", func(t *testing.T) {
 		// Regression: core's namespace rejection must surface under the

@@ -42,7 +42,10 @@ func buildModule() *wasm.Module {
 
 func main() {
 	cov := analyses.NewBranchCoverage()
-	engine := wasabi.NewEngine()
+	engine, err := wasabi.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
 	compiled, err := engine.InstrumentFor(buildModule(), cov)
 	if err != nil {
 		log.Fatal(err)

@@ -49,7 +49,10 @@ func profile(name string, run func(a *analyses.Cryptominer)) {
 }
 
 func main() {
-	engine := wasabi.NewEngine()
+	engine, err := wasabi.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	profile("miner loop", func(a *analyses.Cryptominer) {
 		compiled, err := engine.InstrumentFor(minerModule(), a)

@@ -27,7 +27,10 @@ type combined struct {
 }
 
 func main() {
-	engine := wasabi.NewEngine()
+	engine, err := wasabi.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Part 1: hottest blocks of a numeric kernel.
 	k, _ := polybench.ByName("floyd-warshall")

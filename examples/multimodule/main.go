@@ -47,7 +47,10 @@ func app() *wasm.Module {
 }
 
 func main() {
-	engine := wasabi.NewEngine()
+	engine, err := wasabi.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// One session (and analysis) per module, instrumented independently.
 	libMix := analyses.NewInstructionMix()

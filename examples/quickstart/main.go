@@ -56,7 +56,10 @@ func main() {
 	// Instrument for exactly the hooks the analysis implements (API v2:
 	// engine → compiled instrumentation → session), then run it.
 	a := &memCounter{hist: make(map[uint64]int)}
-	engine := wasabi.NewEngine()
+	engine, err := wasabi.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
 	compiled, err := engine.InstrumentFor(module, a)
 	if err != nil {
 		log.Fatal(err)

@@ -62,7 +62,10 @@ func buildModule() *wasm.Module {
 
 func main() {
 	module := buildModule()
-	engine := wasabi.NewEngine()
+	engine, err := wasabi.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
 	compiled, err := engine.Instrument(module, wasabi.AllCaps)
 	if err != nil {
 		log.Fatal(err)

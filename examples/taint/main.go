@@ -49,7 +49,10 @@ func main() {
 	taint.Sources[int(source)] = true
 	taint.Sinks[int(sink)] = true
 
-	engine := wasabi.NewEngine()
+	engine, err := wasabi.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
 	compiled, err := engine.InstrumentFor(m, taint)
 	if err != nil {
 		log.Fatal(err)

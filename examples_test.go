@@ -8,6 +8,7 @@ package wasabi_test
 
 import (
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -65,5 +66,33 @@ func TestExamples(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestWasabiDiffCLI runs the wasabi tool's -gen and -diff modes end to end:
+// generate a seeded module, then check it through the differential matrix.
+func TestWasabiDiffCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess go runs; skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool not available: %v", err)
+	}
+	module := filepath.Join(t.TempDir(), "gen.wasm")
+	out, err := exec.Command("go", "run", "./cmd/wasabi", "-gen", "99", "-o", module).CombinedOutput()
+	if err != nil {
+		t.Fatalf("wasabi -gen: %v\n%s", err, out)
+	}
+	out, err = exec.Command("go", "run", "./cmd/wasabi", "-diff", module).CombinedOutput()
+	if err != nil {
+		t.Fatalf("wasabi -diff: %v\n%s", err, out)
+	}
+	for _, config := range []string{"plain", "hooked", "static", "stream", "fuel"} {
+		if !strings.Contains(string(out), config+" ") && !strings.Contains(string(out), config+"\t") {
+			t.Errorf("verdict for %q missing\n--- full output ---\n%s", config, out)
+		}
+	}
+	if strings.Contains(string(out), "DIVERGED") {
+		t.Errorf("unexpected divergence\n--- full output ---\n%s", out)
 	}
 }

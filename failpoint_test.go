@@ -1,0 +1,279 @@
+package wasabi_test
+
+// The fault-injection scheduler suite: every failpoint is armed one at a
+// time — and in pairs — while a representative workload runs through both
+// analysis surfaces (callback session with a named instance, stream session
+// with a concurrent consumer). The graceful-degradation invariants asserted
+// for each activation are the robustness contract of the host-side seams:
+//
+//   - a typed error surfaces (errors.Is ErrInjected, *Trap, or
+//     *RuntimeFault) — never a raw panic out of the API;
+//   - a live stream ends with a terminal Stream.Err, so a consumer blocked
+//     in Serve observes the failure instead of waiting forever;
+//   - the Engine and fresh Sessions remain fully usable after DisarmAll,
+//     including re-registering the instance name the failed run reserved;
+//   - no goroutines leak (leakcheck snapshot around every subtest).
+//
+// Everything here must be race-clean: CI runs this file under -race.
+
+import (
+	"errors"
+	"testing"
+
+	"wasabi"
+	"wasabi/internal/builder"
+	"wasabi/internal/failpoint"
+	"wasabi/internal/interp"
+	"wasabi/internal/leakcheck"
+	"wasabi/internal/wasm"
+)
+
+// faultModule builds the workload guest: a direct call (value-pool traffic
+// through CallPre args), a host call through the generic host-call path, and
+// memory traffic, so every registered failpoint is reachable from one run.
+func faultModule() *wasm.Module {
+	b := builder.New()
+	b.Memory(1)
+	ping := b.ImportFunc("env", "ping", builder.Sig(builder.V(wasm.I32), builder.V(wasm.I32)))
+	twice := b.Func("twice", builder.V(wasm.I32), builder.V(wasm.I32))
+	twice.Get(0).I32(2).Op(wasm.OpI32Mul)
+	twice.Done()
+	f := b.Func("run", builder.V(wasm.I32), builder.V(wasm.I32))
+	acc := f.Local(wasm.I32)
+	f.Get(0).Call(twice.Index).Set(acc)
+	f.Get(acc).Call(ping).Set(acc)
+	f.I32(0).Get(acc).Store(wasm.OpI32Store, 0)
+	f.I32(0).Load(wasm.OpI32Load, 0)
+	f.Done()
+	return b.Build()
+}
+
+// pingImports resolves env.ping as a Fn-style host function (the generic
+// host-call path, where the HostCall failpoint lives).
+func pingImports() interp.Imports {
+	return interp.Imports{"env": {"ping": &interp.HostFunc{
+		Type: builder.Sig(builder.V(wasm.I32), builder.V(wasm.I32)),
+		Fn: func(_ *interp.Instance, args []interp.Value) ([]interp.Value, error) {
+			return []interp.Value{interp.I32(interp.AsI32(args[0]) + 1)}, nil
+		},
+	}}}
+}
+
+// faultSink consumes the stream workload's events (contents irrelevant; the
+// emitter seams are what is under test).
+type faultSink struct{}
+
+func (faultSink) StreamCaps() wasabi.Cap { return wasabi.AllCaps }
+func (faultSink) Events([]wasabi.Event)  {}
+
+// run(3): twice(3)=6, ping(6)=7, stored and loaded back.
+const faultWant = 7
+
+// faultOutcome records where (if anywhere) each stage of the workload
+// failed. Nil fields mean the stage succeeded.
+type faultOutcome struct {
+	instrumentErr error
+	cbInstErr     error // named instantiate, callback session
+	cbInvokeErr   error
+	cbResult      int32
+	stInvokeErr   error // anonymous instance, stream session
+	streamErr     error // Stream.Err after the stream ended
+}
+
+func (o faultOutcome) errs() []error {
+	return []error{o.instrumentErr, o.cbInstErr, o.cbInvokeErr, o.stInvokeErr, o.streamErr}
+}
+
+// clean reports a fully successful workload with the right answer.
+func (o faultOutcome) clean() bool {
+	for _, err := range o.errs() {
+		if err != nil {
+			return false
+		}
+	}
+	return o.cbResult == faultWant
+}
+
+// typedFault reports whether err is one of the sanctioned degraded forms: an
+// injected-fault error, a guest trap, or a contained runtime fault. Anything
+// else (in particular a raw panic, which would crash the test) violates the
+// containment contract.
+func typedFault(err error) bool {
+	var trap *wasabi.Trap
+	var fault *wasabi.RuntimeFault
+	return err != nil &&
+		(errors.Is(err, failpoint.ErrInjected) || errors.As(err, &trap) || errors.As(err, &fault))
+}
+
+// runFaultWorkload drives the module through both surfaces on eng,
+// registering the callback instance under name. It never fails the test for
+// injected errors — those are the data — only for setup errors no failpoint
+// targets.
+func runFaultWorkload(t *testing.T, eng *wasabi.Engine, name string) faultOutcome {
+	t.Helper()
+	var out faultOutcome
+	compiled, err := eng.Instrument(faultModule(), wasabi.AllCaps)
+	out.instrumentErr = err
+	if err != nil {
+		return out
+	}
+
+	// Callback surface, named instance.
+	func() {
+		sess, err := compiled.NewSession(newRecording())
+		if err != nil {
+			t.Fatalf("NewSession (callback): %v", err)
+		}
+		defer sess.Close()
+		inst, err := sess.Instantiate(name, pingImports())
+		out.cbInstErr = err
+		if err != nil {
+			return
+		}
+		res, err := inst.Invoke("run", interp.I32(3))
+		out.cbInvokeErr = err
+		if err == nil && len(res) == 1 {
+			out.cbResult = interp.AsI32(res[0])
+		}
+	}()
+
+	// Stream surface, consumer on its own goroutine.
+	func() {
+		sess, err := compiled.NewSession(faultSink{})
+		if err != nil {
+			t.Fatalf("NewSession (stream): %v", err)
+		}
+		defer sess.Close()
+		stream, err := sess.Stream()
+		if err != nil {
+			t.Fatalf("Stream: %v", err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			stream.Serve(faultSink{})
+		}()
+		inst, err := sess.Instantiate("", pingImports())
+		if err != nil {
+			// No failpoint targets anonymous instantiation; treat a failure
+			// here like any other degraded stage.
+			out.stInvokeErr = err
+		} else {
+			_, err = inst.Invoke("run", interp.I32(3))
+			out.stInvokeErr = err
+		}
+		stream.Close()
+		<-done
+		out.streamErr = stream.Err()
+	}()
+	return out
+}
+
+// TestFailpointsSingly arms each point alone and checks its specific
+// degraded shape, then that the same engine runs clean after DisarmAll —
+// same instance name included, proving the registry released it.
+func TestFailpointsSingly(t *testing.T) {
+	for _, p := range failpoint.Points() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			leakcheck.Check(t)
+			failpoint.DisarmAll()
+			t.Cleanup(failpoint.DisarmAll)
+			eng := mustEngine(t)
+			name := "fp-" + p.String()
+
+			failpoint.Arm(p)
+			out := runFaultWorkload(t, eng, name)
+			for _, err := range out.errs() {
+				if err != nil && !typedFault(err) {
+					t.Errorf("untyped degraded error: %v", err)
+				}
+			}
+			switch p {
+			case failpoint.EmitterEmit, failpoint.EmitterFlush:
+				// The callback surface does not touch the emitter; the stream
+				// must end with the injected fault as its terminal error.
+				if out.cbInvokeErr != nil || out.cbResult != faultWant {
+					t.Errorf("callback run disturbed: result %d, err %v", out.cbResult, out.cbInvokeErr)
+				}
+				if !errors.Is(out.streamErr, failpoint.ErrInjected) {
+					t.Errorf("Stream.Err = %v, want injected terminal error", out.streamErr)
+				}
+			case failpoint.RegistryReserve, failpoint.RegistryCommit:
+				if !errors.Is(out.cbInstErr, failpoint.ErrInjected) {
+					t.Errorf("named Instantiate err = %v, want injected", out.cbInstErr)
+				}
+				if out.stInvokeErr != nil || out.streamErr != nil {
+					t.Errorf("anonymous stream run disturbed: invoke %v, stream %v", out.stInvokeErr, out.streamErr)
+				}
+			case failpoint.ValuePoolGet:
+				var fault *wasabi.RuntimeFault
+				if !errors.As(out.cbInvokeErr, &fault) || !errors.Is(out.cbInvokeErr, failpoint.ErrInjected) {
+					t.Errorf("callback Invoke err = %v, want *RuntimeFault wrapping the injected fault", out.cbInvokeErr)
+				}
+			case failpoint.HostCall:
+				var trap *wasabi.Trap
+				if !errors.As(out.cbInvokeErr, &trap) || trap.Code != "host function error" {
+					t.Errorf("callback Invoke err = %v, want host-function-error trap", out.cbInvokeErr)
+				}
+				if out.stInvokeErr == nil || out.streamErr == nil {
+					t.Errorf("stream run should trap and end the stream: invoke %v, stream %v", out.stInvokeErr, out.streamErr)
+				}
+			case failpoint.InstrumentCache:
+				if !errors.Is(out.instrumentErr, failpoint.ErrInjected) {
+					t.Errorf("Instrument err = %v, want injected", out.instrumentErr)
+				}
+			}
+
+			failpoint.DisarmAll()
+			after := runFaultWorkload(t, eng, name)
+			if !after.clean() {
+				t.Errorf("engine not clean after disarm: %+v", after)
+			}
+		})
+	}
+}
+
+// TestFailpointsPairwise arms every pair of points: compound faults must
+// still degrade into typed errors only, and the engine must recover.
+func TestFailpointsPairwise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pairwise matrix skipped in -short")
+	}
+	points := failpoint.Points()
+	for i := 0; i < len(points); i++ {
+		for j := i + 1; j < len(points); j++ {
+			p, q := points[i], points[j]
+			t.Run(p.String()+"+"+q.String(), func(t *testing.T) {
+				leakcheck.Check(t)
+				failpoint.DisarmAll()
+				t.Cleanup(failpoint.DisarmAll)
+				eng := mustEngine(t)
+				name := "fp-pair"
+
+				failpoint.Arm(p)
+				failpoint.Arm(q)
+				out := runFaultWorkload(t, eng, name)
+				sawFault := false
+				for _, err := range out.errs() {
+					if err == nil {
+						continue
+					}
+					sawFault = true
+					if !typedFault(err) {
+						t.Errorf("untyped degraded error: %v", err)
+					}
+				}
+				if !sawFault {
+					t.Error("no fault surfaced with two points armed")
+				}
+
+				failpoint.DisarmAll()
+				after := runFaultWorkload(t, eng, name)
+				if !after.clean() {
+					t.Errorf("engine not clean after disarm: %+v", after)
+				}
+			})
+		}
+	}
+}

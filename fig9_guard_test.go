@@ -113,7 +113,7 @@ func TestFig9BaselineGuard(t *testing.T) {
 	if recorded <= 0 {
 		t.Fatal("BENCH_fig9.json has no recorded stream events/sec")
 	}
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 	compiled, err := engine.Instrument(k.Module(16), wasabi.AllCaps)
 	if err != nil {
 		t.Fatal(err)

@@ -496,12 +496,58 @@ func (r *reader) instrsUntilEndOfInput(brTargets *[]uint32) ([]wasm.Instr, error
 	return instrs, nil
 }
 
+// miscInstr decodes a 0xFC-prefixed instruction (saturating truncation,
+// bulk memory) whose prefix byte has already been consumed. The subopcode
+// lands in Instr.Idx and the immediates are consumed — but discarded — so
+// the rest of the body still decodes with correct instruction positions;
+// validation then rejects the instruction as unsupported. Subopcodes outside
+// the known tables are not WebAssembly at all and fail here.
+func (r *reader) miscInstr() (wasm.Instr, error) {
+	off := r.pos - 1
+	sub := r.u32()
+	if r.err != nil {
+		return wasm.Instr{}, r.err
+	}
+	in := wasm.Instr{Op: wasm.OpMiscPrefix, Idx: sub}
+	switch sub {
+	case 0, 1, 2, 3, 4, 5, 6, 7: // *.trunc_sat_*: no immediates
+	case 8: // memory.init dataidx memidx
+		r.u32()
+		r.byte()
+	case 9, 13: // data.drop dataidx / elem.drop elemidx
+		r.u32()
+	case 10: // memory.copy memidx memidx
+		r.byte()
+		r.byte()
+	case 11: // memory.fill memidx
+		r.byte()
+	case 12, 14: // table.init elemidx tableidx / table.copy dst src
+		r.u32()
+		r.u32()
+	default:
+		return wasm.Instr{}, fmt.Errorf("binary: unknown 0xfc subopcode %d at offset %d", sub, off)
+	}
+	if r.err != nil {
+		return wasm.Instr{}, r.err
+	}
+	return in, nil
+}
+
 func (r *reader) instr(brTargets *[]uint32) (wasm.Instr, error) {
 	op := wasm.Opcode(r.byte())
 	if r.err != nil {
 		return wasm.Instr{}, r.err
 	}
 	if !op.Known() {
+		if op == wasm.OpMiscPrefix {
+			return r.miscInstr()
+		}
+		if op.Unsupported() {
+			// Sign-extension operator: no immediates. Decoded as-is so
+			// validation rejects it with a typed, positioned error instead
+			// of the decoder failing with "unknown opcode".
+			return wasm.Instr{Op: op}, nil
+		}
 		return wasm.Instr{}, fmt.Errorf("binary: unknown opcode 0x%02x at offset %d", byte(op), r.pos-1)
 	}
 	in := wasm.Instr{Op: op}

@@ -356,6 +356,9 @@ func funcBodySize(f *wasm.Func) (int, error) {
 func instrSize(in *wasm.Instr, brTargets []uint32) (int, error) {
 	op := in.Op
 	if !op.Known() {
+		if name, proposal, ok := wasm.UnsupportedInfo(*in); ok {
+			return 0, fmt.Errorf("binary: cannot encode %s (%s proposal not implemented)", name, proposal)
+		}
 		return 0, fmt.Errorf("binary: unknown opcode 0x%02x", byte(op))
 	}
 	n := 1

@@ -1,0 +1,133 @@
+package binary
+
+// Post-MVP instruction handling: sign-extension operators and 0xFC-prefixed
+// instructions decode into representable form (so validation can reject
+// them with a typed, positioned error) while truly unknown encodings still
+// fail at decode. See wasm.UnsupportedInfo and validate.ErrUnsupported.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"wasabi/internal/validate"
+	"wasabi/internal/wasm"
+)
+
+// unsupportedModule assembles a minimal binary module — one () -> ()
+// function — around the given raw body bytes (locals prepended, end NOT
+// appended).
+func unsupportedModule(body ...byte) []byte {
+	b := []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+	b = append(b, 0x01, 0x04, 0x01, 0x60, 0x00, 0x00) // type section: [] -> []
+	b = append(b, 0x03, 0x02, 0x01, 0x00)             // function section: 1 func, type 0
+	code := append([]byte{byte(len(body) + 1), 0x00}, body...)
+	sec := append([]byte{0x01}, code...)
+	b = append(b, 0x0A, byte(len(sec)))
+	return append(b, sec...)
+}
+
+func TestDecodeUnsupportedInstructions(t *testing.T) {
+	cases := []struct {
+		name  string
+		body  []byte
+		instr int // index of the unsupported instruction in the decoded body
+		want  wasm.Instr
+		text  string // expected text name reported by validation
+	}{
+		{
+			name:  "sign-extension",
+			body:  []byte{0x41, 0x00, 0xC0, 0x1A, 0x0B}, // i32.const 0; i32.extend8_s; drop; end
+			instr: 1,
+			want:  wasm.Instr{Op: wasm.OpI32Extend8S},
+			text:  "i32.extend8_s",
+		},
+		{
+			name: "saturating-trunc",
+			// f64.const 0; i32.trunc_sat_f64_s; drop; end
+			body:  []byte{0x44, 0, 0, 0, 0, 0, 0, 0, 0, 0xFC, 0x02, 0x1A, 0x0B},
+			instr: 1,
+			want:  wasm.Instr{Op: wasm.OpMiscPrefix, Idx: 2},
+			text:  "i32.trunc_sat_f64_s",
+		},
+		{
+			name: "memory-fill",
+			// i32.const 0 ×3; memory.fill (memidx immediate); end
+			body:  []byte{0x41, 0x00, 0x41, 0x00, 0x41, 0x08, 0xFC, 0x0B, 0x00, 0x0B},
+			instr: 3,
+			want:  wasm.Instr{Op: wasm.OpMiscPrefix, Idx: 11},
+			text:  "memory.fill",
+		},
+		{
+			name: "memory-init",
+			// i32.const 0 ×3; memory.init 0 (dataidx + memidx immediates); end
+			body:  []byte{0x41, 0x00, 0x41, 0x00, 0x41, 0x08, 0xFC, 0x08, 0x00, 0x00, 0x0B},
+			instr: 3,
+			want:  wasm.Instr{Op: wasm.OpMiscPrefix, Idx: 8},
+			text:  "memory.init",
+		},
+		{
+			name: "table-copy",
+			// i32.const 0 ×3; table.copy 0 0; end
+			body:  []byte{0x41, 0x00, 0x41, 0x00, 0x41, 0x08, 0xFC, 0x0E, 0x00, 0x00, 0x0B},
+			instr: 3,
+			want:  wasm.Instr{Op: wasm.OpMiscPrefix, Idx: 14},
+			text:  "table.copy",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Decode(unsupportedModule(tc.body...))
+			if err != nil {
+				t.Fatalf("decode failed, want representable instruction: %v", err)
+			}
+			got := m.Funcs[0].Body[tc.instr]
+			if got != tc.want {
+				t.Fatalf("decoded instr = %+v, want %+v", got, tc.want)
+			}
+
+			// The immediates were consumed: the body decodes to completion
+			// with the trailing end in place.
+			if last := m.Funcs[0].Body[len(m.Funcs[0].Body)-1]; last.Op != wasm.OpEnd {
+				t.Errorf("body not terminated by end: %+v", last)
+			}
+
+			// Validation rejects the module with the typed, positioned error.
+			verr := validate.Module(m)
+			if verr == nil {
+				t.Fatal("unsupported instruction validated")
+			}
+			if !errors.Is(verr, validate.ErrUnsupported) {
+				t.Errorf("validate error does not wrap ErrUnsupported: %v", verr)
+			}
+			var ue *validate.UnsupportedError
+			if !errors.As(verr, &ue) {
+				t.Fatalf("validate error is %T, want to recover *UnsupportedError: %v", verr, verr)
+			}
+			if ue.Name != tc.text {
+				t.Errorf("UnsupportedError.Name = %q, want %q", ue.Name, tc.text)
+			}
+			var ve *validate.Error
+			if !errors.As(verr, &ve) || ve.Instr != tc.instr {
+				t.Errorf("validate error not positioned at instr %d: %v", tc.instr, verr)
+			}
+
+			// The encoder refuses to re-encode what it cannot represent.
+			if _, err := Encode(m); err == nil {
+				t.Error("encoder accepted an unsupported instruction")
+			}
+		})
+	}
+}
+
+func TestDecodeUnknownMiscSubopcode(t *testing.T) {
+	// 0xFC with a subopcode outside every known proposal is not WebAssembly;
+	// it must fail at decode, not be smuggled through as "unsupported".
+	_, err := Decode(unsupportedModule(0xFC, 0x63, 0x0B))
+	if err == nil {
+		t.Fatal("unknown 0xfc subopcode decoded")
+	}
+	if !strings.Contains(err.Error(), "0xfc subopcode 99") {
+		t.Errorf("error does not identify the subopcode: %v", err)
+	}
+}

@@ -111,7 +111,10 @@ func TestPolyBenchPerHookFaithfulness(t *testing.T) {
 	// a plan places them. Run the kernel through a static-analysis engine
 	// with a coverage analysis and check the checksum is untouched.
 	t.Run("block_probe", func(t *testing.T) {
-		eng := wasabi.NewEngine(wasabi.WithStaticAnalysis())
+		eng, err := wasabi.NewEngine(wasabi.WithStaticAnalysis())
+		if err != nil {
+			t.Fatal(err)
+		}
 		ca, err := eng.InstrumentFor(m, analyses.NewInstructionCoverage())
 		if err != nil {
 			t.Fatalf("instrument: %v", err)

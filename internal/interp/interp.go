@@ -11,6 +11,7 @@ import (
 	"runtime/debug"
 	"sync/atomic"
 
+	"wasabi/internal/failpoint"
 	"wasabi/internal/wasm"
 )
 
@@ -369,6 +370,11 @@ func InstantiateWith(reg *Registry, name string, m *wasm.Module, imports Imports
 		}
 	}
 	if name != "" {
+		// Checked before commit so the deferred release still frees the
+		// reservation: an injected commit fault must not leak the name.
+		if err := failpoint.Inject(failpoint.RegistryCommit); err != nil {
+			return nil, err
+		}
 		reg.commit(name, inst)
 		committed = true
 	}
@@ -540,6 +546,9 @@ func (inst *Instance) invoke(idx uint32, args []Value) []Value {
 // Emit-only host functions (no Fn) are result-less by the Instantiate-time
 // check.
 func (inst *Instance) callHost(hf *HostFunc, args []Value) []Value {
+	// Fault-injection seam for the host-call boundary: an injected fault is
+	// indistinguishable from the host function failing, i.e. a typed trap.
+	hostErr(failpoint.Inject(failpoint.HostCall))
 	if hf.Fn == nil {
 		if hf.Emit != nil {
 			hf.Emit(inst, args)

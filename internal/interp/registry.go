@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"wasabi/internal/failpoint"
 	"wasabi/internal/wasm"
 )
 
@@ -79,6 +80,11 @@ func (r *Registry) Names() []string {
 // reserve claims name for an in-flight instantiation so concurrent
 // InstantiateIn calls cannot race to the same name.
 func (r *Registry) reserve(name string) error {
+	// Fault-injection seam: a reservation failure must surface as a typed
+	// error before any instance state exists.
+	if err := failpoint.Inject(failpoint.RegistryReserve); err != nil {
+		return err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, taken := r.instances[name]; taken {

@@ -1,0 +1,111 @@
+// Package leakcheck is a stdlib-only goroutine-leak guard for tests: it
+// snapshots the live goroutines when a test starts and fails the test if,
+// by the end (with a grace period for asynchronous teardown), goroutines
+// that were not running at the start are still alive. The stream consumer
+// goroutines, InvokeContext deadline watchers, and failpoint teardown paths
+// are all required to terminate — a leaked goroutine is a containment bug
+// even when every assertion about values passed.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// retryFor is how long Check waits for stragglers to exit before declaring
+// a leak: long enough for scheduler hiccups under -race, short enough not
+// to stall the suite.
+const retryFor = 2 * time.Second
+
+// Check installs the guard on t: it snapshots the current goroutines and,
+// via t.Cleanup, fails the test if new ones are still running when the test
+// (including later-registered cleanups) finishes.
+func Check(t testing.TB) {
+	t.Helper()
+	before := ids(snapshot())
+	t.Cleanup(func() {
+		deadline := time.Now().Add(retryFor)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for _, g := range snapshot() {
+				if _, ok := before[g.id]; !ok && interesting(g.stack) {
+					leaked = append(leaked, g.stack)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// goroutine is one parsed stack block.
+type goroutine struct {
+	id    string
+	stack string
+}
+
+// snapshot parses runtime.Stack's all-goroutine dump into blocks.
+func snapshot() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		header, _, ok := strings.Cut(block, "\n")
+		if !ok || !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(header, "goroutine %d ", &id); err != nil {
+			continue
+		}
+		out = append(out, goroutine{id: fmt.Sprint(id), stack: block})
+	}
+	return out
+}
+
+func ids(gs []goroutine) map[string]bool {
+	m := make(map[string]bool, len(gs))
+	for _, g := range gs {
+		m[g.id] = true
+	}
+	return m
+}
+
+// interesting filters out goroutines the test framework and runtime own:
+// those are expected to appear and disappear outside the test's control.
+func interesting(stack string) bool {
+	for _, frame := range []string{
+		"testing.(*T).Run",
+		"testing.tRunner",
+		"testing.runTests",
+		"testing.(*M).",
+		"runtime.gc",
+		"runtime.ReadTrace",
+		"runtime/trace",
+		"os/signal.signal_recv",
+		"created by runtime",
+	} {
+		if strings.Contains(stack, frame) {
+			return false
+		}
+	}
+	return true
+}

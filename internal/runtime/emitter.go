@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"wasabi/internal/analysis"
+	"wasabi/internal/failpoint"
 )
 
 // Backpressure selects what the producer does when every batch buffer is
@@ -64,6 +65,12 @@ type Emitter struct {
 	stopc   chan struct{}
 	stopped bool
 
+	// Terminal host-side fault (fault injection today; any future emitter
+	// failure). Set once by fail, read by Err from any goroutine — the
+	// session's flush hook promotes it to the stream's terminal error.
+	failMu  sync.Mutex
+	failErr error
+
 	prev []analysis.Event // batch last handed out by Next (consumer-owned)
 }
 
@@ -87,6 +94,10 @@ func NewEmitter(batchSize int, mode Backpressure) *Emitter {
 
 // emit appends one record, flushing first when the batch is full.
 func (em *Emitter) emit(e analysis.Event) {
+	if err := failpoint.Inject(failpoint.EmitterEmit); err != nil {
+		em.fail(err)
+		return
+	}
 	if len(em.cur) == cap(em.cur) {
 		em.Flush()
 	}
@@ -122,6 +133,10 @@ func (em *Emitter) Flush() {
 	if em.closed {
 		em.dropped.Add(uint64(len(em.cur)))
 		em.cur = em.cur[:0]
+		return
+	}
+	if err := failpoint.Inject(failpoint.EmitterFlush); err != nil {
+		em.fail(err)
 		return
 	}
 	if em.drop {
@@ -186,8 +201,38 @@ func (em *Emitter) Close() {
 		return
 	}
 	em.Flush()
+	if em.closed {
+		// Flush hit a fault and already ended the stream (see fail).
+		return
+	}
 	em.closed = true
 	close(em.full)
+}
+
+// fail ends the stream with a terminal host-side error: the pending batch
+// is discarded and counted, the consumer side is woken (Next drains and
+// reports done), and the error is recorded for Err. Producer-side, like
+// Flush; first error wins, later faults only count their dropped events.
+func (em *Emitter) fail(err error) {
+	em.failMu.Lock()
+	if em.failErr == nil {
+		em.failErr = err
+	}
+	em.failMu.Unlock()
+	em.dropped.Add(uint64(len(em.cur)))
+	em.cur = em.cur[:0]
+	if !em.closed {
+		em.closed = true
+		close(em.full)
+	}
+}
+
+// Err returns the terminal host-side fault recorded by fail, or nil. Safe
+// from any goroutine.
+func (em *Emitter) Err() error {
+	em.failMu.Lock()
+	defer em.failMu.Unlock()
+	return em.failErr
 }
 
 // CloseDiscard ends the stream WITHOUT waiting for the consumer: the

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"wasabi/internal/analysis"
+	"wasabi/internal/failpoint"
 )
 
 // ValuePool is the engine-level pool of borrowed hook-value buffers. One pool
@@ -30,6 +31,12 @@ type valueBuf struct{ vs []analysis.Value }
 type brTargetBuf struct{ ts []analysis.BranchTarget }
 
 func (p *ValuePool) getValues(n int) *valueBuf {
+	if failpoint.Enabled(failpoint.ValuePoolGet) {
+		// This seam is inside hook dispatch, which has no error return: the
+		// injected fault panics and is contained into a typed *RuntimeFault
+		// by the invocation root (Instance.call), like any host-side panic.
+		panic(&failpoint.InjectedError{Point: failpoint.ValuePoolGet})
+	}
 	b, _ := p.vals.Get().(*valueBuf)
 	if b == nil {
 		b = &valueBuf{}

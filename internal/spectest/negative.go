@@ -113,6 +113,32 @@ func NegativeCorpus() []NegativeCase {
 			CFGMustErr: true,
 		},
 		{
+			// Recognized post-MVP instructions (see wasm.UnsupportedInfo):
+			// decodable, but rejected by validation as unsupported.
+			Name: "unsupported-sign-extension",
+			Module: func() *wasm.Module {
+				return badFunc(i32, i32,
+					wasm.LocalGet(0), wasm.Instr{Op: wasm.OpI32Extend8S}, wasm.End())
+			},
+		},
+		{
+			Name: "unsupported-saturating-trunc",
+			Module: func() *wasm.Module {
+				return badFunc(nil, i32,
+					wasm.F64ConstInstr(1), wasm.Instr{Op: wasm.OpMiscPrefix, Idx: 2}, wasm.End())
+			},
+		},
+		{
+			Name: "unsupported-bulk-memory",
+			Module: func() *wasm.Module {
+				m := badFunc(nil, nil,
+					wasm.I32Const(0), wasm.I32Const(0), wasm.I32Const(8),
+					wasm.Instr{Op: wasm.OpMiscPrefix, Idx: 11}, wasm.End())
+				m.Memories = append(m.Memories, wasm.Limits{Min: 1})
+				return m
+			},
+		},
+		{
 			Name: "type-index-out-of-range",
 			Module: func() *wasm.Module {
 				m := &wasm.Module{}

@@ -48,7 +48,10 @@ func TestNegativeCorpusStatic(t *testing.T) {
 // TestNegativeCorpusEngine: the public API path rejects every invalid
 // module before instrumentation, wrapping ErrInvalidModule.
 func TestNegativeCorpusEngine(t *testing.T) {
-	eng := wasabi.NewEngine()
+	eng, err := wasabi.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range NegativeCorpus() {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {

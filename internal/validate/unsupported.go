@@ -1,0 +1,27 @@
+package validate
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnsupported reports an instruction from a post-MVP proposal the runtime
+// does not implement yet (sign-extension operators, saturating truncation,
+// bulk memory). The decoder represents these instructions so the rejection
+// happens here, typed and positioned, rather than as a decode failure or a
+// runtime fault. Matched with errors.Is through the positioned *Error wrap.
+var ErrUnsupported = errors.New("validate: instruction from an unimplemented proposal")
+
+// UnsupportedError is the typed form of ErrUnsupported: which instruction
+// was encountered and which proposal it belongs to. Position (function,
+// instruction index) is carried by the enclosing *Error.
+type UnsupportedError struct {
+	Name     string // text-format instruction name, e.g. "i32.extend8_s"
+	Proposal string // source proposal, e.g. "sign-extension"
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("%s not supported (%s proposal not implemented)", e.Name, e.Proposal)
+}
+
+func (e *UnsupportedError) Unwrap() error { return ErrUnsupported }

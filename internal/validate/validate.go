@@ -238,6 +238,10 @@ func checkFunc(m *wasm.Module, defined int) error {
 	sig := m.Types[f.TypeIdx]
 	tr := NewTracker(m, sig, f.Locals, f.BrTargets)
 	for i := range f.Body {
+		if name, proposal, ok := wasm.UnsupportedInfo(f.Body[i]); ok {
+			return &Error{FuncIdx: -1, Instr: i, Op: f.Body[i].Op,
+				Err: &UnsupportedError{Name: name, Proposal: proposal}}
+		}
 		if err := tr.Step(f.Body[i]); err != nil {
 			return &Error{FuncIdx: -1, Instr: i, Op: f.Body[i].Op, Err: err}
 		}

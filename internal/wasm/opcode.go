@@ -289,6 +289,12 @@ var opNameTable = func() [256]string {
 	for op, name := range opNames {
 		t[op] = name
 	}
+	// Recognized-but-unimplemented opcodes (see unsupported.go) render their
+	// real names in positioned diagnostics without becoming Known.
+	for op, name := range signExtendNames {
+		t[op] = name
+	}
+	t[OpMiscPrefix] = "0xfc"
 	return t
 }()
 

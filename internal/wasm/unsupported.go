@@ -1,0 +1,77 @@
+package wasm
+
+import "fmt"
+
+// Recognized post-MVP opcodes. The runtime does not implement these, but the
+// decoder accepts them into a representable Instr so that validation can
+// reject the module with a typed, positioned "unsupported" error instead of
+// the decoder dying with a generic "unknown opcode" — or worse, an
+// unvalidated module faulting mid-execution. They are deliberately NOT part
+// of opNames: Opcode.Known still reports false, so every consumer that
+// gates on MVP support (the encoder, the interpreter's compiler) keeps
+// rejecting them.
+const (
+	// Sign-extension operators proposal.
+	OpI32Extend8S  Opcode = 0xC0
+	OpI32Extend16S Opcode = 0xC1
+	OpI64Extend8S  Opcode = 0xC2
+	OpI64Extend16S Opcode = 0xC3
+	OpI64Extend32S Opcode = 0xC4
+	// OpMiscPrefix is the 0xFC miscellaneous-instruction prefix byte
+	// (saturating truncation, bulk memory). For a decoded 0xFC instruction
+	// the subopcode is carried in Instr.Idx.
+	OpMiscPrefix Opcode = 0xFC
+)
+
+// signExtendNames names the single-byte sign-extension operators.
+var signExtendNames = map[Opcode]string{
+	OpI32Extend8S:  "i32.extend8_s",
+	OpI32Extend16S: "i32.extend16_s",
+	OpI64Extend8S:  "i64.extend8_s",
+	OpI64Extend16S: "i64.extend16_s",
+	OpI64Extend32S: "i64.extend32_s",
+}
+
+// miscInstrs maps 0xFC subopcodes to their text name and source proposal.
+// Entries beyond this table are not valid WebAssembly and fail at decode.
+var miscInstrs = map[uint32]struct{ name, proposal string }{
+	0: {"i32.trunc_sat_f32_s", "nontrapping-float-to-int"},
+	1: {"i32.trunc_sat_f32_u", "nontrapping-float-to-int"},
+	2: {"i32.trunc_sat_f64_s", "nontrapping-float-to-int"},
+	3: {"i32.trunc_sat_f64_u", "nontrapping-float-to-int"},
+	4: {"i64.trunc_sat_f32_s", "nontrapping-float-to-int"},
+	5: {"i64.trunc_sat_f32_u", "nontrapping-float-to-int"},
+	6: {"i64.trunc_sat_f64_s", "nontrapping-float-to-int"},
+	7: {"i64.trunc_sat_f64_u", "nontrapping-float-to-int"},
+
+	8:  {"memory.init", "bulk-memory"},
+	9:  {"data.drop", "bulk-memory"},
+	10: {"memory.copy", "bulk-memory"},
+	11: {"memory.fill", "bulk-memory"},
+	12: {"table.init", "bulk-memory"},
+	13: {"elem.drop", "bulk-memory"},
+	14: {"table.copy", "bulk-memory"},
+}
+
+// Unsupported reports whether op opens a recognized post-MVP instruction
+// (a sign-extension operator or the 0xFC prefix).
+func (op Opcode) Unsupported() bool {
+	_, sx := signExtendNames[op]
+	return sx || op == OpMiscPrefix
+}
+
+// UnsupportedInfo reports whether in is a recognized post-MVP instruction
+// the runtime does not implement, and if so its text-format name and the
+// proposal it belongs to.
+func UnsupportedInfo(in Instr) (name, proposal string, ok bool) {
+	if n, sx := signExtendNames[in.Op]; sx {
+		return n, "sign-extension", true
+	}
+	if in.Op == OpMiscPrefix {
+		if mi, known := miscInstrs[in.Idx]; known {
+			return mi.name, mi.proposal, true
+		}
+		return fmt.Sprintf("0xfc subopcode %d", in.Idx), "miscellaneous", true
+	}
+	return "", "", false
+}

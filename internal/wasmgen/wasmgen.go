@@ -1,0 +1,546 @@
+// Package wasmgen generates small, valid, terminating WebAssembly modules
+// from a seed, for the differential-execution harness (internal/diff). The
+// generator is structured (type-directed expression/statement recursion over
+// the builder DSL) rather than byte-level, so every module it emits passes
+// validation — the harness's job is to find disagreements between execution
+// configurations, not to fuzz the decoder (FuzzDecode already does that).
+//
+// Coverage goals, per the differential harness's needs: multi-block control
+// (block/loop/if-else at several nesting depths), br/br_if/br_table across
+// those blocks, direct calls and call_indirect through a seeded table,
+// loads/stores of every width, globals, select/drop, and the trap-prone
+// operators (division, float→int truncation, occasionally-unmasked memory
+// addresses) so trap equivalence is exercised too.
+//
+// Determinism: the same seed always yields the same module (math/rand's
+// seeded Source is stable), which is what lets CI regenerate the corpus
+// instead of checking binaries in.
+package wasmgen
+
+import (
+	"math/rand"
+
+	"wasabi/internal/builder"
+	"wasabi/internal/wasm"
+)
+
+// Entry is the exported entry point of every generated module: one i32
+// parameter, one i32 result, like the spectest corpus's "run".
+const Entry = "run"
+
+// gen is the state of one module generation.
+type gen struct {
+	rng *rand.Rand
+	b   *builder.Builder
+
+	// helpers defined so far, callable by later functions: index, signature.
+	helpers []helper
+}
+
+type helper struct {
+	idx     uint32
+	params  []wasm.ValType
+	results []wasm.ValType
+}
+
+// fgen is the state of one function-body generation.
+type fgen struct {
+	g  *gen
+	fb *builder.FuncBuilder
+
+	// localsByType indexes declared locals (params included) by type, so
+	// expression generation can reference and assign them.
+	localsByType map[wasm.ValType][]uint32
+
+	// globals maps each scalar type to the mutable global indices of that
+	// type (shared by every body of the module).
+	globals map[wasm.ValType][]uint32
+
+	// labels tracks the enclosing branch-targetable labels, innermost last.
+	// Only arity-0 block labels are recorded: branching to them is valid at
+	// any statement position (empty block-relative stack), and never targets
+	// a loop header, which keeps every generated function terminating.
+	labels int
+
+	// budget bounds the body size so deeply seeded recursion cannot explode.
+	budget int
+}
+
+// Module generates the deterministic module for seed.
+func Module(seed uint64) *wasm.Module {
+	g := &gen{
+		rng: rand.New(rand.NewSource(int64(seed))),
+		b:   builder.New(),
+	}
+	g.b.Memory(1)
+	// Seed a data segment so loads observe nonzero memory from the start.
+	data := make([]byte, 64)
+	g.rng.Read(data)
+	g.b.Data(int32(g.rng.Intn(512)), data)
+
+	// Globals: a mutable one per scalar type, plus an immutable i32.
+	gi32 := g.b.GlobalI32(true, int32(g.rng.Int31()))
+	gi64 := g.b.GlobalI64(true, g.rng.Int63())
+	gf64 := g.b.GlobalF64(true, g.rng.Float64()*1e3)
+	g.b.GlobalI32(false, int32(g.rng.Int31n(1000)))
+	globals := map[wasm.ValType][]uint32{
+		wasm.I32: {gi32},
+		wasm.I64: {gi64},
+		wasm.F64: {gf64},
+	}
+
+	// Helper functions with assorted signatures, each only calling helpers
+	// defined before it (the call graph is acyclic, so execution terminates).
+	numHelpers := 1 + g.rng.Intn(4)
+	for i := 0; i < numHelpers; i++ {
+		params := g.randTypes(0, 2)
+		results := g.randTypes(1, 1)
+		fb := g.b.Func("", params, results)
+		g.genBody(fb, params, results, globals, 20+g.rng.Intn(40))
+		g.helpers = append(g.helpers, helper{idx: fb.Index, params: params, results: results})
+	}
+
+	// A funcref table over the helpers, for call_indirect. Slot j holds
+	// helper j: callers mask their index by the number of helpers defined
+	// before them, so an indirect call can only reach an earlier-defined
+	// helper and the call graph stays acyclic (execution terminates). The
+	// extra slots past the helpers are random and unreachable by generated
+	// indices; they only vary the table shape.
+	if len(g.helpers) > 0 {
+		size := uint32(len(g.helpers) + g.rng.Intn(3))
+		g.b.Table(size)
+		elems := make([]uint32, 0, size)
+		for i := uint32(0); i < size; i++ {
+			if int(i) < len(g.helpers) {
+				elems = append(elems, g.helpers[i].idx)
+			} else {
+				elems = append(elems, g.helpers[g.rng.Intn(len(g.helpers))].idx)
+			}
+		}
+		g.b.Elem(0, elems...)
+	}
+
+	// The entry function.
+	params := []wasm.ValType{wasm.I32}
+	results := []wasm.ValType{wasm.I32}
+	fb := g.b.Func(Entry, params, results)
+	g.genBody(fb, params, results, globals, 60+g.rng.Intn(80))
+
+	return g.b.Build()
+}
+
+// randTypes picks between lo and hi scalar types (i32-biased: the integer
+// paths are where control flow and memory addressing live).
+func (g *gen) randTypes(lo, hi int) []wasm.ValType {
+	n := lo
+	if hi > lo {
+		n += g.rng.Intn(hi - lo + 1)
+	}
+	out := make([]wasm.ValType, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.randType())
+	}
+	return out
+}
+
+func (g *gen) randType() wasm.ValType {
+	switch g.rng.Intn(8) {
+	case 0:
+		return wasm.I64
+	case 1:
+		return wasm.F64
+	case 2:
+		return wasm.F32
+	default:
+		return wasm.I32
+	}
+}
+
+// genBody emits one function body: locals, a run of statements, and a final
+// expression producing the declared results.
+func (g *gen) genBody(fb *builder.FuncBuilder, params, results []wasm.ValType, globals map[wasm.ValType][]uint32, budget int) {
+	f := &fgen{g: g, fb: fb, budget: budget, localsByType: map[wasm.ValType][]uint32{}}
+	for i, t := range params {
+		f.localsByType[t] = append(f.localsByType[t], uint32(i))
+	}
+	// A few extra locals per body beyond the parameters.
+	for i := 0; i < 2+g.rng.Intn(3); i++ {
+		t := g.randType()
+		f.localsByType[t] = append(f.localsByType[t], fb.Local(t))
+	}
+	f.globals = globals
+
+	for i := 0; i < 2+g.rng.Intn(6) && f.budget > 0; i++ {
+		f.stmt(2)
+	}
+	for _, t := range results {
+		f.expr(t, 3)
+	}
+	fb.Done()
+}
+
+func (f *fgen) spend(n int) bool {
+	f.budget -= n
+	return f.budget >= 0
+}
+
+// pickLocal returns a local of type t, declaring one if none exists.
+func (f *fgen) pickLocal(t wasm.ValType) uint32 {
+	ls := f.localsByType[t]
+	if len(ls) == 0 {
+		l := f.fb.Local(t)
+		f.localsByType[t] = append(f.localsByType[t], l)
+		return l
+	}
+	return ls[f.g.rng.Intn(len(ls))]
+}
+
+// addr emits an i32 memory address. Usually masked into the low page so the
+// access is in bounds; occasionally unmasked, so out-of-bounds trap paths are
+// exercised under every configuration too.
+func (f *fgen) addr() {
+	f.expr(wasm.I32, 1)
+	if f.g.rng.Intn(100) < 95 {
+		f.fb.I32(0xFFF).Op(wasm.OpI32And)
+	}
+}
+
+// expr emits instructions leaving exactly one value of type t.
+func (f *fgen) expr(t wasm.ValType, depth int) {
+	g := f.g
+	if depth <= 0 || !f.spend(1) {
+		f.constOf(t)
+		return
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1:
+		f.constOf(t)
+	case 2, 3:
+		f.fb.Get(f.pickLocal(t))
+	case 4:
+		if gs := f.globals[t]; len(gs) > 0 {
+			f.fb.GGet(gs[g.rng.Intn(len(gs))])
+		} else {
+			f.constOf(t)
+		}
+	case 5: // load
+		f.addr()
+		switch t {
+		case wasm.I32:
+			ops := []wasm.Opcode{wasm.OpI32Load, wasm.OpI32Load8S, wasm.OpI32Load8U, wasm.OpI32Load16S, wasm.OpI32Load16U}
+			f.fb.Load(ops[g.rng.Intn(len(ops))], uint32(g.rng.Intn(64)))
+		case wasm.I64:
+			ops := []wasm.Opcode{wasm.OpI64Load, wasm.OpI64Load8U, wasm.OpI64Load16S, wasm.OpI64Load32S, wasm.OpI64Load32U}
+			f.fb.Load(ops[g.rng.Intn(len(ops))], uint32(g.rng.Intn(64)))
+		case wasm.F32:
+			f.fb.Load(wasm.OpF32Load, uint32(g.rng.Intn(64)))
+		default:
+			f.fb.Load(wasm.OpF64Load, uint32(g.rng.Intn(64)))
+		}
+	case 6: // unary / conversion into t
+		f.unaryInto(t, depth)
+	case 7: // call a helper returning t, or fall back
+		if !f.callReturning(t, depth) {
+			f.binop(t, depth)
+		}
+	case 8: // if-expression
+		f.expr(wasm.I32, depth-1)
+		f.fb.IfT(t)
+		f.expr(t, depth-1)
+		f.fb.Else()
+		f.expr(t, depth-1)
+		f.fb.End()
+	default:
+		f.binop(t, depth)
+	}
+}
+
+func (f *fgen) constOf(t wasm.ValType) {
+	g := f.g
+	switch t {
+	case wasm.I32:
+		// Small values dominate so shifts/divisors/addresses stay interesting.
+		if g.rng.Intn(2) == 0 {
+			f.fb.I32(int32(g.rng.Intn(64)) - 8)
+		} else {
+			f.fb.I32(int32(g.rng.Uint32()))
+		}
+	case wasm.I64:
+		f.fb.I64(g.rng.Int63() - (1 << 62))
+	case wasm.F32:
+		f.fb.F32(float32(g.rng.NormFloat64()) * 100)
+	default:
+		f.fb.F64(g.rng.NormFloat64() * 1000)
+	}
+}
+
+// binop emits a binary operation producing t from two sub-expressions.
+func (f *fgen) binop(t wasm.ValType, depth int) {
+	g := f.g
+	var ops []wasm.Opcode
+	switch t {
+	case wasm.I32:
+		if g.rng.Intn(4) == 0 { // comparisons also produce i32
+			cmp := [][]wasm.Opcode{
+				{wasm.OpI32Eq, wasm.OpI32LtS, wasm.OpI32GtU, wasm.OpI32LeS, wasm.OpI32Ne},
+				{wasm.OpI64Eq, wasm.OpI64LtS, wasm.OpI64GtU, wasm.OpI64Ne},
+				{wasm.OpF64Eq, wasm.OpF64Lt, wasm.OpF64Ge},
+			}
+			group := cmp[g.rng.Intn(len(cmp))]
+			src := []wasm.ValType{wasm.I32, wasm.I64, wasm.F64}[0]
+			switch group[0] {
+			case wasm.OpI64Eq:
+				src = wasm.I64
+			case wasm.OpF64Eq:
+				src = wasm.F64
+			}
+			f.expr(src, depth-1)
+			f.expr(src, depth-1)
+			f.fb.Op(group[g.rng.Intn(len(group))])
+			return
+		}
+		ops = []wasm.Opcode{
+			wasm.OpI32Add, wasm.OpI32Sub, wasm.OpI32Mul, wasm.OpI32And, wasm.OpI32Or,
+			wasm.OpI32Xor, wasm.OpI32Shl, wasm.OpI32ShrS, wasm.OpI32ShrU, wasm.OpI32Rotl,
+			wasm.OpI32Rotr, wasm.OpI32DivS, wasm.OpI32DivU, wasm.OpI32RemS, wasm.OpI32RemU,
+		}
+	case wasm.I64:
+		ops = []wasm.Opcode{
+			wasm.OpI64Add, wasm.OpI64Sub, wasm.OpI64Mul, wasm.OpI64And, wasm.OpI64Or,
+			wasm.OpI64Xor, wasm.OpI64Shl, wasm.OpI64ShrS, wasm.OpI64ShrU, wasm.OpI64Rotl,
+			wasm.OpI64DivS, wasm.OpI64RemU,
+		}
+	case wasm.F32:
+		ops = []wasm.Opcode{wasm.OpF32Add, wasm.OpF32Sub, wasm.OpF32Mul, wasm.OpF32Div, wasm.OpF32Min, wasm.OpF32Max}
+	default:
+		ops = []wasm.Opcode{wasm.OpF64Add, wasm.OpF64Sub, wasm.OpF64Mul, wasm.OpF64Div, wasm.OpF64Min, wasm.OpF64Max, wasm.OpF64Copysign}
+	}
+	f.expr(t, depth-1)
+	f.expr(t, depth-1)
+	f.fb.Op(ops[g.rng.Intn(len(ops))])
+}
+
+// unaryInto emits a unary operation or conversion producing t.
+func (f *fgen) unaryInto(t wasm.ValType, depth int) {
+	g := f.g
+	switch t {
+	case wasm.I32:
+		switch g.rng.Intn(5) {
+		case 0:
+			f.expr(wasm.I32, depth-1)
+			f.fb.Op([]wasm.Opcode{wasm.OpI32Clz, wasm.OpI32Ctz, wasm.OpI32Popcnt, wasm.OpI32Eqz}[g.rng.Intn(4)])
+		case 1:
+			f.expr(wasm.I64, depth-1)
+			f.fb.Op(wasm.OpI32WrapI64)
+		case 2:
+			f.expr(wasm.I64, depth-1)
+			f.fb.Op(wasm.OpI64Eqz)
+		case 3:
+			// Trap-prone: float→int truncation of an arbitrary f64.
+			f.expr(wasm.F64, depth-1)
+			f.fb.Op(wasm.OpI32TruncF64S)
+		default:
+			f.expr(wasm.F32, depth-1)
+			f.fb.Op(wasm.OpF32Abs).Op(wasm.OpF32Floor).Op(wasm.OpI32TruncF32S)
+		}
+	case wasm.I64:
+		switch g.rng.Intn(3) {
+		case 0:
+			f.expr(wasm.I32, depth-1)
+			f.fb.Op(wasm.OpI64ExtendI32S)
+		case 1:
+			f.expr(wasm.I32, depth-1)
+			f.fb.Op(wasm.OpI64ExtendI32U)
+		default:
+			f.expr(wasm.I64, depth-1)
+			f.fb.Op([]wasm.Opcode{wasm.OpI64Clz, wasm.OpI64Ctz, wasm.OpI64Popcnt}[g.rng.Intn(3)])
+		}
+	case wasm.F32:
+		switch g.rng.Intn(3) {
+		case 0:
+			f.expr(wasm.I32, depth-1)
+			f.fb.Op(wasm.OpF32ConvertI32S)
+		case 1:
+			f.expr(wasm.F64, depth-1)
+			f.fb.Op(wasm.OpF32DemoteF64)
+		default:
+			f.expr(wasm.F32, depth-1)
+			f.fb.Op([]wasm.Opcode{wasm.OpF32Neg, wasm.OpF32Abs, wasm.OpF32Sqrt, wasm.OpF32Nearest, wasm.OpF32Ceil}[g.rng.Intn(5)])
+		}
+	default:
+		switch g.rng.Intn(3) {
+		case 0:
+			f.expr(wasm.I32, depth-1)
+			f.fb.Op(wasm.OpF64ConvertI32S)
+		case 1:
+			f.expr(wasm.F32, depth-1)
+			f.fb.Op(wasm.OpF64PromoteF32)
+		default:
+			f.expr(wasm.F64, depth-1)
+			f.fb.Op([]wasm.Opcode{wasm.OpF64Neg, wasm.OpF64Abs, wasm.OpF64Sqrt, wasm.OpF64Trunc, wasm.OpF64Floor}[g.rng.Intn(5)])
+		}
+	}
+}
+
+// callReturning emits a call (sometimes indirect) to a helper whose single
+// result is t. Reports false when no such helper exists.
+func (f *fgen) callReturning(t wasm.ValType, depth int) bool {
+	g := f.g
+	var candidates []helper
+	for _, h := range g.helpers {
+		if h.idx >= f.fb.Index {
+			continue // only earlier-defined helpers: acyclic call graph
+		}
+		if len(h.results) == 1 && h.results[0] == t {
+			candidates = append(candidates, h)
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	h := candidates[g.rng.Intn(len(candidates))]
+	for _, pt := range h.params {
+		f.expr(pt, depth-1)
+	}
+	if g.rng.Intn(3) == 0 {
+		// call_indirect with the index masked by the number of helpers
+		// defined so far — table slot j holds helper j, so only earlier
+		// helpers are reachable (acyclic). The slot may still hold a
+		// different signature, so the type-mismatch trap is reachable.
+		f.expr(wasm.I32, 1)
+		f.fb.I32(int32(len(g.helpers))).Op(wasm.OpI32RemU)
+		f.fb.CallIndirect(h.params, h.results)
+	} else {
+		f.fb.Call(h.idx)
+	}
+	return true
+}
+
+// stmt emits instructions with no net stack effect.
+func (f *fgen) stmt(depth int) {
+	g := f.g
+	if depth <= 0 || !f.spend(2) {
+		t := g.randType()
+		f.expr(t, 1)
+		f.fb.Set(f.pickLocal(t))
+		return
+	}
+	switch g.rng.Intn(12) {
+	case 0, 1: // local.set
+		t := g.randType()
+		f.expr(t, 2)
+		f.fb.Set(f.pickLocal(t))
+	case 2: // local.tee + drop
+		t := g.randType()
+		f.expr(t, 2)
+		f.fb.Tee(f.pickLocal(t)).Drop()
+	case 3: // global.set
+		t := []wasm.ValType{wasm.I32, wasm.I64, wasm.F64}[g.rng.Intn(3)]
+		f.expr(t, 2)
+		f.fb.GSet(f.globals[t][0])
+	case 4: // store
+		f.addr()
+		t := g.randType()
+		f.expr(t, 2)
+		switch t {
+		case wasm.I32:
+			ops := []wasm.Opcode{wasm.OpI32Store, wasm.OpI32Store8, wasm.OpI32Store16}
+			f.fb.Store(ops[g.rng.Intn(len(ops))], uint32(g.rng.Intn(64)))
+		case wasm.I64:
+			ops := []wasm.Opcode{wasm.OpI64Store, wasm.OpI64Store8, wasm.OpI64Store16, wasm.OpI64Store32}
+			f.fb.Store(ops[g.rng.Intn(len(ops))], uint32(g.rng.Intn(64)))
+		case wasm.F32:
+			f.fb.Store(wasm.OpF32Store, uint32(g.rng.Intn(64)))
+		default:
+			f.fb.Store(wasm.OpF64Store, uint32(g.rng.Intn(64)))
+		}
+	case 5: // if / if-else statement
+		f.expr(wasm.I32, 2)
+		f.fb.If()
+		f.inBlock(func() {
+			f.stmt(depth - 1)
+			if g.rng.Intn(2) == 0 {
+				f.stmt(depth - 1)
+			}
+		})
+		if g.rng.Intn(2) == 0 {
+			f.fb.Else()
+			f.inBlock(func() { f.stmt(depth - 1) })
+		}
+		f.fb.End()
+	case 6: // block with optional br_if / br out
+		f.fb.Block()
+		f.inBlock(func() {
+			f.stmt(depth - 1)
+			if g.rng.Intn(2) == 0 {
+				f.expr(wasm.I32, 2)
+				f.fb.BrIf(uint32(g.rng.Intn(f.labels)))
+			}
+			f.stmt(depth - 1)
+			if g.rng.Intn(4) == 0 {
+				f.fb.Br(uint32(g.rng.Intn(f.labels)))
+			}
+		})
+		f.fb.End()
+	case 7: // counted loop (always terminates; the loop label is never a
+		// free-form branch target — only the canonical back-edge uses it).
+		// The counter local is deliberately NOT registered in localsByType:
+		// if body statements could assign to it, they could hold it below
+		// the limit forever.
+		i := f.fb.Local(wasm.I32)
+		limit := int32(g.rng.Intn(9))
+		f.fb.ForI32(i, func(fb *builder.FuncBuilder) { fb.I32(limit) }, func(*builder.FuncBuilder) {
+			// The loop body starts a fresh label scope: the two labels ForI32
+			// introduces (its block and, crucially, the loop header) are not
+			// branch candidates, so generated branches can neither miss their
+			// intended target nor form an uncounted back edge.
+			saved := f.labels
+			f.labels = 0
+			f.stmt(depth - 1)
+			f.labels = saved
+		})
+	case 8: // br_table over nested empty blocks
+		n := 2 + g.rng.Intn(3)
+		for i := 0; i < n; i++ {
+			f.fb.Block()
+			f.labels++
+		}
+		f.expr(wasm.I32, 2)
+		targets := make([]uint32, 1+g.rng.Intn(n))
+		for i := range targets {
+			targets[i] = uint32(g.rng.Intn(n))
+		}
+		f.fb.BrTable(targets, uint32(g.rng.Intn(n)))
+		for i := 0; i < n; i++ {
+			f.fb.End()
+			f.labels--
+			if i < n-1 {
+				f.stmt(depth - 1)
+			}
+		}
+	case 9: // drop an expression
+		f.expr(g.randType(), 2)
+		f.fb.Drop()
+	case 10: // select into a local
+		t := g.randType()
+		f.expr(t, 2)
+		f.expr(t, 2)
+		f.expr(wasm.I32, 2)
+		f.fb.Select()
+		f.fb.Set(f.pickLocal(t))
+	default: // memory.size / memory.grow(0) observation
+		if g.rng.Intn(2) == 0 {
+			f.fb.Op(wasm.OpMemorySize)
+		} else {
+			f.fb.I32(0).Op(wasm.OpMemoryGrow)
+		}
+		f.fb.Set(f.pickLocal(wasm.I32))
+	}
+}
+
+// inBlock runs body with one more enclosing branch-targetable label.
+func (f *fgen) inBlock(body func()) {
+	f.labels++
+	body()
+	f.labels--
+}

@@ -80,7 +80,20 @@ func (s *Session) Instantiate(name string, programImports interp.Imports) (*inte
 	if s.stream != nil {
 		st := s.stream
 		inst.SetTopReturnHook(func(err error) {
+			// The hook runs after Instance.call's panic containment (it must
+			// observe the settled instance), so a host-side panic here would
+			// escape Invoke raw: degrade it to a terminal stream error.
+			defer func() {
+				if r := recover(); r != nil {
+					st.fail(fmt.Errorf("wasabi: stream flush panic: %v", r))
+				}
+			}()
 			st.em.Flush()
+			if err == nil {
+				// A host-side emitter fault (fault injection) ends the stream
+				// even when the invocation itself completed.
+				err = st.em.Err()
+			}
 			if err != nil {
 				st.fail(err)
 			}

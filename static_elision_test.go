@@ -67,7 +67,7 @@ func TestBlockProbeCountMatchesBlocks(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Analyze: %v", err)
 			}
-			eng := wasabi.NewEngine(wasabi.WithStaticAnalysis())
+			eng := mustEngine(t, wasabi.WithStaticAnalysis())
 			ca, err := eng.InstrumentFor(m, analyses.NewInstructionCoverage())
 			if err != nil {
 				t.Fatalf("InstrumentFor: %v", err)
@@ -146,7 +146,7 @@ func runCoverage(t *testing.T, eng *wasabi.Engine, c spectest.Case) map[analysis
 // and reconstructs the covered set from the packed probe events.
 func runStreamCoverage(t *testing.T, c spectest.Case) map[analysis.Location]bool {
 	t.Helper()
-	eng := wasabi.NewEngine(wasabi.WithStaticAnalysis())
+	eng := mustEngine(t, wasabi.WithStaticAnalysis())
 	ca, err := eng.InstrumentFor(c.Module(), analyses.NewInstructionCoverage())
 	if err != nil {
 		t.Fatalf("InstrumentFor: %v", err)
@@ -233,8 +233,8 @@ func TestBlockProbeCoverageParity(t *testing.T) {
 	for _, c := range spectest.Corpus() {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
-			perInstr := runCoverage(t, wasabi.NewEngine(), c)
-			blockCb := runCoverage(t, wasabi.NewEngine(wasabi.WithStaticAnalysis()), c)
+			perInstr := runCoverage(t, mustEngine(t), c)
+			blockCb := runCoverage(t, mustEngine(t, wasabi.WithStaticAnalysis()), c)
 			diffCoverage(t, c.Module(), perInstr, blockCb, "callback")
 			blockStream := runStreamCoverage(t, c)
 			diffCoverage(t, c.Module(), perInstr, blockStream, "stream")
@@ -285,12 +285,12 @@ func TestDeadFunctionElision(t *testing.T) {
 		return countCallsTo(ca.Module(), md.NumImportedFuncs, md.NumImportedFuncs+md.NumHooks), ca
 	}
 
-	plain, _ := hookCalls(wasabi.NewEngine())
+	plain, _ := hookCalls(mustEngine(t))
 	if plain[deadDef] == 0 {
 		t.Fatal("baseline engine should instrument the dead function (no elision without static analysis)")
 	}
 
-	elided, ca := hookCalls(wasabi.NewEngine(wasabi.WithStaticAnalysis()))
+	elided, ca := hookCalls(mustEngine(t, wasabi.WithStaticAnalysis()))
 	if elided[deadDef] != 0 {
 		t.Errorf("dead function carries %d hook calls after elision, want 0", elided[deadDef])
 	}

@@ -136,6 +136,14 @@ func (s *Session) Stream(opts ...StreamOption) (*Stream, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	// Per-stream overrides validate like the engine-wide options (the engine
+	// defaults were already checked at NewEngine).
+	if cfg.batchSize < 1 {
+		return nil, badOption("StreamBatchSize", cfg.batchSize, "a batch holds at least one record")
+	}
+	if cfg.backpressure != BackpressureBlock && cfg.backpressure != BackpressureDrop {
+		return nil, badOption("StreamBackpressure", int(cfg.backpressure), "unknown backpressure mode")
+	}
 	em := wruntime.NewEmitter(cfg.batchSize, cfg.backpressure)
 	s.rt.SetEmitter(em, caps)
 	tbl := s.compiled.EventTable()
@@ -204,7 +212,9 @@ func (st *Stream) Err() error {
 	if v := st.err.Load(); v != nil {
 		return v.(streamErr).error
 	}
-	return nil
+	// A host-side emitter fault (fault injection) recorded outside any
+	// invocation — e.g. during an explicit Flush or Close — is terminal too.
+	return st.em.Err()
 }
 
 // streamErr gives every stored terminal error the same concrete type, which

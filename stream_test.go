@@ -18,6 +18,7 @@ import (
 	"wasabi/internal/analysis"
 	"wasabi/internal/builder"
 	"wasabi/internal/interp"
+	"wasabi/internal/leakcheck"
 	"wasabi/internal/polybench"
 	"wasabi/internal/wasm"
 )
@@ -30,7 +31,7 @@ func fig9Workload(t *testing.T, n int32) (*wasabi.Engine, *wasabi.CompiledAnalys
 	if !ok {
 		t.Fatal("gemm kernel missing")
 	}
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 	compiled, err := engine.Instrument(k.Module(n), wasabi.AllCaps)
 	if err != nil {
 		t.Fatal(err)
@@ -92,6 +93,7 @@ func runStreamTracer(t *testing.T, compiled *wasabi.CompiledAnalysis, opts ...wa
 // the tracer run through callbacks and through packed records over the
 // Fig 9 workload must observe the identical event sequence.
 func TestStreamCallbackParity(t *testing.T) {
+	leakcheck.Check(t)
 	_, compiled := fig9Workload(t, 8)
 	want := runCallbackTracer(t, compiled)
 	st := runStreamTracer(t, compiled)
@@ -186,6 +188,7 @@ func TestStreamInstructionMixParity(t *testing.T) {
 // backpressure: the program must finish (never stall), the in-flight
 // batches must drain afterwards, and the overflow must be counted.
 func TestStreamDropMode(t *testing.T) {
+	leakcheck.Check(t)
 	_, compiled := fig9Workload(t, 8)
 	sink := analyses.NewStreamInstructionMix()
 	sess, err := compiled.NewSession(sink)
@@ -238,7 +241,7 @@ func TestStreamGroupsSurviveTinyBatches(t *testing.T) {
 	f.Done()
 	m := b.Build()
 
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 	compiled, err := engine.Instrument(m, wasabi.AllCaps)
 	if err != nil {
 		t.Fatal(err)
@@ -306,7 +309,7 @@ func TestStreamBrTableReplayWithoutEndHooks(t *testing.T) {
 	f.Done()
 	m := b.Build()
 
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 	compiled, err := engine.InstrumentHooks(m, analysis.Set(analysis.KindBrTable))
 	if err != nil {
 		t.Fatal(err)
@@ -390,6 +393,7 @@ func (loadOnlySink) StreamCaps() wasabi.Cap { return analysis.CapLoad }
 // when it completes — even when return hooks are not streamed, so no
 // return-hook encoder could have flushed.
 func TestStreamFlushesAtTopLevelReturn(t *testing.T) {
+	leakcheck.Check(t)
 	b := builder.New()
 	b.Memory(1)
 	f := b.Func("main", nil, builder.V(wasm.I32))
@@ -398,7 +402,7 @@ func TestStreamFlushesAtTopLevelReturn(t *testing.T) {
 	f.Done()
 	m := b.Build()
 
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 	compiled, err := engine.Instrument(m, wasabi.AllCaps)
 	if err != nil {
 		t.Fatal(err)
@@ -443,13 +447,14 @@ func TestStreamFlushesAtTopLevelReturn(t *testing.T) {
 // counting the undelivered events. (Session.Close is producer-side like
 // Flush: it must not race a running Invoke.)
 func TestSessionCloseWithUnconsumedStream(t *testing.T) {
+	leakcheck.Check(t)
 	b := builder.New()
 	b.Memory(1)
 	f := b.Func("main", nil, builder.V(wasm.I32))
 	f.I32(0).Load(wasm.OpI32Load, 0)
 	f.I32(4).Load(wasm.OpI32Load, 0).Op(wasm.OpI32Add)
 	f.Done()
-	engine := wasabi.NewEngine()
+	engine := mustEngine(t)
 	compiled, err := engine.Instrument(b.Build(), wasabi.AllCaps)
 	if err != nil {
 		t.Fatal(err)
@@ -554,6 +559,7 @@ func TestStreamOrderingErrors(t *testing.T) {
 // instances, the names become claimable again, and Engine.RemoveInstance
 // remains the manual path.
 func TestSessionCloseEvictsInstances(t *testing.T) {
+	leakcheck.Check(t)
 	engine, compiled := fig9Workload(t, 4)
 
 	sess, err := compiled.NewSession(analyses.NewInstructionMix())

@@ -1,0 +1,52 @@
+package wasabi_test
+
+// Unsupported-opcode robustness (public surface): a module using a post-MVP
+// instruction is rejected by Engine.Instrument at validate time with
+// ErrUnsupported — typed (which instruction, which proposal) and positioned
+// (which function, which instruction index) — never as a runtime fault.
+
+import (
+	"errors"
+	"testing"
+
+	"wasabi"
+	"wasabi/internal/wasm"
+)
+
+func TestUnsupportedInstructionRejectedAtInstrument(t *testing.T) {
+	eng := mustEngine(t)
+
+	m := &wasm.Module{}
+	ti := m.AddType(wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	m.Funcs = append(m.Funcs, wasm.Func{TypeIdx: ti, Body: []wasm.Instr{
+		wasm.LocalGet(0),
+		{Op: wasm.OpI32Extend8S},
+		wasm.End(),
+	}})
+
+	_, err := eng.Instrument(m, wasabi.AllCaps)
+	if err == nil {
+		t.Fatal("module with i32.extend8_s instrumented")
+	}
+	if !errors.Is(err, wasabi.ErrUnsupported) {
+		t.Errorf("error does not wrap ErrUnsupported: %v", err)
+	}
+	if !errors.Is(err, wasabi.ErrInvalidModule) {
+		t.Errorf("error does not wrap ErrInvalidModule: %v", err)
+	}
+	var ue *wasabi.UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error is not a *wasabi.UnsupportedError: %v", err)
+	}
+	if ue.Name != "i32.extend8_s" || ue.Proposal != "sign-extension" {
+		t.Errorf("UnsupportedError = %+v, want i32.extend8_s / sign-extension", ue)
+	}
+	var ve *wasabi.ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error is not a *wasabi.ValidationError: %v", err)
+	}
+	if ve.FuncIdx != 0 || ve.Instr != 1 || ve.Op != "i32.extend8_s" {
+		t.Errorf("position = func %d instr %d op %q, want func 0 instr 1 i32.extend8_s",
+			ve.FuncIdx, ve.Instr, ve.Op)
+	}
+}

@@ -7,7 +7,7 @@
 // layered the way the paper's workflow is used — instrument once, analyze
 // many times:
 //
-//	engine := wasabi.NewEngine()                            // process-wide, create once
+//	engine, err := wasabi.NewEngine()                       // process-wide, create once
 //	compiled, err := engine.Instrument(m, wasabi.AllCaps)   // instrument ONCE
 //
 //	sess, err := compiled.NewSession(myAnalysis)            // bind one analysis...
