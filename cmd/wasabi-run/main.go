@@ -7,13 +7,16 @@
 //
 //	wasabi-run [-analysis name] [-invoke func] [-arg N] module.wasm
 //	wasabi-run -workload gemm -analysis instruction-mix     (built-in workloads)
+//	wasabi-run -wasi [-args "a b c"] command.wasm           (WASI preview1 binaries)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"wasabi"
 	"wasabi/internal/analyses"
@@ -34,6 +37,9 @@ func main() {
 	workload := flag.String("workload", "", "built-in workload: a PolyBench kernel name or \"synthapp\"")
 	n := flag.Int("n", 16, "problem size for built-in workloads")
 	list := flag.Bool("list", false, "list bundled analyses and workloads")
+	wasiMode := flag.Bool("wasi", false, "run the module as a WASI preview1 command (_start entry, captured stdio)")
+	wasiArgs := flag.String("args", "", "space-separated program arguments for -wasi (argv[0] is the module path)")
+	wasiSeed := flag.Int64("seed", 0, "random_get seed for -wasi")
 	flag.Parse()
 
 	if *list {
@@ -85,7 +91,21 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	engine, err := wasabi.NewEngine()
+	var engineOpts []wasabi.EngineOption
+	if *wasiMode {
+		argv := []string{flag.Arg(0)}
+		if *wasiArgs != "" {
+			argv = append(argv, strings.Fields(*wasiArgs)...)
+		}
+		engineOpts = append(engineOpts, wasabi.WithWASI(wasabi.WASIConfig{
+			Args:       argv,
+			RandomSeed: *wasiSeed,
+		}))
+		if entry == "main" && *invoke == "" {
+			entry = "_start" // the preview1 command entry point
+		}
+	}
+	engine, err := wasabi.NewEngine(engineOpts...)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -111,8 +131,21 @@ func main() {
 		args = append(args, interp.I32(int32(*arg)))
 	}
 	res, err := inst.Invoke(entry, args...)
+	exitCode := 0
 	if err != nil {
-		fatal("invoke %s: %v", entry, err)
+		var xe *wasabi.ExitError
+		if *wasiMode && errors.As(err, &xe) {
+			// proc_exit is the normal way a WASI command ends; its code is
+			// the run's exit status, not an invocation failure.
+			exitCode = int(xe.Code)
+		} else {
+			fatal("invoke %s: %v", entry, err)
+		}
+	}
+	if *wasiMode {
+		w := sess.WASI()
+		os.Stdout.Write(w.Stdout())
+		os.Stderr.Write(w.Stderr())
 	}
 	if len(res) > 0 {
 		fmt.Printf("%s returned %v values; raw: %v\n", entry, len(res), res)
@@ -122,6 +155,9 @@ func main() {
 		r.Report(os.Stdout)
 	} else {
 		fmt.Println("(analysis has no report)")
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
 }
 

@@ -49,6 +49,7 @@ type Engine struct {
 	deadline     time.Duration // default InvokeContext deadline (WithDeadline)
 	static       bool          // analysis-aware instrumentation (WithStaticAnalysis)
 	noValidate   bool          // skip input validation (WithoutValidation)
+	wasiCfg      *WASIConfig   // preview1 host environment (WithWASI); nil = no WASI
 	reg          *interp.Registry
 	pool         *wruntime.ValuePool
 

@@ -46,8 +46,10 @@ var ErrInvalidModule = errors.New("wasabi: input module invalid")
 var ErrBadOption = errors.New("wasabi: invalid option value")
 
 // ErrUnsupported reports a module using instructions from a post-MVP
-// proposal the runtime does not implement yet (sign-extension operators,
-// saturating truncation, bulk memory). Such modules are rejected at
+// proposal the runtime does not implement yet (passive data/element
+// segments and the table forms of bulk memory; sign-extension, saturating
+// truncation, and memory.copy/memory.fill are implemented and accepted).
+// Such modules are rejected at
 // validation time with a position instead of faulting mid-execution — the
 // decoder deliberately represents these instructions so the failure is
 // typed, not a generic decode error. Matched with errors.Is (the error also

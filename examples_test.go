@@ -48,6 +48,10 @@ func TestExamples(t *testing.T) {
 			"main(5) = square(5) + cube(5) = 150 (expect 150)",
 			"cross-module imports resolved through the engine registry",
 		}},
+		{"wasi-hello", []string{
+			`guest stdout: "hello from wasi\n" (exit status 0)`,
+			"3 WASI syscalls counted by the analysis; stdout captured in-memory",
+		}},
 		{"streamtrace", []string{
 			"main(4) = 135 on both surfaces",
 			"callback and stream traces match (148 events)",

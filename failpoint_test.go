@@ -29,12 +29,15 @@ import (
 )
 
 // faultModule builds the workload guest: a direct call (value-pool traffic
-// through CallPre args), a host call through the generic host-call path, and
-// memory traffic, so every registered failpoint is reachable from one run.
+// through CallPre args), a host call through the generic host-call path, a
+// WASI syscall (the wasi-host-call seam), and memory traffic, so every
+// registered failpoint is reachable from one run.
 func faultModule() *wasm.Module {
 	b := builder.New()
 	b.Memory(1)
 	ping := b.ImportFunc("env", "ping", builder.Sig(builder.V(wasm.I32), builder.V(wasm.I32)))
+	random := b.ImportFunc("wasi_snapshot_preview1", "random_get",
+		wasm.FuncType{Params: []wasm.ValType{wasm.I32, wasm.I32}, Results: []wasm.ValType{wasm.I32}})
 	twice := b.Func("twice", builder.V(wasm.I32), builder.V(wasm.I32))
 	twice.Get(0).I32(2).Op(wasm.OpI32Mul)
 	twice.Done()
@@ -42,6 +45,7 @@ func faultModule() *wasm.Module {
 	acc := f.Local(wasm.I32)
 	f.Get(0).Call(twice.Index).Set(acc)
 	f.Get(acc).Call(ping).Set(acc)
+	f.I32(64).I32(4).Call(random).Drop() // WASI syscall; errno discarded
 	f.I32(0).Get(acc).Store(wasm.OpI32Store, 0)
 	f.I32(0).Load(wasm.OpI32Load, 0)
 	f.Done()
@@ -179,7 +183,7 @@ func TestFailpointsSingly(t *testing.T) {
 			leakcheck.Check(t)
 			failpoint.DisarmAll()
 			t.Cleanup(failpoint.DisarmAll)
-			eng := mustEngine(t)
+			eng := mustEngine(t, wasabi.WithWASI(wasabi.WASIConfig{}))
 			name := "fp-" + p.String()
 
 			failpoint.Arm(p)
@@ -219,6 +223,19 @@ func TestFailpointsSingly(t *testing.T) {
 				if out.stInvokeErr == nil || out.streamErr == nil {
 					t.Errorf("stream run should trap and end the stream: invoke %v, stream %v", out.stInvokeErr, out.streamErr)
 				}
+			case failpoint.WASIHostCall:
+				// The WASI provider surfaces the injected fault as a host-call
+				// trap, same degraded shape as a failing embedder host function.
+				var trap *wasabi.Trap
+				if !errors.As(out.cbInvokeErr, &trap) || trap.Code != "host function error" {
+					t.Errorf("callback Invoke err = %v, want host-function-error trap", out.cbInvokeErr)
+				}
+				if !errors.Is(out.cbInvokeErr, failpoint.ErrInjected) {
+					t.Errorf("callback Invoke err = %v, want injected cause to survive", out.cbInvokeErr)
+				}
+				if out.stInvokeErr == nil || out.streamErr == nil {
+					t.Errorf("stream run should trap and end the stream: invoke %v, stream %v", out.stInvokeErr, out.streamErr)
+				}
 			case failpoint.InstrumentCache:
 				if !errors.Is(out.instrumentErr, failpoint.ErrInjected) {
 					t.Errorf("Instrument err = %v, want injected", out.instrumentErr)
@@ -248,7 +265,7 @@ func TestFailpointsPairwise(t *testing.T) {
 				leakcheck.Check(t)
 				failpoint.DisarmAll()
 				t.Cleanup(failpoint.DisarmAll)
-				eng := mustEngine(t)
+				eng := mustEngine(t, wasabi.WithWASI(wasabi.WASIConfig{}))
 				name := "fp-pair"
 
 				failpoint.Arm(p)

@@ -498,30 +498,40 @@ func (r *reader) instrsUntilEndOfInput(brTargets *[]uint32) ([]wasm.Instr, error
 
 // miscInstr decodes a 0xFC-prefixed instruction (saturating truncation,
 // bulk memory) whose prefix byte has already been consumed. The subopcode
-// lands in Instr.Idx and the immediates are consumed — but discarded — so
-// the rest of the body still decodes with correct instruction positions;
-// validation then rejects the instruction as unsupported. Subopcodes outside
-// the known tables are not WebAssembly at all and fail here.
+// lands in Instr.Idx. For the implemented subopcodes (trunc_sat,
+// memory.copy, memory.fill) the reserved memory-index immediates must be
+// zero, as the single-memory format requires; for the recognized-but-
+// unimplemented subopcodes the immediates are consumed but discarded, so
+// the rest of the body still decodes with correct instruction positions and
+// validation rejects the instruction with a typed, positioned error.
+// Subopcodes outside the known tables are not WebAssembly at all and fail
+// here.
 func (r *reader) miscInstr() (wasm.Instr, error) {
 	off := r.pos - 1
 	sub := r.u32()
 	if r.err != nil {
 		return wasm.Instr{}, r.err
 	}
-	in := wasm.Instr{Op: wasm.OpMiscPrefix, Idx: sub}
+	in := wasm.MiscInstr(sub)
 	switch sub {
 	case 0, 1, 2, 3, 4, 5, 6, 7: // *.trunc_sat_*: no immediates
-	case 8: // memory.init dataidx memidx
+	case wasm.MiscMemoryInit: // memory.init dataidx memidx
 		r.u32()
 		r.byte()
-	case 9, 13: // data.drop dataidx / elem.drop elemidx
+	case wasm.MiscDataDrop, wasm.MiscElemDrop: // data.drop dataidx / elem.drop elemidx
 		r.u32()
-	case 10: // memory.copy memidx memidx
-		r.byte()
-		r.byte()
-	case 11: // memory.fill memidx
-		r.byte()
-	case 12, 14: // table.init elemidx tableidx / table.copy dst src
+	case wasm.MiscMemoryCopy: // memory.copy memidx memidx
+		if b := r.byte(); b != 0 && r.err == nil {
+			return in, fmt.Errorf("binary: memory.copy reserved byte is 0x%02x", b)
+		}
+		if b := r.byte(); b != 0 && r.err == nil {
+			return in, fmt.Errorf("binary: memory.copy reserved byte is 0x%02x", b)
+		}
+	case wasm.MiscMemoryFill: // memory.fill memidx
+		if b := r.byte(); b != 0 && r.err == nil {
+			return in, fmt.Errorf("binary: memory.fill reserved byte is 0x%02x", b)
+		}
+	case wasm.MiscTableInit, wasm.MiscTableCopy: // table.init elemidx tableidx / table.copy dst src
 		r.u32()
 		r.u32()
 	default:
@@ -541,12 +551,6 @@ func (r *reader) instr(brTargets *[]uint32) (wasm.Instr, error) {
 	if !op.Known() {
 		if op == wasm.OpMiscPrefix {
 			return r.miscInstr()
-		}
-		if op.Unsupported() {
-			// Sign-extension operator: no immediates. Decoded as-is so
-			// validation rejects it with a typed, positioned error instead
-			// of the decoder failing with "unknown opcode".
-			return wasm.Instr{Op: op}, nil
 		}
 		return wasm.Instr{}, fmt.Errorf("binary: unknown opcode 0x%02x at offset %d", byte(op), r.pos-1)
 	}

@@ -356,8 +356,8 @@ func funcBodySize(f *wasm.Func) (int, error) {
 func instrSize(in *wasm.Instr, brTargets []uint32) (int, error) {
 	op := in.Op
 	if !op.Known() {
-		if name, proposal, ok := wasm.UnsupportedInfo(*in); ok {
-			return 0, fmt.Errorf("binary: cannot encode %s (%s proposal not implemented)", name, proposal)
+		if op == wasm.OpMiscPrefix {
+			return miscInstrSize(in)
 		}
 		return 0, fmt.Errorf("binary: unknown opcode 0x%02x", byte(op))
 	}
@@ -399,6 +399,41 @@ func instrSize(in *wasm.Instr, brTargets []uint32) (int, error) {
 	return n, nil
 }
 
+// miscInstrSize returns the exact encoded size of an implemented
+// 0xFC-prefixed instruction, mirroring appendMiscInstr. Unimplemented
+// subopcodes are unencodable: modules carrying them never pass validation,
+// so the instrumenter cannot be asked to re-encode one.
+func miscInstrSize(in *wasm.Instr) (int, error) {
+	n := 1 + leb128.SizeU32(in.Idx)
+	switch {
+	case in.Idx <= wasm.MiscI64TruncSatF64U: // trunc_sat: no immediates
+	case in.Idx == wasm.MiscMemoryCopy:
+		n += 2 // two reserved memory indices
+	case in.Idx == wasm.MiscMemoryFill:
+		n++ // one reserved memory index
+	default:
+		name, proposal, _ := wasm.UnsupportedInfo(*in)
+		return 0, fmt.Errorf("binary: cannot encode %s (%s proposal not implemented)", name, proposal)
+	}
+	return n, nil
+}
+
+func appendMiscInstr(b []byte, in *wasm.Instr) ([]byte, error) {
+	if _, _, unsupported := wasm.UnsupportedInfo(*in); unsupported {
+		name, proposal, _ := wasm.UnsupportedInfo(*in)
+		return nil, fmt.Errorf("binary: cannot encode %s (%s proposal not implemented)", name, proposal)
+	}
+	b = append(b, byte(wasm.OpMiscPrefix))
+	b = leb128.AppendU32(b, in.Idx)
+	switch in.Idx {
+	case wasm.MiscMemoryCopy:
+		b = append(b, 0x00, 0x00) // reserved memory indices
+	case wasm.MiscMemoryFill:
+		b = append(b, 0x00) // reserved memory index
+	}
+	return b, nil
+}
+
 // appendExpr encodes a constant expression, which must already be terminated
 // by an end instruction. Constant expressions cannot contain br_table, so no
 // target pool is needed.
@@ -423,6 +458,9 @@ func appendInstrs(b []byte, instrs []wasm.Instr, brTargets []uint32) ([]byte, er
 func appendInstr(b []byte, in *wasm.Instr, brTargets []uint32) ([]byte, error) {
 	op := in.Op
 	if !op.Known() {
+		if op == wasm.OpMiscPrefix {
+			return appendMiscInstr(b, in)
+		}
 		return nil, fmt.Errorf("binary: unknown opcode 0x%02x", byte(op))
 	}
 	b = append(b, byte(op))

@@ -1,9 +1,12 @@
 package binary
 
-// Post-MVP instruction handling: sign-extension operators and 0xFC-prefixed
-// instructions decode into representable form (so validation can reject
-// them with a typed, positioned error) while truly unknown encodings still
-// fail at decode. See wasm.UnsupportedInfo and validate.ErrUnsupported.
+// Post-MVP instruction handling: sign-extension operators, saturating
+// truncation, and memory.copy/memory.fill decode, validate, and re-encode
+// like any MVP instruction. The remaining 0xFC forms (passive-segment and
+// table bulk memory) decode into representable form — so validation can
+// reject them with a typed, positioned error — while truly unknown
+// encodings still fail at decode. See wasm.UnsupportedInfo and
+// validate.ErrUnsupported.
 
 import (
 	"errors"
@@ -27,6 +30,84 @@ func unsupportedModule(body ...byte) []byte {
 	return append(b, sec...)
 }
 
+// memModule is unsupportedModule plus a one-page memory, for instructions
+// that validate only in the presence of a memory.
+func memModule(body ...byte) []byte {
+	b := []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+	b = append(b, 0x01, 0x04, 0x01, 0x60, 0x00, 0x00) // type section: [] -> []
+	b = append(b, 0x03, 0x02, 0x01, 0x00)             // function section: 1 func, type 0
+	b = append(b, 0x05, 0x03, 0x01, 0x00, 0x01)       // memory section: 1 memory, min 1
+	code := append([]byte{byte(len(body) + 1), 0x00}, body...)
+	sec := append([]byte{0x01}, code...)
+	b = append(b, 0x0A, byte(len(sec)))
+	return append(b, sec...)
+}
+
+func TestDecodeImplementedPostMVPInstructions(t *testing.T) {
+	cases := []struct {
+		name  string
+		mod   []byte
+		instr int // index of the instruction of interest in the decoded body
+		want  wasm.Instr
+	}{
+		{
+			name:  "sign-extension",
+			mod:   unsupportedModule(0x41, 0x00, 0xC0, 0x1A, 0x0B), // i32.const 0; i32.extend8_s; drop; end
+			instr: 1,
+			want:  wasm.Instr{Op: wasm.OpI32Extend8S},
+		},
+		{
+			name: "saturating-trunc",
+			// f64.const 0; i32.trunc_sat_f64_s; drop; end
+			mod:   unsupportedModule(0x44, 0, 0, 0, 0, 0, 0, 0, 0, 0xFC, 0x02, 0x1A, 0x0B),
+			instr: 1,
+			want:  wasm.Instr{Op: wasm.OpMiscPrefix, Idx: wasm.MiscI32TruncSatF64S},
+		},
+		{
+			name: "memory-fill",
+			// i32.const 0 ×3; memory.fill (memidx immediate); end
+			mod:   memModule(0x41, 0x00, 0x41, 0x00, 0x41, 0x08, 0xFC, 0x0B, 0x00, 0x0B),
+			instr: 3,
+			want:  wasm.Instr{Op: wasm.OpMiscPrefix, Idx: wasm.MiscMemoryFill},
+		},
+		{
+			name: "memory-copy",
+			// i32.const 0 ×3; memory.copy (two memidx immediates); end
+			mod:   memModule(0x41, 0x00, 0x41, 0x00, 0x41, 0x08, 0xFC, 0x0A, 0x00, 0x00, 0x0B),
+			instr: 3,
+			want:  wasm.Instr{Op: wasm.OpMiscPrefix, Idx: wasm.MiscMemoryCopy},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Decode(tc.mod)
+			if err != nil {
+				t.Fatalf("decode failed: %v", err)
+			}
+			got := m.Funcs[0].Body[tc.instr]
+			if got != tc.want {
+				t.Fatalf("decoded instr = %+v, want %+v", got, tc.want)
+			}
+			if verr := validate.Module(m); verr != nil {
+				t.Fatalf("implemented instruction rejected: %v", verr)
+			}
+
+			// The instruction survives an encode/decode round trip.
+			enc, err := Encode(m)
+			if err != nil {
+				t.Fatalf("encode failed: %v", err)
+			}
+			m2, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if got := m2.Funcs[0].Body[tc.instr]; got != tc.want {
+				t.Errorf("round-tripped instr = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
 func TestDecodeUnsupportedInstructions(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -35,29 +116,6 @@ func TestDecodeUnsupportedInstructions(t *testing.T) {
 		want  wasm.Instr
 		text  string // expected text name reported by validation
 	}{
-		{
-			name:  "sign-extension",
-			body:  []byte{0x41, 0x00, 0xC0, 0x1A, 0x0B}, // i32.const 0; i32.extend8_s; drop; end
-			instr: 1,
-			want:  wasm.Instr{Op: wasm.OpI32Extend8S},
-			text:  "i32.extend8_s",
-		},
-		{
-			name: "saturating-trunc",
-			// f64.const 0; i32.trunc_sat_f64_s; drop; end
-			body:  []byte{0x44, 0, 0, 0, 0, 0, 0, 0, 0, 0xFC, 0x02, 0x1A, 0x0B},
-			instr: 1,
-			want:  wasm.Instr{Op: wasm.OpMiscPrefix, Idx: 2},
-			text:  "i32.trunc_sat_f64_s",
-		},
-		{
-			name: "memory-fill",
-			// i32.const 0 ×3; memory.fill (memidx immediate); end
-			body:  []byte{0x41, 0x00, 0x41, 0x00, 0x41, 0x08, 0xFC, 0x0B, 0x00, 0x0B},
-			instr: 3,
-			want:  wasm.Instr{Op: wasm.OpMiscPrefix, Idx: 11},
-			text:  "memory.fill",
-		},
 		{
 			name: "memory-init",
 			// i32.const 0 ×3; memory.init 0 (dataidx + memidx immediates); end

@@ -742,6 +742,14 @@ func (fi *funcInstrumenter) instr(i int, in wasm.Instr, reachable bool, matchEnd
 			fi.emitLowerLocal(outs[0], r)
 			fi.emitOpHook(op)
 
+		case op == wasm.OpMiscPrefix:
+			// 0xFC instructions (saturating truncation, memory.copy/fill)
+			// pass through unhooked: the low-level hook namespace is keyed
+			// by single-byte opcode, and hooks never alter execution, so an
+			// unhooked instruction preserves faithfulness — the differential
+			// oracle pins the instrumented and plain semantics as equal.
+			fi.emit(in)
+
 		default:
 			return fmt.Errorf("unhandled opcode %s", op)
 		}

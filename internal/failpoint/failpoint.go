@@ -56,6 +56,10 @@ const (
 	// InstrumentCache fires when the engine is about to insert a freshly
 	// instrumented module into its compiled-analysis cache.
 	InstrumentCache
+	// WASIHostCall fires at the WASI syscall boundary, as a
+	// wasi_snapshot_preview1 host function is about to service a guest
+	// request (before any fd/clock/random state is touched).
+	WASIHostCall
 
 	numPoints int = iota
 )
@@ -68,6 +72,7 @@ var pointNames = [numPoints]string{
 	ValuePoolGet:    "value-pool-get",
 	HostCall:        "host-call",
 	InstrumentCache: "instrument-cache",
+	WASIHostCall:    "wasi-host-call",
 }
 
 // String returns the point's stable name (also its WASABI_FAILPOINTS token).

@@ -103,6 +103,7 @@ func TestNames(t *testing.T) {
 		ValuePoolGet:    "value-pool-get",
 		HostCall:        "host-call",
 		InstrumentCache: "instrument-cache",
+		WASIHostCall:    "wasi-host-call",
 	}
 	if len(want) != numPoints {
 		t.Fatalf("test covers %d points, package registers %d", len(want), numPoints)

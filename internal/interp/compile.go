@@ -81,6 +81,10 @@ const (
 	iUn    // unary numeric; a = wasm opcode
 	iBin   // binary numeric; a = wasm opcode
 
+	iTruncSat // saturating truncation; a = 0xFC subopcode (0–7)
+	iMemCopy  // pop len, src, dst; copy within linear memory
+	iMemFill  // pop len, val, dst; fill linear memory
+
 	// Superinstructions, fused from the dominant adjacent pairs/triples.
 	// Instrumented code is full of hook-call prologues (two i32 location
 	// constants, then the saved operands from scratch locals), which is why
@@ -633,6 +637,29 @@ func (c *compiler) step(in wasm.Instr) error {
 			}
 			c.push(1)
 			c.emitBin(op)
+		case op == wasm.OpMiscPrefix:
+			if _, _, ok := wasm.MiscTruncSatSig(in.Idx); ok {
+				if err := c.popN(1); err != nil {
+					return fmt.Errorf("%s: %w", wasm.MiscName(in.Idx), err)
+				}
+				c.push(1)
+				c.emit(instr{op: iTruncSat, a: in.Idx})
+				return nil
+			}
+			switch in.Idx {
+			case wasm.MiscMemoryCopy:
+				if err := c.popN(3); err != nil {
+					return fmt.Errorf("memory.copy: %w", err)
+				}
+				c.emit(instr{op: iMemCopy})
+			case wasm.MiscMemoryFill:
+				if err := c.popN(3); err != nil {
+					return fmt.Errorf("memory.fill: %w", err)
+				}
+				c.emit(instr{op: iMemFill})
+			default:
+				return fmt.Errorf("unsupported 0xfc subopcode %d (%s)", in.Idx, wasm.MiscName(in.Idx))
+			}
 		default:
 			return fmt.Errorf("unsupported opcode %s", op)
 		}

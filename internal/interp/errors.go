@@ -10,6 +10,12 @@ import (
 type Trap struct {
 	Code string
 	Info string
+
+	// Cause, when non-nil, is the originating host-function error: the
+	// host-call boundary preserves it so typed host errors (e.g. the WASI
+	// provider's ExitError) stay recoverable with errors.As/errors.Is after
+	// the conversion to a trap.
+	Cause error
 }
 
 func (t *Trap) Error() string {
@@ -20,7 +26,8 @@ func (t *Trap) Error() string {
 }
 
 // Unwrap maps the containment trap kinds onto their sentinel errors so
-// embedders can match with errors.Is without inspecting Code strings.
+// embedders can match with errors.Is without inspecting Code strings, and
+// surfaces the host-error cause when there is one.
 func (t *Trap) Unwrap() error {
 	switch t.Code {
 	case TrapFuelExhausted:
@@ -28,7 +35,7 @@ func (t *Trap) Unwrap() error {
 	case TrapInterrupted:
 		return ErrInterrupted
 	}
-	return nil
+	return t.Cause
 }
 
 // Trap codes, mirroring the spec's execution errors, plus the containment

@@ -97,6 +97,15 @@ func (inst *Instance) exec(cf *compiledFunc, args []Value, fr *frame) []Value {
 			stack[sp-1] = binop(wasm.Opcode(in.a), stack[sp-1], stack[sp])
 		case iUn:
 			stack[sp-1] = unop(wasm.Opcode(in.a), stack[sp-1])
+		case iTruncSat:
+			stack[sp-1] = truncSat(in.a, stack[sp-1])
+
+		case iMemCopy:
+			sp -= 3
+			inst.Memory.copyWithin(uint32(stack[sp]), uint32(stack[sp+1]), uint32(stack[sp+2]))
+		case iMemFill:
+			sp -= 3
+			inst.Memory.fill(uint32(stack[sp]), byte(stack[sp+1]), uint32(stack[sp+2]))
 
 		case iGetConstCmpBrIf:
 			if binop(wasm.Opcode(in.a>>24), locals[in.a&fuseLocalMask], in.bits) != 0 {
@@ -584,7 +593,45 @@ func unop(op wasm.Opcode, v Value) Value {
 	case wasm.OpI32ReinterpretF32, wasm.OpI64ReinterpretF64,
 		wasm.OpF32ReinterpretI32, wasm.OpF64ReinterpretI64:
 		return v
+
+	// Sign-extension operators (the 0xC0–0xC4 proposal).
+	case wasm.OpI32Extend8S:
+		return uint64(uint32(int32(int8(v))))
+	case wasm.OpI32Extend16S:
+		return uint64(uint32(int32(int16(v))))
+	case wasm.OpI64Extend8S:
+		return uint64(int64(int8(v)))
+	case wasm.OpI64Extend16S:
+		return uint64(int64(int16(v)))
+	case wasm.OpI64Extend32S:
+		return uint64(int64(int32(v)))
 	}
 	faultf("interp: unhandled unary opcode %s", op) // typed fault, like binop
+	return 0
+}
+
+// truncSat implements the saturating float→int truncations (0xFC subopcodes
+// 0–7) on raw stack values: NaN produces 0 and out-of-range values clamp to
+// the target type's bounds instead of trapping.
+func truncSat(sub uint32, v Value) Value {
+	switch sub {
+	case wasm.MiscI32TruncSatF32S:
+		return uint64(uint32(truncSatI32(float64(AsF32(v)))))
+	case wasm.MiscI32TruncSatF32U:
+		return uint64(truncSatU32(float64(AsF32(v))))
+	case wasm.MiscI32TruncSatF64S:
+		return uint64(uint32(truncSatI32(AsF64(v))))
+	case wasm.MiscI32TruncSatF64U:
+		return uint64(truncSatU32(AsF64(v)))
+	case wasm.MiscI64TruncSatF32S:
+		return uint64(truncSatI64(float64(AsF32(v))))
+	case wasm.MiscI64TruncSatF32U:
+		return truncSatU64(float64(AsF32(v)))
+	case wasm.MiscI64TruncSatF64S:
+		return uint64(truncSatI64(AsF64(v)))
+	case wasm.MiscI64TruncSatF64U:
+		return truncSatU64(AsF64(v))
+	}
+	faultf("interp: unhandled trunc_sat subopcode %d", sub) // typed fault
 	return 0
 }

@@ -570,5 +570,5 @@ func hostErr(err error) {
 	if t, ok := err.(*Trap); ok {
 		panic(t)
 	}
-	panic(&Trap{Code: "host function error", Info: err.Error()})
+	panic(&Trap{Code: "host function error", Info: err.Error(), Cause: err})
 }

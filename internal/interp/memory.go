@@ -93,6 +93,28 @@ func (m *Memory) store(addr, offset, size uint32, v uint64) {
 	}
 }
 
+// copyWithin implements memory.copy: bounds are checked up front (a trap
+// leaves memory untouched, even for len 0 past the end) and overlapping
+// ranges copy with memmove semantics.
+func (m *Memory) copyWithin(dst, src, n uint32) {
+	if uint64(dst)+uint64(n) > uint64(len(m.Data)) || uint64(src)+uint64(n) > uint64(len(m.Data)) {
+		trapf(TrapOutOfBounds, "memory.copy dst %d src %d len %d exceeds memory size %d", dst, src, n, len(m.Data))
+	}
+	copy(m.Data[dst:uint64(dst)+uint64(n)], m.Data[src:uint64(src)+uint64(n)])
+}
+
+// fill implements memory.fill: bounds are checked up front, then [dst,
+// dst+n) is set to val.
+func (m *Memory) fill(dst uint32, val byte, n uint32) {
+	if uint64(dst)+uint64(n) > uint64(len(m.Data)) {
+		trapf(TrapOutOfBounds, "memory.fill dst %d len %d exceeds memory size %d", dst, n, len(m.Data))
+	}
+	b := m.Data[dst : uint64(dst)+uint64(n)]
+	for i := range b {
+		b[i] = val
+	}
+}
+
 // Table is an instantiated funcref table; -1 marks uninitialized slots.
 // Like Memory, HasMax distinguishes a declared maximum of 0 (a real limit)
 // from "no maximum", and Cap is the host-configured element ceiling

@@ -103,3 +103,62 @@ func truncToU64(f float64) uint64 {
 	}
 	return uint64(t)
 }
+
+// Saturating float→int conversions (the 0xFC trunc_sat family) never trap:
+// NaN maps to 0 and out-of-range values clamp to the target type's bounds.
+
+func truncSatI32(f float64) int32 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	t := math.Trunc(f)
+	switch {
+	case t < -2147483648:
+		return math.MinInt32
+	case t > 2147483647:
+		return math.MaxInt32
+	}
+	return int32(t)
+}
+
+func truncSatU32(f float64) uint32 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	t := math.Trunc(f)
+	switch {
+	case t < 0:
+		return 0
+	case t > 4294967295:
+		return math.MaxUint32
+	}
+	return uint32(t)
+}
+
+func truncSatI64(f float64) int64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	t := math.Trunc(f)
+	switch {
+	case t < -9223372036854775808:
+		return math.MinInt64
+	case t >= 9223372036854775808:
+		return math.MaxInt64
+	}
+	return int64(t)
+}
+
+func truncSatU64(f float64) uint64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	t := math.Trunc(f)
+	switch {
+	case t < 0:
+		return 0
+	case t >= 18446744073709551616:
+		return math.MaxUint64
+	}
+	return uint64(t)
+}

@@ -479,6 +479,36 @@ func (fr *frame) exec(body []wasm.Instr, pool []uint32, pc int) (int, int) {
 			fr.push(ins.ConstValue())
 			pc++
 
+		case wasm.OpMiscPrefix:
+			switch sub := ins.Idx; sub {
+			case wasm.MiscMemoryCopy:
+				n := uint32(fr.pop())
+				src := uint32(fr.pop())
+				dst := uint32(fr.pop())
+				if uint64(dst)+uint64(n) > uint64(len(inst.Mem)) || uint64(src)+uint64(n) > uint64(len(inst.Mem)) {
+					trapf(TrapOutOfBounds, "memory.copy dst %d src %d len %d exceeds memory size %d", dst, src, n, len(inst.Mem))
+				}
+				copy(inst.Mem[dst:uint64(dst)+uint64(n)], inst.Mem[src:uint64(src)+uint64(n)])
+			case wasm.MiscMemoryFill:
+				n := uint32(fr.pop())
+				val := byte(fr.pop())
+				dst := uint32(fr.pop())
+				if uint64(dst)+uint64(n) > uint64(len(inst.Mem)) {
+					trapf(TrapOutOfBounds, "memory.fill dst %d len %d exceeds memory size %d", dst, n, len(inst.Mem))
+				}
+				b := inst.Mem[dst : uint64(dst)+uint64(n)]
+				for i := range b {
+					b[i] = val
+				}
+			default:
+				if sub <= wasm.MiscI64TruncSatF64U {
+					fr.push(refTruncSat(sub, fr.pop()))
+				} else {
+					trapf("host function error", "refinterp: unhandled 0xfc subopcode %d", sub)
+				}
+			}
+			pc++
+
 		default:
 			switch {
 			case ins.Op.IsLoad():
@@ -679,6 +709,76 @@ func truncU64(f float64) Value {
 	t := math.Trunc(f)
 	if t < 0 || t >= 18446744073709551616 {
 		trap(TrapIntOverflow)
+	}
+	return uint64(t)
+}
+
+// refTruncSat implements the saturating float→int truncations (0xFC
+// subopcodes 0–7): NaN produces 0 and out-of-range values clamp to the
+// target type's bounds instead of trapping.
+func refTruncSat(sub uint32, v Value) Value {
+	sat := func(f, lo, hi float64) float64 {
+		if math.IsNaN(f) {
+			return 0
+		}
+		t := math.Trunc(f)
+		if t < lo {
+			return lo
+		}
+		if t > hi {
+			return hi
+		}
+		return t
+	}
+	switch sub {
+	case wasm.MiscI32TruncSatF32S:
+		return uint64(uint32(int32(sat(float64(f32(v)), -2147483648, 2147483647))))
+	case wasm.MiscI32TruncSatF32U:
+		return uint64(uint32(sat(float64(f32(v)), 0, 4294967295)))
+	case wasm.MiscI32TruncSatF64S:
+		return uint64(uint32(int32(sat(f64(v), -2147483648, 2147483647))))
+	case wasm.MiscI32TruncSatF64U:
+		return uint64(uint32(sat(f64(v), 0, 4294967295)))
+	case wasm.MiscI64TruncSatF32S:
+		return satI64(float64(f32(v)))
+	case wasm.MiscI64TruncSatF32U:
+		return satU64(float64(f32(v)))
+	case wasm.MiscI64TruncSatF64S:
+		return satI64(f64(v))
+	case wasm.MiscI64TruncSatF64U:
+		return satU64(f64(v))
+	}
+	trapf("host function error", "refinterp: unhandled trunc_sat subopcode %d", sub)
+	return 0
+}
+
+// satI64/satU64 clamp at the 64-bit bounds, which are not exactly
+// representable as float64 maxima — the comparisons use the representable
+// boundary 2^63 (resp. 2^64) directly.
+func satI64(f float64) Value {
+	if math.IsNaN(f) {
+		return 0
+	}
+	t := math.Trunc(f)
+	switch {
+	case t < -9223372036854775808:
+		return 0x8000000000000000 // int64 min, as its raw bits
+	case t >= 9223372036854775808:
+		return uint64(int64(math.MaxInt64))
+	}
+	return uint64(int64(t))
+}
+
+func satU64(f float64) Value {
+	if math.IsNaN(f) {
+		return 0
+	}
+	t := math.Trunc(f)
+	switch {
+	case t < 0:
+		return 0
+	case t >= 18446744073709551616:
+		return uint64(math.MaxUint64)
 	}
 	return uint64(t)
 }
@@ -984,6 +1084,17 @@ func refUnop(op wasm.Opcode, v Value) Value {
 	case wasm.OpI32ReinterpretF32, wasm.OpI64ReinterpretF64,
 		wasm.OpF32ReinterpretI32, wasm.OpF64ReinterpretI64:
 		return v
+
+	case wasm.OpI32Extend8S:
+		return uint64(uint32(int32(int8(v))))
+	case wasm.OpI32Extend16S:
+		return uint64(uint32(int32(int16(v))))
+	case wasm.OpI64Extend8S:
+		return uint64(int64(int8(v)))
+	case wasm.OpI64Extend16S:
+		return uint64(int64(int16(v)))
+	case wasm.OpI64Extend32S:
+		return uint64(int64(int32(v)))
 	}
 	trapf("host function error", "refinterp: unhandled unary opcode %s", op)
 	return 0

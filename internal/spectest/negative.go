@@ -113,29 +113,31 @@ func NegativeCorpus() []NegativeCase {
 			CFGMustErr: true,
 		},
 		{
-			// Recognized post-MVP instructions (see wasm.UnsupportedInfo):
-			// decodable, but rejected by validation as unsupported.
-			Name: "unsupported-sign-extension",
-			Module: func() *wasm.Module {
-				return badFunc(i32, i32,
-					wasm.LocalGet(0), wasm.Instr{Op: wasm.OpI32Extend8S}, wasm.End())
-			},
-		},
-		{
-			Name: "unsupported-saturating-trunc",
-			Module: func() *wasm.Module {
-				return badFunc(nil, i32,
-					wasm.F64ConstInstr(1), wasm.Instr{Op: wasm.OpMiscPrefix, Idx: 2}, wasm.End())
-			},
-		},
-		{
-			Name: "unsupported-bulk-memory",
+			// Recognized post-MVP instructions the runtime still does not
+			// implement (see wasm.UnsupportedInfo): decodable, but rejected
+			// by validation as unsupported.
+			Name: "unsupported-memory-init",
 			Module: func() *wasm.Module {
 				m := badFunc(nil, nil,
 					wasm.I32Const(0), wasm.I32Const(0), wasm.I32Const(8),
-					wasm.Instr{Op: wasm.OpMiscPrefix, Idx: 11}, wasm.End())
+					wasm.Instr{Op: wasm.OpMiscPrefix, Idx: wasm.MiscMemoryInit}, wasm.End())
 				m.Memories = append(m.Memories, wasm.Limits{Min: 1})
 				return m
+			},
+		},
+		{
+			Name: "unsupported-data-drop",
+			Module: func() *wasm.Module {
+				return badFunc(nil, nil,
+					wasm.Instr{Op: wasm.OpMiscPrefix, Idx: wasm.MiscDataDrop}, wasm.End())
+			},
+		},
+		{
+			Name: "unsupported-table-copy",
+			Module: func() *wasm.Module {
+				return badFunc(nil, nil,
+					wasm.I32Const(0), wasm.I32Const(0), wasm.I32Const(8),
+					wasm.Instr{Op: wasm.OpMiscPrefix, Idx: wasm.MiscTableCopy}, wasm.End())
 			},
 		},
 		{

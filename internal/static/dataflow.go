@@ -322,6 +322,19 @@ func (c *stackSim) step(in wasm.Instr, f *wasm.Func) error {
 	case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
 		c.push(1)
 
+	case wasm.OpMiscPrefix:
+		if _, _, ok := wasm.MiscTruncSatSig(in.Idx); ok {
+			if err := c.popN(1); err != nil {
+				return fmt.Errorf("%s: %w", wasm.MiscName(in.Idx), err)
+			}
+			c.push(1)
+		} else {
+			// memory.copy / memory.fill: three i32 operands, no result.
+			if err := c.popN(3); err != nil {
+				return fmt.Errorf("%s: %w", wasm.MiscName(in.Idx), err)
+			}
+		}
+
 	default:
 		switch {
 		case op.IsLoad():

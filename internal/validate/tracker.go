@@ -411,6 +411,32 @@ func (t *Tracker) Step(in wasm.Instr) error {
 		}
 		t.pushVal(wasm.I32)
 
+	case wasm.OpMiscPrefix:
+		// Only implemented subopcodes reach here: checkFunc rejects the
+		// recognized-but-unimplemented ones with a typed, positioned
+		// unsupported error before stepping the tracker.
+		if from, to, ok := wasm.MiscTruncSatSig(in.Idx); ok {
+			if _, err := t.popExpect(from); err != nil {
+				return fmt.Errorf("validate: %s: %w", wasm.MiscName(in.Idx), err)
+			}
+			t.pushVal(to)
+			return nil
+		}
+		switch in.Idx {
+		case wasm.MiscMemoryCopy, wasm.MiscMemoryFill:
+			// memory.copy: dst, src, len; memory.fill: dst, val, len — all i32.
+			if err := t.requireMemory(); err != nil {
+				return err
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := t.popExpect(wasm.I32); err != nil {
+					return fmt.Errorf("validate: %s: %w", wasm.MiscName(in.Idx), err)
+				}
+			}
+		default:
+			return fmt.Errorf("validate: unhandled 0xfc subopcode %d", in.Idx)
+		}
+
 	default:
 		switch {
 		case op.IsLoad():

@@ -6,10 +6,13 @@ import (
 )
 
 // ErrUnsupported reports an instruction from a post-MVP proposal the runtime
-// does not implement yet (sign-extension operators, saturating truncation,
-// bulk memory). The decoder represents these instructions so the rejection
-// happens here, typed and positioned, rather than as a decode failure or a
-// runtime fault. Matched with errors.Is through the positioned *Error wrap.
+// does not implement yet (passive data/element segments and the table forms
+// of bulk memory: memory.init, data.drop, table.init, elem.drop,
+// table.copy). Sign-extension, saturating truncation, and
+// memory.copy/memory.fill are implemented and no longer rejected. The
+// decoder represents the remaining instructions so the rejection happens
+// here, typed and positioned, rather than as a decode failure or a runtime
+// fault. Matched with errors.Is through the positioned *Error wrap.
 var ErrUnsupported = errors.New("validate: instruction from an unimplemented proposal")
 
 // UnsupportedError is the typed form of ErrUnsupported: which instruction

@@ -95,6 +95,10 @@ func BrIf(label uint32) Instr { return Instr{Op: OpBrIf, Idx: label} }
 // End returns an end instruction.
 func End() Instr { return Instr{Op: OpEnd} }
 
+// MiscInstr returns a 0xFC-prefixed instruction (saturating truncation,
+// bulk memory) with the given subopcode.
+func MiscInstr(sub uint32) Instr { return Instr{Op: OpMiscPrefix, Idx: sub} }
+
 // MemInstr returns a load or store instruction with the given memory
 // immediate.
 func MemInstr(op Opcode, align, offset uint32) Instr {
@@ -161,6 +165,11 @@ func (in Instr) String() string { return in.StringWithPool(nil) }
 // owning function's BrTargets pool, needed to print br_table targets; with a
 // nil pool br_table targets are elided.
 func (in Instr) StringWithPool(pool []uint32) string {
+	if in.Op == OpMiscPrefix {
+		// 0xFC instructions render by subopcode name (the prefix byte alone
+		// has no text form).
+		return MiscName(in.Idx)
+	}
 	var sb strings.Builder
 	sb.WriteString(in.Op.String())
 	switch in.Op {

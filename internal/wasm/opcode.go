@@ -271,6 +271,8 @@ var opNames = map[Opcode]string{
 	OpF64PromoteF32:     "f64.promote_f32",
 	OpI32ReinterpretF32: "i32.reinterpret_f32", OpI64ReinterpretF64: "i64.reinterpret_f64",
 	OpF32ReinterpretI32: "f32.reinterpret_i32", OpF64ReinterpretI64: "f64.reinterpret_i64",
+	OpI32Extend8S: "i32.extend8_s", OpI32Extend16S: "i32.extend16_s",
+	OpI64Extend8S: "i64.extend8_s", OpI64Extend16S: "i64.extend16_s", OpI64Extend32S: "i64.extend32_s",
 }
 
 var opByName = func() map[string]Opcode {
@@ -289,11 +291,8 @@ var opNameTable = func() [256]string {
 	for op, name := range opNames {
 		t[op] = name
 	}
-	// Recognized-but-unimplemented opcodes (see unsupported.go) render their
-	// real names in positioned diagnostics without becoming Known.
-	for op, name := range signExtendNames {
-		t[op] = name
-	}
+	// The 0xFC prefix renders as a placeholder here; Instr.String resolves
+	// the real subopcode name via MiscName without the prefix becoming Known.
 	t[OpMiscPrefix] = "0xfc"
 	return t
 }()
@@ -327,7 +326,8 @@ func (op Opcode) IsStore() bool { return op >= OpI32Store && op <= OpI64Store32 
 func (op Opcode) IsConst() bool { return op >= OpI32Const && op <= OpF64Const }
 
 // IsUnary reports whether op is a unary numeric instruction (one operand,
-// one result): eqz tests, integer bit-counts, float unary math, conversions.
+// one result): eqz tests, integer bit-counts, float unary math, conversions,
+// and the sign-extension operators.
 func (op Opcode) IsUnary() bool {
 	switch op {
 	case OpI32Eqz, OpI64Eqz:
@@ -338,7 +338,8 @@ func (op Opcode) IsUnary() bool {
 		op >= OpI64Clz && op <= OpI64Popcnt,
 		op >= OpF32Abs && op <= OpF32Sqrt,
 		op >= OpF64Abs && op <= OpF64Sqrt,
-		op >= OpI32WrapI64 && op <= OpF64ReinterpretI64:
+		op >= OpI32WrapI64 && op <= OpF64ReinterpretI64,
+		op >= OpI32Extend8S && op <= OpI64Extend32S:
 		return true
 	}
 	return false

@@ -59,6 +59,10 @@ func numericSigOf(op Opcode) (in, out []ValType, ok bool) {
 	case op >= OpI32WrapI64 && op <= OpF64ReinterpretI64:
 		from, to := conversionTypes(op)
 		return []ValType{from}, []ValType{to}, true
+	case op == OpI32Extend8S || op == OpI32Extend16S:
+		return []ValType{I32}, []ValType{I32}, true
+	case op >= OpI64Extend8S && op <= OpI64Extend32S:
+		return []ValType{I64}, []ValType{I64}, true
 	}
 	return nil, nil, false
 }

@@ -2,16 +2,17 @@ package wasm
 
 import "fmt"
 
-// Recognized post-MVP opcodes. The runtime does not implement these, but the
-// decoder accepts them into a representable Instr so that validation can
-// reject the module with a typed, positioned "unsupported" error instead of
-// the decoder dying with a generic "unknown opcode" — or worse, an
-// unvalidated module faulting mid-execution. They are deliberately NOT part
-// of opNames: Opcode.Known still reports false, so every consumer that
-// gates on MVP support (the encoder, the interpreter's compiler) keeps
-// rejecting them.
+// Post-MVP opcodes. The sign-extension operators (0xC0–0xC4) are implemented
+// and fully Known: they decode, validate, instrument, and execute like any
+// other unary numeric instruction. The 0xFC miscellaneous prefix carries its
+// subopcode in Instr.Idx; the saturating-truncation and memory.copy /
+// memory.fill subopcodes are implemented, while the passive-segment and
+// table subopcodes remain recognized-but-rejected: the decoder represents
+// them so validation can fail with a typed, positioned "unsupported" error
+// instead of a generic decode failure — or worse, an unvalidated module
+// faulting mid-execution.
 const (
-	// Sign-extension operators proposal.
+	// Sign-extension operators proposal (implemented).
 	OpI32Extend8S  Opcode = 0xC0
 	OpI32Extend16S Opcode = 0xC1
 	OpI64Extend8S  Opcode = 0xC2
@@ -19,59 +20,106 @@ const (
 	OpI64Extend32S Opcode = 0xC4
 	// OpMiscPrefix is the 0xFC miscellaneous-instruction prefix byte
 	// (saturating truncation, bulk memory). For a decoded 0xFC instruction
-	// the subopcode is carried in Instr.Idx.
+	// the subopcode is carried in Instr.Idx. The prefix itself is
+	// deliberately NOT in opNames: Opcode.Known stays false, so every
+	// consumer must dispatch on the subopcode explicitly rather than fall
+	// into a single-byte generic path.
 	OpMiscPrefix Opcode = 0xFC
 )
 
-// signExtendNames names the single-byte sign-extension operators.
-var signExtendNames = map[Opcode]string{
-	OpI32Extend8S:  "i32.extend8_s",
-	OpI32Extend16S: "i32.extend16_s",
-	OpI64Extend8S:  "i64.extend8_s",
-	OpI64Extend16S: "i64.extend16_s",
-	OpI64Extend32S: "i64.extend32_s",
+// 0xFC subopcodes (the Instr.Idx of an OpMiscPrefix instruction).
+const (
+	MiscI32TruncSatF32S uint32 = 0
+	MiscI32TruncSatF32U uint32 = 1
+	MiscI32TruncSatF64S uint32 = 2
+	MiscI32TruncSatF64U uint32 = 3
+	MiscI64TruncSatF32S uint32 = 4
+	MiscI64TruncSatF32U uint32 = 5
+	MiscI64TruncSatF64S uint32 = 6
+	MiscI64TruncSatF64U uint32 = 7
+	MiscMemoryInit      uint32 = 8
+	MiscDataDrop        uint32 = 9
+	MiscMemoryCopy      uint32 = 10
+	MiscMemoryFill      uint32 = 11
+	MiscTableInit       uint32 = 12
+	MiscElemDrop        uint32 = 13
+	MiscTableCopy       uint32 = 14
+)
+
+// miscInstrs maps 0xFC subopcodes to their text name, source proposal, and
+// whether the runtime implements them. Entries beyond this table are not
+// valid WebAssembly and fail at decode.
+var miscInstrs = map[uint32]struct {
+	name, proposal string
+	supported      bool
+}{
+	MiscI32TruncSatF32S: {"i32.trunc_sat_f32_s", "nontrapping-float-to-int", true},
+	MiscI32TruncSatF32U: {"i32.trunc_sat_f32_u", "nontrapping-float-to-int", true},
+	MiscI32TruncSatF64S: {"i32.trunc_sat_f64_s", "nontrapping-float-to-int", true},
+	MiscI32TruncSatF64U: {"i32.trunc_sat_f64_u", "nontrapping-float-to-int", true},
+	MiscI64TruncSatF32S: {"i64.trunc_sat_f32_s", "nontrapping-float-to-int", true},
+	MiscI64TruncSatF32U: {"i64.trunc_sat_f32_u", "nontrapping-float-to-int", true},
+	MiscI64TruncSatF64S: {"i64.trunc_sat_f64_s", "nontrapping-float-to-int", true},
+	MiscI64TruncSatF64U: {"i64.trunc_sat_f64_u", "nontrapping-float-to-int", true},
+
+	MiscMemoryInit: {"memory.init", "bulk-memory", false},
+	MiscDataDrop:   {"data.drop", "bulk-memory", false},
+	MiscMemoryCopy: {"memory.copy", "bulk-memory", true},
+	MiscMemoryFill: {"memory.fill", "bulk-memory", true},
+	MiscTableInit:  {"table.init", "bulk-memory", false},
+	MiscElemDrop:   {"elem.drop", "bulk-memory", false},
+	MiscTableCopy:  {"table.copy", "bulk-memory", false},
 }
 
-// miscInstrs maps 0xFC subopcodes to their text name and source proposal.
-// Entries beyond this table are not valid WebAssembly and fail at decode.
-var miscInstrs = map[uint32]struct{ name, proposal string }{
-	0: {"i32.trunc_sat_f32_s", "nontrapping-float-to-int"},
-	1: {"i32.trunc_sat_f32_u", "nontrapping-float-to-int"},
-	2: {"i32.trunc_sat_f64_s", "nontrapping-float-to-int"},
-	3: {"i32.trunc_sat_f64_u", "nontrapping-float-to-int"},
-	4: {"i64.trunc_sat_f32_s", "nontrapping-float-to-int"},
-	5: {"i64.trunc_sat_f32_u", "nontrapping-float-to-int"},
-	6: {"i64.trunc_sat_f64_s", "nontrapping-float-to-int"},
-	7: {"i64.trunc_sat_f64_u", "nontrapping-float-to-int"},
-
-	8:  {"memory.init", "bulk-memory"},
-	9:  {"data.drop", "bulk-memory"},
-	10: {"memory.copy", "bulk-memory"},
-	11: {"memory.fill", "bulk-memory"},
-	12: {"table.init", "bulk-memory"},
-	13: {"elem.drop", "bulk-memory"},
-	14: {"table.copy", "bulk-memory"},
+// MiscKnown reports whether sub is a recognized 0xFC subopcode (implemented
+// or not); unrecognized subopcodes are not WebAssembly and fail at decode.
+func MiscKnown(sub uint32) bool {
+	_, ok := miscInstrs[sub]
+	return ok
 }
 
-// Unsupported reports whether op opens a recognized post-MVP instruction
-// (a sign-extension operator or the 0xFC prefix).
-func (op Opcode) Unsupported() bool {
-	_, sx := signExtendNames[op]
-	return sx || op == OpMiscPrefix
+// MiscSupported reports whether the runtime implements 0xFC subopcode sub.
+func MiscSupported(sub uint32) bool {
+	return miscInstrs[sub].supported
+}
+
+// MiscName returns the text-format name of a 0xFC subopcode.
+func MiscName(sub uint32) string {
+	if mi, ok := miscInstrs[sub]; ok {
+		return mi.name
+	}
+	return fmt.Sprintf("0xfc subopcode %d", sub)
+}
+
+// MiscTruncSatSig returns the operand and result types of a saturating
+// truncation subopcode (0–7). ok is false for every other subopcode.
+func MiscTruncSatSig(sub uint32) (from, to ValType, ok bool) {
+	if sub > MiscI64TruncSatF64U {
+		return 0, 0, false
+	}
+	from = F32
+	if sub&2 != 0 {
+		from = F64
+	}
+	to = I32
+	if sub >= MiscI64TruncSatF32S {
+		to = I64
+	}
+	return from, to, true
 }
 
 // UnsupportedInfo reports whether in is a recognized post-MVP instruction
 // the runtime does not implement, and if so its text-format name and the
 // proposal it belongs to.
 func UnsupportedInfo(in Instr) (name, proposal string, ok bool) {
-	if n, sx := signExtendNames[in.Op]; sx {
-		return n, "sign-extension", true
+	if in.Op != OpMiscPrefix {
+		return "", "", false
 	}
-	if in.Op == OpMiscPrefix {
-		if mi, known := miscInstrs[in.Idx]; known {
-			return mi.name, mi.proposal, true
+	if mi, known := miscInstrs[in.Idx]; known {
+		if mi.supported {
+			return "", "", false
 		}
-		return fmt.Sprintf("0xfc subopcode %d", in.Idx), "miscellaneous", true
+		return mi.name, mi.proposal, true
 	}
-	return "", "", false
+	return fmt.Sprintf("0xfc subopcode %d", in.Idx), "miscellaneous", true
 }

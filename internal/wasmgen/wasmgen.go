@@ -325,7 +325,7 @@ func (f *fgen) unaryInto(t wasm.ValType, depth int) {
 	g := f.g
 	switch t {
 	case wasm.I32:
-		switch g.rng.Intn(5) {
+		switch g.rng.Intn(7) {
 		case 0:
 			f.expr(wasm.I32, depth-1)
 			f.fb.Op([]wasm.Opcode{wasm.OpI32Clz, wasm.OpI32Ctz, wasm.OpI32Popcnt, wasm.OpI32Eqz}[g.rng.Intn(4)])
@@ -339,18 +339,37 @@ func (f *fgen) unaryInto(t wasm.ValType, depth int) {
 			// Trap-prone: float→int truncation of an arbitrary f64.
 			f.expr(wasm.F64, depth-1)
 			f.fb.Op(wasm.OpI32TruncF64S)
+		case 4:
+			// Sign-extension operators: exercise the narrow-width paths.
+			f.expr(wasm.I32, depth-1)
+			f.fb.Op([]wasm.Opcode{wasm.OpI32Extend8S, wasm.OpI32Extend16S}[g.rng.Intn(2)])
+		case 5:
+			// Saturating truncation: same arbitrary float, never traps.
+			if g.rng.Intn(2) == 0 {
+				f.expr(wasm.F64, depth-1)
+				f.fb.Emit(wasm.MiscInstr([]uint32{wasm.MiscI32TruncSatF64S, wasm.MiscI32TruncSatF64U}[g.rng.Intn(2)]))
+			} else {
+				f.expr(wasm.F32, depth-1)
+				f.fb.Emit(wasm.MiscInstr([]uint32{wasm.MiscI32TruncSatF32S, wasm.MiscI32TruncSatF32U}[g.rng.Intn(2)]))
+			}
 		default:
 			f.expr(wasm.F32, depth-1)
 			f.fb.Op(wasm.OpF32Abs).Op(wasm.OpF32Floor).Op(wasm.OpI32TruncF32S)
 		}
 	case wasm.I64:
-		switch g.rng.Intn(3) {
+		switch g.rng.Intn(5) {
 		case 0:
 			f.expr(wasm.I32, depth-1)
 			f.fb.Op(wasm.OpI64ExtendI32S)
 		case 1:
 			f.expr(wasm.I32, depth-1)
 			f.fb.Op(wasm.OpI64ExtendI32U)
+		case 2:
+			f.expr(wasm.I64, depth-1)
+			f.fb.Op([]wasm.Opcode{wasm.OpI64Extend8S, wasm.OpI64Extend16S, wasm.OpI64Extend32S}[g.rng.Intn(3)])
+		case 3:
+			f.expr(wasm.F64, depth-1)
+			f.fb.Emit(wasm.MiscInstr([]uint32{wasm.MiscI64TruncSatF64S, wasm.MiscI64TruncSatF64U}[g.rng.Intn(2)]))
 		default:
 			f.expr(wasm.I64, depth-1)
 			f.fb.Op([]wasm.Opcode{wasm.OpI64Clz, wasm.OpI64Ctz, wasm.OpI64Popcnt}[g.rng.Intn(3)])
@@ -425,7 +444,7 @@ func (f *fgen) stmt(depth int) {
 		f.fb.Set(f.pickLocal(t))
 		return
 	}
-	switch g.rng.Intn(12) {
+	switch g.rng.Intn(13) {
 	case 0, 1: // local.set
 		t := g.randType()
 		f.expr(t, 2)
@@ -528,6 +547,18 @@ func (f *fgen) stmt(depth int) {
 		f.expr(wasm.I32, 2)
 		f.fb.Select()
 		f.fb.Set(f.pickLocal(t))
+	case 11: // bulk memory: memory.copy / memory.fill over masked addresses
+		if g.rng.Intn(2) == 0 {
+			f.addr()                         // dst
+			f.addr()                         // src
+			f.fb.I32(int32(g.rng.Intn(128))) // len
+			f.fb.Emit(wasm.MiscInstr(wasm.MiscMemoryCopy))
+		} else {
+			f.addr()                         // dst
+			f.expr(wasm.I32, 1)              // fill byte (low 8 bits used)
+			f.fb.I32(int32(g.rng.Intn(128))) // len
+			f.fb.Emit(wasm.MiscInstr(wasm.MiscMemoryFill))
+		}
 	default: // memory.size / memory.grow(0) observation
 		if g.rng.Intn(2) == 0 {
 			f.fb.Op(wasm.OpMemorySize)

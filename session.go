@@ -8,6 +8,7 @@ import (
 	"wasabi/internal/core"
 	"wasabi/internal/interp"
 	wruntime "wasabi/internal/runtime"
+	"wasabi/internal/wasi"
 	"wasabi/internal/wasm"
 )
 
@@ -28,6 +29,10 @@ type Session struct {
 	stream       *Stream  // non-nil after Stream()
 	instantiated bool
 	closed       bool
+
+	// wasiSys is the session's preview1 state (WithWASI), created at the
+	// first Instantiate and shared by the session's instances.
+	wasiSys *wasi.System
 }
 
 // Instantiate instantiates the instrumented module: the generated hook
@@ -57,7 +62,16 @@ func (s *Session) Instantiate(name string, programImports interp.Imports) (*inte
 	if _, clash := programImports[core.HookModule]; clash {
 		return nil, &HookCollisionError{Name: core.HookModule, Reason: "is provided by the program imports, but the instrumented module resolves its generated hooks from it"}
 	}
-	merged := make(interp.Imports, len(programImports)+1)
+	merged := make(interp.Imports, len(programImports)+2)
+	// WithWASI: the session's preview1 provider resolves the guest's
+	// wasi_snapshot_preview1 imports — unless the program imports provide
+	// that module themselves, which wins (an embedder can replace the whole
+	// world view).
+	if wi := s.wasiImports(); wi != nil {
+		if _, overridden := programImports[wasi.ModuleName]; !overridden {
+			merged[wasi.ModuleName] = wi
+		}
+	}
 	for mod, fields := range programImports {
 		merged[mod] = fields
 	}

@@ -20,13 +20,13 @@ func TestUnsupportedInstructionRejectedAtInstrument(t *testing.T) {
 	ti := m.AddType(wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
 	m.Funcs = append(m.Funcs, wasm.Func{TypeIdx: ti, Body: []wasm.Instr{
 		wasm.LocalGet(0),
-		{Op: wasm.OpI32Extend8S},
+		{Op: wasm.OpMiscPrefix, Idx: wasm.MiscMemoryInit},
 		wasm.End(),
 	}})
 
 	_, err := eng.Instrument(m, wasabi.AllCaps)
 	if err == nil {
-		t.Fatal("module with i32.extend8_s instrumented")
+		t.Fatal("module with memory.init instrumented")
 	}
 	if !errors.Is(err, wasabi.ErrUnsupported) {
 		t.Errorf("error does not wrap ErrUnsupported: %v", err)
@@ -38,15 +38,51 @@ func TestUnsupportedInstructionRejectedAtInstrument(t *testing.T) {
 	if !errors.As(err, &ue) {
 		t.Fatalf("error is not a *wasabi.UnsupportedError: %v", err)
 	}
-	if ue.Name != "i32.extend8_s" || ue.Proposal != "sign-extension" {
-		t.Errorf("UnsupportedError = %+v, want i32.extend8_s / sign-extension", ue)
+	if ue.Name != "memory.init" || ue.Proposal != "bulk-memory" {
+		t.Errorf("UnsupportedError = %+v, want memory.init / bulk-memory", ue)
 	}
 	var ve *wasabi.ValidationError
 	if !errors.As(err, &ve) {
 		t.Fatalf("error is not a *wasabi.ValidationError: %v", err)
 	}
-	if ve.FuncIdx != 0 || ve.Instr != 1 || ve.Op != "i32.extend8_s" {
-		t.Errorf("position = func %d instr %d op %q, want func 0 instr 1 i32.extend8_s",
-			ve.FuncIdx, ve.Instr, ve.Op)
+	if ve.FuncIdx != 0 || ve.Instr != 1 {
+		t.Errorf("position = func %d instr %d, want func 0 instr 1", ve.FuncIdx, ve.Instr)
+	}
+}
+
+// TestImplementedPostMVPAccepted is the positive counterpart: sign-extension
+// and saturating truncation instrument and run end-to-end through the public
+// surface.
+func TestImplementedPostMVPAccepted(t *testing.T) {
+	eng := mustEngine(t)
+
+	m := &wasm.Module{}
+	ti := m.AddType(wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	m.Funcs = append(m.Funcs, wasm.Func{TypeIdx: ti, Body: []wasm.Instr{
+		wasm.LocalGet(0),
+		{Op: wasm.OpI32Extend8S},
+		wasm.End(),
+	}})
+	m.Exports = append(m.Exports, wasm.Export{Name: "run", Kind: wasm.ExternFunc, Idx: 0})
+
+	compiled, err := eng.Instrument(m, wasabi.AllCaps)
+	if err != nil {
+		t.Fatalf("Instrument rejected i32.extend8_s: %v", err)
+	}
+	sess, err := compiled.NewSession(newRecording())
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer sess.Close()
+	inst, err := sess.Instantiate("main", nil)
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	got, err := inst.Invoke("run", uint64(0x80))
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if want := uint64(0xFFFFFF80); len(got) != 1 || got[0] != want {
+		t.Errorf("i32.extend8_s(0x80) = %#x, want %#x", got, want)
 	}
 }

@@ -1,0 +1,347 @@
+package wasabi_test
+
+// The WASI corpus: preview1 command modules built with the builder DSL,
+// each exercising a slice of the syscall surface, run end-to-end through
+// the public engine under BOTH analysis pipelines (callback session and
+// stream session) against golden outputs. Determinism is asserted the hard
+// way — two independent sessions must capture byte-identical stdio.
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"wasabi"
+	"wasabi/internal/builder"
+	"wasabi/internal/interp"
+	"wasabi/internal/wasm"
+)
+
+// wasiStubFdWrite is a program-provided fd_write replacement that records
+// being called and writes nothing.
+func wasiStubFdWrite(called *bool) *interp.HostFunc {
+	return &interp.HostFunc{
+		Type: wasiSig4,
+		Fn: func(_ *interp.Instance, args []interp.Value) ([]interp.Value, error) {
+			*called = true
+			return []interp.Value{0}, nil
+		},
+	}
+}
+
+var wasiSig4 = wasm.FuncType{Params: []wasm.ValType{wasm.I32, wasm.I32, wasm.I32, wasm.I32}, Results: []wasm.ValType{wasm.I32}}
+var wasiSig2 = wasm.FuncType{Params: []wasm.ValType{wasm.I32, wasm.I32}, Results: []wasm.ValType{wasm.I32}}
+
+// wasiHelloModule writes a constant string to stdout with one fd_write.
+func wasiHelloModule() *wasm.Module {
+	b := builder.New()
+	fdWrite := b.ImportFunc("wasi_snapshot_preview1", "fd_write", wasiSig4)
+	b.Memory(1)
+	b.Data(64, []byte("hello, wasi\n"))
+	f := b.Func("_start", nil, nil)
+	f.I32(0).I32(64).Store(wasm.OpI32Store, 0) // iov_base
+	f.I32(4).I32(12).Store(wasm.OpI32Store, 0) // iov_len
+	f.I32(1).I32(0).I32(1).I32(36).Call(fdWrite).Drop()
+	f.Done()
+	return b.Build()
+}
+
+// wasiArgsEchoModule fetches its arguments and writes the raw
+// NUL-separated argv block to stdout.
+func wasiArgsEchoModule() *wasm.Module {
+	b := builder.New()
+	argsSizes := b.ImportFunc("wasi_snapshot_preview1", "args_sizes_get", wasiSig2)
+	argsGet := b.ImportFunc("wasi_snapshot_preview1", "args_get", wasiSig2)
+	fdWrite := b.ImportFunc("wasi_snapshot_preview1", "fd_write", wasiSig4)
+	b.Memory(1)
+	f := b.Func("_start", nil, nil)
+	f.I32(0).I32(4).Call(argsSizes).Drop()      // argc@0, buf size@4
+	f.I32(16).I32(128).Call(argsGet).Drop()     // pointers@16, strings@128
+	f.I32(8).I32(128).Store(wasm.OpI32Store, 0) // iovec@8: the whole block
+	f.I32(12)
+	f.I32(4).Load(wasm.OpI32Load, 0)
+	f.Store(wasm.OpI32Store, 0)
+	f.I32(1).I32(8).I32(1).I32(48).Call(fdWrite).Drop()
+	f.Done()
+	return b.Build()
+}
+
+// wasiClockRandModule writes 24 raw bytes: two consecutive clock reads and
+// 8 random bytes — the determinism probe.
+func wasiClockRandModule() *wasm.Module {
+	b := builder.New()
+	clock := b.ImportFunc("wasi_snapshot_preview1", "clock_time_get",
+		wasm.FuncType{Params: []wasm.ValType{wasm.I32, wasm.I64, wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	random := b.ImportFunc("wasi_snapshot_preview1", "random_get", wasiSig2)
+	fdWrite := b.ImportFunc("wasi_snapshot_preview1", "fd_write", wasiSig4)
+	b.Memory(1)
+	f := b.Func("_start", nil, nil)
+	f.I32(0).I64(0).I32(0).Call(clock).Drop()  // t1 @ 0
+	f.I32(0).I64(0).I32(8).Call(clock).Drop()  // t2 @ 8
+	f.I32(16).I32(8).Call(random).Drop()       // 8 random bytes @ 16
+	f.I32(32).I32(0).Store(wasm.OpI32Store, 0) // iovec@32: {0, 24}
+	f.I32(36).I32(24).Store(wasm.OpI32Store, 0)
+	f.I32(1).I32(32).I32(1).I32(48).Call(fdWrite).Drop()
+	f.Done()
+	return b.Build()
+}
+
+// wasiExitModule writes to stdout and stderr, then calls proc_exit(7); the
+// unreachable tail write must never happen.
+func wasiExitModule() *wasm.Module {
+	b := builder.New()
+	fdWrite := b.ImportFunc("wasi_snapshot_preview1", "fd_write", wasiSig4)
+	procExit := b.ImportFunc("wasi_snapshot_preview1", "proc_exit",
+		wasm.FuncType{Params: []wasm.ValType{wasm.I32}})
+	b.Memory(1)
+	b.Data(64, []byte("bye!"))
+	f := b.Func("_start", nil, nil)
+	f.I32(0).I32(64).Store(wasm.OpI32Store, 0)
+	f.I32(4).I32(4).Store(wasm.OpI32Store, 0)
+	f.I32(1).I32(0).I32(1).I32(48).Call(fdWrite).Drop()
+	f.I32(2).I32(0).I32(1).I32(48).Call(fdWrite).Drop() // same bytes to stderr
+	f.I32(7).Call(procExit)
+	f.I32(1).I32(0).I32(1).I32(48).Call(fdWrite).Drop() // unreachable
+	f.Done()
+	return b.Build()
+}
+
+// wasiMultiModule chains syscalls the way a real program does: echo stdin
+// to stdout, then seek into a preopened file and append four of its bytes.
+func wasiMultiModule() *wasm.Module {
+	b := builder.New()
+	fdRead := b.ImportFunc("wasi_snapshot_preview1", "fd_read", wasiSig4)
+	fdSeek := b.ImportFunc("wasi_snapshot_preview1", "fd_seek",
+		wasm.FuncType{Params: []wasm.ValType{wasm.I32, wasm.I64, wasm.I32, wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	fdWrite := b.ImportFunc("wasi_snapshot_preview1", "fd_write", wasiSig4)
+	b.Memory(1)
+	f := b.Func("_start", nil, nil)
+	// Read stdin into 256.. via iovec@0 {256, 64}; nread @ 48.
+	f.I32(0).I32(256).Store(wasm.OpI32Store, 0)
+	f.I32(4).I32(64).Store(wasm.OpI32Store, 0)
+	f.I32(0).I32(0).I32(1).I32(48).Call(fdRead).Drop()
+	// Echo exactly nread bytes back out.
+	f.I32(4)
+	f.I32(48).Load(wasm.OpI32Load, 0)
+	f.Store(wasm.OpI32Store, 0)
+	f.I32(1).I32(0).I32(1).I32(52).Call(fdWrite).Drop()
+	// Seek the preopened file (fd 3) to 4, read 4 bytes, write them.
+	f.I32(3).I64(4).I32(0).I32(56).Call(fdSeek).Drop()
+	f.I32(8).I32(400).Store(wasm.OpI32Store, 0)
+	f.I32(12).I32(4).Store(wasm.OpI32Store, 0)
+	f.I32(3).I32(8).I32(1).I32(48).Call(fdRead).Drop()
+	f.I32(1).I32(8).I32(1).I32(52).Call(fdWrite).Drop()
+	f.Done()
+	return b.Build()
+}
+
+// wasiRun executes module's _start under cfg through the given pipeline
+// ("callback" or "stream"), returning captured stdio and the invoke error.
+func wasiRun(t *testing.T, m *wasm.Module, cfg wasabi.WASIConfig, pipeline string) (stdout, stderr []byte, invokeErr error) {
+	t.Helper()
+	eng := mustEngine(t, wasabi.WithWASI(cfg))
+	compiled, err := eng.Instrument(m, wasabi.AllCaps)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	var analysis any = newRecording()
+	if pipeline == "stream" {
+		analysis = faultSink{}
+	}
+	sess, err := compiled.NewSession(analysis)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	defer sess.Close()
+	if pipeline == "stream" {
+		stream, err := sess.Stream()
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			stream.Serve(faultSink{})
+		}()
+		defer func() {
+			stream.Close()
+			<-done
+		}()
+	}
+	inst, err := sess.Instantiate("", nil)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	_, invokeErr = inst.Invoke("_start")
+	w := sess.WASI()
+	if w == nil {
+		t.Fatal("Session.WASI() = nil with WithWASI configured")
+	}
+	return w.Stdout(), w.Stderr(), invokeErr
+}
+
+var wasiPipelines = []string{"callback", "stream"}
+
+func TestWASIHello(t *testing.T) {
+	for _, p := range wasiPipelines {
+		t.Run(p, func(t *testing.T) {
+			out, _, err := wasiRun(t, wasiHelloModule(), wasabi.WASIConfig{}, p)
+			if err != nil {
+				t.Fatalf("_start: %v", err)
+			}
+			if string(out) != "hello, wasi\n" {
+				t.Errorf("stdout = %q, want %q", out, "hello, wasi\n")
+			}
+		})
+	}
+}
+
+func TestWASIArgsEcho(t *testing.T) {
+	cfg := wasabi.WASIConfig{Args: []string{"prog", "alpha", "beta"}}
+	want := "prog\x00alpha\x00beta\x00"
+	for _, p := range wasiPipelines {
+		t.Run(p, func(t *testing.T) {
+			out, _, err := wasiRun(t, wasiArgsEchoModule(), cfg, p)
+			if err != nil {
+				t.Fatalf("_start: %v", err)
+			}
+			if string(out) != want {
+				t.Errorf("stdout = %q, want %q", out, want)
+			}
+		})
+	}
+}
+
+func TestWASIClockRandomDeterminism(t *testing.T) {
+	cfg := wasabi.WASIConfig{ClockBase: 1_000_000, ClockStep: 250, RandomSeed: 99}
+	// Golden bytes, computed from the configuration the provider documents:
+	// t1 = base, t2 = base+step (little endian), then the seeded stream.
+	want := make([]byte, 0, 24)
+	for _, v := range []uint64{1_000_000, 1_000_250} {
+		for i := 0; i < 8; i++ {
+			want = append(want, byte(v>>(8*i)))
+		}
+	}
+	rnd := make([]byte, 8)
+	rand.New(rand.NewSource(99)).Read(rnd)
+	want = append(want, rnd...)
+
+	var outs [][]byte
+	for _, p := range wasiPipelines {
+		t.Run(p, func(t *testing.T) {
+			out, _, err := wasiRun(t, wasiClockRandModule(), cfg, p)
+			if err != nil {
+				t.Fatalf("_start: %v", err)
+			}
+			if !bytes.Equal(out, want) {
+				t.Errorf("stdout = %x, want %x", out, want)
+			}
+			outs = append(outs, out)
+		})
+	}
+	// Cross-pipeline determinism: hooked callback run and stream run must
+	// observe the identical environment.
+	if len(outs) == 2 && !bytes.Equal(outs[0], outs[1]) {
+		t.Errorf("pipelines diverged: %x vs %x", outs[0], outs[1])
+	}
+}
+
+func TestWASIProcExit(t *testing.T) {
+	for _, p := range wasiPipelines {
+		t.Run(p, func(t *testing.T) {
+			out, stderr, err := wasiRun(t, wasiExitModule(), wasabi.WASIConfig{}, p)
+			var xe *wasabi.ExitError
+			if !errors.As(err, &xe) {
+				t.Fatalf("_start err = %v, want ExitError", err)
+			}
+			if xe.Code != 7 {
+				t.Errorf("exit code = %d, want 7", xe.Code)
+			}
+			// Writes before the exit are captured; the write after it never
+			// ran (proc_exit unwinds the whole call).
+			if string(out) != "bye!" || string(stderr) != "bye!" {
+				t.Errorf("stdio = %q / %q, want bye! on both", out, stderr)
+			}
+		})
+	}
+}
+
+func TestWASIMultiSyscall(t *testing.T) {
+	cfg := wasabi.WASIConfig{
+		Stdin: []byte("stdin-data"),
+		Files: []wasabi.WASIFile{{Name: "blob", Data: []byte("0123456789")}},
+	}
+	want := "stdin-data" + "4567"
+	for _, p := range wasiPipelines {
+		t.Run(p, func(t *testing.T) {
+			out, _, err := wasiRun(t, wasiMultiModule(), cfg, p)
+			if err != nil {
+				t.Fatalf("_start: %v", err)
+			}
+			if string(out) != want {
+				t.Errorf("stdout = %q, want %q", out, want)
+			}
+		})
+	}
+}
+
+// TestWASISessionIsolation: two sessions of one CompiledAnalysis get
+// independent WASI state — same captured bytes, separately accumulated.
+func TestWASISessionIsolation(t *testing.T) {
+	eng := mustEngine(t, wasabi.WithWASI(wasabi.WASIConfig{RandomSeed: 3}))
+	compiled, err := eng.Instrument(wasiClockRandModule(), wasabi.AllCaps)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	run := func() []byte {
+		sess, err := compiled.NewSession(newRecording())
+		if err != nil {
+			t.Fatalf("session: %v", err)
+		}
+		defer sess.Close()
+		inst, err := sess.Instantiate("", nil)
+		if err != nil {
+			t.Fatalf("instantiate: %v", err)
+		}
+		if _, err := inst.Invoke("_start"); err != nil {
+			t.Fatalf("_start: %v", err)
+		}
+		return sess.WASI().Stdout()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Errorf("fresh sessions diverged: %x vs %x — clock/random state leaked across sessions", a, b)
+	}
+}
+
+// TestWASIProgramImportsWin: a program-provided wasi_snapshot_preview1
+// module overrides the engine provider.
+func TestWASIProgramImportsWin(t *testing.T) {
+	eng := mustEngine(t, wasabi.WithWASI(wasabi.WASIConfig{}))
+	compiled, err := eng.Instrument(wasiHelloModule(), wasabi.AllCaps)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	sess, err := compiled.NewSession(newRecording())
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	defer sess.Close()
+	called := false
+	inst, err := sess.Instantiate("", interp.Imports{
+		"wasi_snapshot_preview1": {"fd_write": wasiStubFdWrite(&called)},
+	})
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	if _, err := inst.Invoke("_start"); err != nil {
+		t.Fatalf("_start: %v", err)
+	}
+	if !called {
+		t.Error("program-provided fd_write not called; engine provider was not overridden")
+	}
+	if got := sess.WASI().Stdout(); len(got) != 0 {
+		t.Errorf("engine provider captured %q despite the override", got)
+	}
+}
