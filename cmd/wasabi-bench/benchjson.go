@@ -39,6 +39,9 @@ type BenchReport struct {
 	// specific optimization landed, so its effect stays machine-readable
 	// without re-running old trees.
 	References map[string]map[string]BenchResult `json:"references,omitempty"`
+	// ParallelScaling records the parallel-instrumentation worker sweep
+	// (the -parallel mode refreshes just this section).
+	ParallelScaling ParallelScaling `json:"parallel_scaling"`
 }
 
 // Fig9Hook is one per-hook row of BENCH_fig9.json: absolute time and the
@@ -115,7 +118,11 @@ type Fig9Report struct {
 	Coverage CoverageBench `json:"coverage"`
 	// Fuel records metered vs unmetered execution (the containment guard
 	// cost, and the zero-overhead-when-disabled reference CI guards at 5%).
-	Fuel         FuelBench     `json:"fuel"`
+	Fuel FuelBench `json:"fuel"`
+	// Fanout records the event fabric's broadcast scaling and the record
+	// sink's write/replay throughput (the -fanout mode refreshes just this
+	// section).
+	Fanout       FanoutBench   `json:"fanout"`
 	PR1Reference Fig9Reference `json:"pr1_reference"`
 	// PR2Reference freezes the generic-dispatch (Kind-switch + argReader)
 	// numbers the per-spec trampolines replaced.
@@ -203,6 +210,28 @@ func writeJSONFile(path string, v any) error {
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
 	return nil
+}
+
+// mergeSection rewrites one top-level section of an existing report file,
+// leaving every other section byte-for-byte intact (decoded as raw
+// messages). The refresh contract of the single-section modes (-fuel,
+// -fanout, -parallel): a section can be re-measured on a quiet machine
+// without re-running the whole suite.
+func mergeSection(path, section string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-%s updates an existing report: %w", section, err)
+	}
+	var report map[string]json.RawMessage
+	if err := json.Unmarshal(data, &report); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	report[section] = raw
+	return writeJSONFile(path, report)
 }
 
 // fig9HookSets are the per-hook instrumentations measured for
@@ -340,10 +369,15 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 	}
 
 	if instrPath != "" {
+		parScaling, err := measureParallelScaling()
+		if err != nil {
+			return err
+		}
 		report := BenchReport{
-			SeedBaseline: seedBaseline,
-			Current:      cur,
-			References:   map[string]map[string]BenchResult{"pr3_remap_before": pr3RemapBefore},
+			SeedBaseline:    seedBaseline,
+			Current:         cur,
+			References:      map[string]map[string]BenchResult{"pr3_remap_before": pr3RemapBefore},
+			ParallelScaling: parScaling,
 		}
 		if err := writeJSONFile(instrPath, &report); err != nil {
 			return err
@@ -370,6 +404,11 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 		if err != nil {
 			return err
 		}
+		fmt.Fprintln(os.Stderr, "bench: Fanout")
+		fanoutBench, err := measureFanoutBench(engine)
+		if err != nil {
+			return err
+		}
 		report := Fig9Report{
 			BaselineNsPerOp:  baseline.NsPerOp,
 			Hooks:            hooks,
@@ -377,6 +416,7 @@ func writeBenchJSON(instrPath, fig9Path string) error {
 			Stream:           streamBench,
 			Coverage:         covBench,
 			Fuel:             fuelBench,
+			Fanout:           fanoutBench,
 			PR1Reference:     pr1Reference,
 			PR2Reference:     pr2Reference,
 			PR3Reference:     pr3Reference,

@@ -1,0 +1,289 @@
+package main
+
+// The -fanout mode measures the event fabric on the Fig 9 workload: gemm
+// instrumented for all hooks, batches broadcast to N Block subscribers
+// (each counting on its own goroutine), swept over subscriber count and
+// batch size. Because delivery is a refcounted reference per subscriber —
+// not a copy — the aggregate delivered rate should scale with N until
+// consumer scheduling saturates the cores. The mode also measures the
+// record sink standalone: raw append throughput of pre-captured batches
+// (write + commit watermark) and end-to-end replay (open, decode, serve,
+// close) of the resulting segment.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"wasabi"
+	"wasabi/internal/analysis"
+	"wasabi/internal/polybench"
+	"wasabi/internal/sink"
+)
+
+// fanoutConsumers and fanoutBatchSizes are the -fanout sweep axes.
+var (
+	fanoutConsumers  = []int{1, 2, 4, 8}
+	fanoutBatchSizes = []int{1024, 4096, 16384}
+)
+
+// FanoutPoint is one swept fan-out configuration: kernel time under
+// broadcast and the aggregate record rate across all subscribers.
+type FanoutPoint struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// EventsPerSec is the aggregate delivered rate: every subscriber
+	// observes every record, so N subscribers at rate r deliver N*r.
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// SinkThroughput records the durable sink standalone: append throughput of
+// already-captured batches, and end-to-end replay of the segment.
+type SinkThroughput struct {
+	WriteEventsPerSec  float64 `json:"write_events_per_sec"`
+	WriteMBPerS        float64 `json:"write_mb_per_s"`
+	ReplayEventsPerSec float64 `json:"replay_events_per_sec"`
+	ReplayMBPerS       float64 `json:"replay_mb_per_s"`
+	SegmentBytes       int64   `json:"segment_bytes"`
+	RecordsPerKernel   uint64  `json:"records_per_kernel"`
+}
+
+// FanoutBench is the BENCH_fig9.json fanout section.
+type FanoutBench struct {
+	// Sweep maps subscriber count -> batch size -> measurement.
+	Sweep map[string]map[string]FanoutPoint `json:"sweep"`
+	Sink  SinkThroughput                    `json:"sink"`
+}
+
+// measureFanoutPoint times the gemm kernel with `consumers` Block
+// subscribers draining the fabric concurrently.
+func measureFanoutPoint(compiled *wasabi.CompiledAnalysis, consumers, batchSize int) (FanoutPoint, error) {
+	sess, err := compiled.NewSession(wasabi.StreamCaps(wasabi.AllCaps))
+	if err != nil {
+		return FanoutPoint{}, err
+	}
+	defer sess.Close()
+	fab, err := sess.Fanout(wasabi.StreamBatchSize(batchSize))
+	if err != nil {
+		return FanoutPoint{}, err
+	}
+	sinks := make([]*countSink, consumers)
+	var wg sync.WaitGroup
+	for i := range sinks {
+		sinks[i] = &countSink{}
+		sub, err := fab.Subscribe()
+		if err != nil {
+			return FanoutPoint{}, err
+		}
+		wg.Add(1)
+		go func(s *countSink) {
+			defer wg.Done()
+			sub.Serve(s)
+		}(sinks[i])
+	}
+	inst, err := sess.Instantiate("", polybench.HostImports(nil))
+	if err != nil {
+		fab.Close()
+		wg.Wait()
+		return FanoutPoint{}, err
+	}
+	invokes := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := inst.Invoke("kernel"); err != nil {
+				b.Fatal(err)
+			}
+			invokes++
+		}
+	})
+	fab.Close()
+	wg.Wait()
+
+	p := FanoutPoint{NsPerOp: float64(r.NsPerOp())}
+	if invokes > 0 && p.NsPerOp > 0 {
+		var total uint64
+		for _, s := range sinks {
+			total += s.events
+		}
+		p.EventsPerSec = float64(total) / float64(invokes) / p.NsPerOp * 1e9
+	}
+	return p, nil
+}
+
+// captureBatches runs one instrumented kernel invocation and copies out its
+// record batches, so the sink measurements time the sink alone.
+func captureBatches(compiled *wasabi.CompiledAnalysis) ([][]analysis.Event, *wasabi.EventTable, error) {
+	sess, err := compiled.NewSession(wasabi.StreamCaps(wasabi.AllCaps))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sess.Close()
+	stream, err := sess.Stream()
+	if err != nil {
+		return nil, nil, err
+	}
+	var batches [][]analysis.Event
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			batch, ok := stream.Next()
+			if !ok {
+				return
+			}
+			batches = append(batches, append([]analysis.Event(nil), batch...))
+		}
+	}()
+	inst, err := sess.Instantiate("", polybench.HostImports(nil))
+	if err != nil {
+		stream.Close()
+		<-done
+		return nil, nil, err
+	}
+	if _, err := inst.Invoke("kernel"); err != nil {
+		stream.Close()
+		<-done
+		return nil, nil, err
+	}
+	stream.Close()
+	<-done
+	return batches, stream.Table(), nil
+}
+
+// measureSinkThroughput benchmarks writing one kernel's captured batches to
+// a fresh segment (create, append, commit, close) and replaying the result
+// (open, decode, serve, close), per op.
+func measureSinkThroughput(compiled *wasabi.CompiledAnalysis) (SinkThroughput, error) {
+	batches, tbl, err := captureBatches(compiled)
+	if err != nil {
+		return SinkThroughput{}, err
+	}
+	var records uint64
+	for _, b := range batches {
+		records += uint64(len(b))
+	}
+	if records == 0 {
+		return SinkThroughput{}, fmt.Errorf("captured no records")
+	}
+	dir, err := os.MkdirTemp("", "wasabi-bench-sink")
+	if err != nil {
+		return SinkThroughput{}, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.evlog")
+
+	writeOnce := func() error {
+		w, err := sink.Create(path, tbl)
+		if err != nil {
+			return err
+		}
+		for _, b := range batches {
+			w.Events(b)
+		}
+		return w.Close()
+	}
+	rw := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := writeOnce(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := writeOnce(); err != nil { // leave a committed segment for replay
+		return SinkThroughput{}, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return SinkThroughput{}, err
+	}
+
+	rr := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := sink.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cs countSink
+			r.Serve(&cs, 0)
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if cs.events != records {
+				b.Fatalf("replayed %d of %d records", cs.events, records)
+			}
+		}
+	})
+
+	st := SinkThroughput{SegmentBytes: fi.Size(), RecordsPerKernel: records}
+	if ns := float64(rw.NsPerOp()); ns > 0 {
+		st.WriteEventsPerSec = float64(records) / ns * 1e9
+		st.WriteMBPerS = st.WriteEventsPerSec * 40 / 1e6
+	}
+	if ns := float64(rr.NsPerOp()); ns > 0 {
+		st.ReplayEventsPerSec = float64(records) / ns * 1e9
+		st.ReplayMBPerS = st.ReplayEventsPerSec * 40 / 1e6
+	}
+	return st, nil
+}
+
+// measureFanoutBench produces the BENCH_fig9.json fanout section.
+func measureFanoutBench(engine *wasabi.Engine) (FanoutBench, error) {
+	gemm, ok := polybench.ByName("gemm")
+	if !ok {
+		return FanoutBench{}, fmt.Errorf("gemm kernel missing")
+	}
+	compiled, err := engine.Instrument(gemm.Module(16), wasabi.AllCaps)
+	if err != nil {
+		return FanoutBench{}, err
+	}
+	fb := FanoutBench{Sweep: map[string]map[string]FanoutPoint{}}
+	for _, consumers := range fanoutConsumers {
+		row := map[string]FanoutPoint{}
+		for _, size := range fanoutBatchSizes {
+			p, err := measureFanoutPoint(compiled, consumers, size)
+			if err != nil {
+				return FanoutBench{}, err
+			}
+			row[fmt.Sprint(size)] = p
+		}
+		fb.Sweep[fmt.Sprint(consumers)] = row
+	}
+	fb.Sink, err = measureSinkThroughput(compiled)
+	if err != nil {
+		return FanoutBench{}, err
+	}
+	return fb, nil
+}
+
+// runFanout is the -fanout mode: print the sweep and, when combined with
+// -fig9 PATH, rewrite just the "fanout" section of the existing report
+// (same refresh contract as -fuel).
+func runFanout(fig9Path string) error {
+	fmt.Fprintln(os.Stderr, "bench: Fanout (gemm, all hooks, N Block subscribers)")
+	engine, err := wasabi.NewEngine()
+	if err != nil {
+		return err
+	}
+	fb, err := measureFanoutBench(engine)
+	if err != nil {
+		return err
+	}
+	fmt.Println("fanout mode: gemm(16), all hooks, N Block subscribers each on its own goroutine")
+	for _, consumers := range fanoutConsumers {
+		row := fb.Sweep[fmt.Sprint(consumers)]
+		for _, size := range fanoutBatchSizes {
+			p := row[fmt.Sprint(size)]
+			fmt.Printf("  subs %d batch %6d: %8.2f M events/s aggregate  (%.2f ms/invoke)\n",
+				consumers, size, p.EventsPerSec/1e6, p.NsPerOp/1e6)
+		}
+	}
+	fmt.Printf("  sink write : %8.2f M events/s (%.1f MB/s, %d records, %d byte segment)\n",
+		fb.Sink.WriteEventsPerSec/1e6, fb.Sink.WriteMBPerS, fb.Sink.RecordsPerKernel, fb.Sink.SegmentBytes)
+	fmt.Printf("  sink replay: %8.2f M events/s (%.1f MB/s, open+serve+close)\n",
+		fb.Sink.ReplayEventsPerSec/1e6, fb.Sink.ReplayMBPerS)
+	if fig9Path == "" {
+		return nil
+	}
+	return mergeSection(fig9Path, "fanout", &fb)
+}

@@ -8,7 +8,6 @@ package main
 // metering emits nothing, so it must track the ordinary Fig 9 baseline.
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"os"
@@ -114,19 +113,5 @@ func runFuel(fig9Path string) error {
 	if fig9Path == "" {
 		return nil
 	}
-	data, err := os.ReadFile(fig9Path)
-	if err != nil {
-		return fmt.Errorf("-fuel -fig9 updates an existing report: %w", err)
-	}
-	// Decode into a generic map so every other section survives verbatim.
-	var report map[string]json.RawMessage
-	if err := json.Unmarshal(data, &report); err != nil {
-		return fmt.Errorf("%s: %w", fig9Path, err)
-	}
-	fuelJSON, err := json.Marshal(&fb)
-	if err != nil {
-		return err
-	}
-	report["fuel"] = fuelJSON
-	return writeJSONFile(fig9Path, report)
+	return mergeSection(fig9Path, "fuel", &fb)
 }

@@ -1,0 +1,96 @@
+package main
+
+// The -parallel mode re-validates the paper's parallel-instrumentation
+// claim on the current tree: the 1 MiB synthetic app instrumented with
+// worker counts 1/2/4/8, recorded with the core count of the measuring
+// machine (the sweep is only a scaling curve up to NumCPU — beyond it the
+// extra workers just contend). Results land in BENCH_instrument.json as the
+// parallel_scaling section.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"wasabi/internal/analysis"
+	"wasabi/internal/binary"
+	"wasabi/internal/core"
+	"wasabi/internal/synthapp"
+)
+
+// parallelWorkers is the -parallel sweep.
+var parallelWorkers = []int{1, 2, 4, 8}
+
+// ParallelPoint is one worker count's measurement.
+type ParallelPoint struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s"`
+	// Speedup is serial time over this configuration's time.
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+// ParallelScaling is the BENCH_instrument.json parallel_scaling section.
+// NumCPU qualifies the sweep: points past the core count measure
+// contention, not scaling.
+type ParallelScaling struct {
+	NumCPU  int                      `json:"num_cpu"`
+	Workers map[string]ParallelPoint `json:"workers"`
+}
+
+// measureParallelScaling sweeps core.Instrument worker counts over the
+// 1 MiB synthetic app.
+func measureParallelScaling() (ParallelScaling, error) {
+	app := synthapp.Generate(synthapp.Config{TargetBytes: 1 << 20, Seed: 11})
+	appBytes, err := binary.Encode(app)
+	if err != nil {
+		return ParallelScaling{}, err
+	}
+	ps := ParallelScaling{NumCPU: runtime.NumCPU(), Workers: map[string]ParallelPoint{}}
+	var serialNs float64
+	for _, par := range parallelWorkers {
+		fmt.Fprintf(os.Stderr, "bench: ParallelScaling/%d\n", par)
+		par := par
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Instrument(app, core.Options{
+					Hooks: analysis.AllHooks, SkipValidation: true, Parallelism: par,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		p := ParallelPoint{NsPerOp: float64(r.NsPerOp())}
+		if p.NsPerOp > 0 {
+			p.MBPerS = float64(len(appBytes)) / 1e6 / (p.NsPerOp / 1e9)
+		}
+		if par == 1 {
+			serialNs = p.NsPerOp
+		}
+		if serialNs > 0 && p.NsPerOp > 0 {
+			p.Speedup = serialNs / p.NsPerOp
+		}
+		ps.Workers[fmt.Sprint(par)] = p
+	}
+	return ps, nil
+}
+
+// runParallel is the -parallel mode: print the sweep and, when combined
+// with -json PATH, rewrite just the parallel_scaling section of the
+// existing BENCH_instrument.json (same refresh contract as -fuel).
+func runParallel(instrPath string) error {
+	ps, err := measureParallelScaling()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parallel mode: 1 MiB synthapp, all hooks, core.Instrument worker sweep (NumCPU=%d)\n", ps.NumCPU)
+	for _, par := range parallelWorkers {
+		p := ps.Workers[fmt.Sprint(par)]
+		fmt.Printf("  workers %d: %8.2f ms/op  %6.2f MB/s  %.2fx vs serial\n",
+			par, p.NsPerOp/1e6, p.MBPerS, p.Speedup)
+	}
+	if instrPath == "" {
+		return nil
+	}
+	return mergeSection(instrPath, "parallel_scaling", &ps)
+}

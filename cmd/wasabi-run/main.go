@@ -8,6 +8,8 @@
 //	wasabi-run [-analysis name] [-invoke func] [-arg N] module.wasm
 //	wasabi-run -workload gemm -analysis instruction-mix     (built-in workloads)
 //	wasabi-run -wasi [-args "a b c"] command.wasm           (WASI preview1 binaries)
+//	wasabi-run -record out.evlog -workload gemm             (record the event stream;
+//	                                                         replay with wasabi-replay)
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"wasabi/internal/binary"
 	"wasabi/internal/interp"
 	"wasabi/internal/polybench"
+	"wasabi/internal/sink"
 	"wasabi/internal/synthapp"
 	"wasabi/internal/wasm"
 )
@@ -40,6 +43,7 @@ func main() {
 	wasiMode := flag.Bool("wasi", false, "run the module as a WASI preview1 command (_start entry, captured stdio)")
 	wasiArgs := flag.String("args", "", "space-separated program arguments for -wasi (argv[0] is the module path)")
 	wasiSeed := flag.Int64("seed", 0, "random_get seed for -wasi")
+	record := flag.String("record", "", "record the event stream to a segment file instead of dispatching callbacks (replay with wasabi-replay)")
 	flag.Parse()
 
 	if *list {
@@ -117,6 +121,31 @@ func main() {
 	if err != nil {
 		fatal("bind analysis: %v", err)
 	}
+	// -record switches the session to stream delivery before the first
+	// Instantiate: hooks append packed records instead of calling the
+	// analysis, and a serving goroutine appends every batch to the segment
+	// file. The event classes recorded are what the chosen analysis would
+	// have observed (-analysis empty records everything).
+	var (
+		stream  *wasabi.Stream
+		rec     *sink.Writer
+		recDone chan struct{}
+	)
+	if *record != "" {
+		stream, err = sess.Stream()
+		if err != nil {
+			fatal("record: %v", err)
+		}
+		rec, err = sink.Create(*record, stream.Table())
+		if err != nil {
+			fatal("record: %v", err)
+		}
+		recDone = make(chan struct{})
+		go func() {
+			defer close(recDone)
+			stream.Serve(rec)
+		}()
+	}
 	inst, err := sess.Instantiate("main", polybench.HostImports(nil))
 	if err != nil {
 		fatal("instantiate: %v", err)
@@ -150,11 +179,23 @@ func main() {
 	if len(res) > 0 {
 		fmt.Printf("%s returned %v values; raw: %v\n", entry, len(res), res)
 	}
-	fmt.Printf("--- %s report ---\n", *analysisName)
-	if r, ok := a.(reporter); ok {
-		r.Report(os.Stdout)
+	if *record != "" {
+		// End the stream (flush + close), join the recorder, commit the file.
+		stream.Close()
+		<-recDone
+		if err := rec.Close(); err != nil {
+			fatal("record %s: %v", *record, err)
+		}
+		fmt.Printf("recorded %d events to %s (inspect with wasabi-replay)\n", rec.Count(), *record)
+		// Callbacks did not fire under stream delivery, so the analysis
+		// report would be empty; the recording replaces it.
 	} else {
-		fmt.Println("(analysis has no report)")
+		fmt.Printf("--- %s report ---\n", *analysisName)
+		if r, ok := a.(reporter); ok {
+			r.Report(os.Stdout)
+		} else {
+			fmt.Println("(analysis has no report)")
+		}
 	}
 	if exitCode != 0 {
 		os.Exit(exitCode)

@@ -44,6 +44,7 @@ type Engine struct {
 	parallelism  int
 	cacheLimit   int
 	streamBatch  int
+	subQueue     int
 	backpressure Backpressure
 	exec         interp.Config // containment config for every instance (see WithFuel etc.)
 	deadline     time.Duration // default InvokeContext deadline (WithDeadline)
@@ -120,6 +121,21 @@ func WithStreamBatchSize(n int) EngineOption {
 			return badOption("WithStreamBatchSize", n, "a batch holds at least one record")
 		}
 		e.streamBatch = n
+		return nil
+	}
+}
+
+// WithSubscriberQueue sets the engine-wide default queue depth (in batches)
+// of fan-out subscriptions (default DefaultSubscriberQueue). Individual
+// subscribers can override it with SubscribeQueue. Deeper queues let Block
+// subscribers absorb longer analysis hiccups before stalling the producer,
+// at the cost of more retained batch buffers.
+func WithSubscriberQueue(n int) EngineOption {
+	return func(e *Engine) error {
+		if n < 1 {
+			return badOption("WithSubscriberQueue", n, "a subscription queues at least one batch")
+		}
+		e.subQueue = n
 		return nil
 	}
 }
@@ -246,6 +262,7 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 	e := &Engine{
 		cacheLimit:  DefaultCompiledCacheLimit,
 		streamBatch: DefaultStreamBatchSize,
+		subQueue:    DefaultSubscriberQueue,
 		reg:         interp.NewRegistry(),
 		pool:        &wruntime.ValuePool{},
 		cache:       make(map[compiledKey]*CompiledAnalysis),

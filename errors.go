@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 
+	"wasabi/internal/fabric"
 	"wasabi/internal/interp"
+	"wasabi/internal/sink"
 	"wasabi/internal/validate"
 )
 
@@ -68,6 +70,36 @@ var ErrStreamActive = errors.New("wasabi: session already has an event stream")
 // already instantiated an instance: the hook dispatchers are compiled at
 // first instantiation, so the delivery mode cannot change afterwards.
 var ErrStreamAfterInstantiate = errors.New("wasabi: Stream must be called before the session's first Instantiate")
+
+// The event-fabric and record-sink error surface (see README "Event
+// fabric"): misuse of the fan-out lifecycle and damaged segment files,
+// re-exported from the internal packages so embedders match them without
+// internal imports.
+var (
+	// ErrFabricClosed matches Fabric.Subscribe after the stream ended
+	// (producer Close, session teardown, or a terminal stream error): a
+	// late subscriber could only observe silence.
+	ErrFabricClosed = fabric.ErrClosed
+	// ErrSubscriptionClosed matches a second Subscription.Close — a
+	// lifecycle bug, since the first Close already released the
+	// subscription's queued batches.
+	ErrSubscriptionClosed = fabric.ErrSubscriptionClosed
+	// ErrCorruptSegment matches replay of a truncated or damaged event-log
+	// segment file (sink.Open / wasabi-replay): bad magic or version, a
+	// foreign byte order, or a commit watermark promising records the file
+	// does not hold. errors.As with *CorruptSegmentError recovers the file,
+	// offset, and reason. (A torn tail BEYOND the watermark is normal crash
+	// debris and replays cleanly without the tail.)
+	ErrCorruptSegment = sink.ErrCorrupt
+	// ErrSinkClosed matches records written to a record sink after its
+	// Close (sink.Writer latches it into Err instead of failing the stream
+	// it serves).
+	ErrSinkClosed = sink.ErrSinkClosed
+)
+
+// CorruptSegmentError is the typed form of ErrCorruptSegment: which segment
+// file failed validation, at what byte offset, and why.
+type CorruptSegmentError = sink.CorruptError
 
 // The containment error surface (see README "Containment & limits"): the
 // interp layer's sentinels and typed errors, re-exported so embedders match

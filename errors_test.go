@@ -11,10 +11,13 @@ package wasabi_test
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"wasabi"
 	"wasabi/internal/builder"
+	"wasabi/internal/sink"
 	"wasabi/internal/wasm"
 )
 
@@ -29,6 +32,10 @@ func TestExportedErrorsMatchWrapped(t *testing.T) {
 		{"ErrSessionClosed", wasabi.ErrSessionClosed},
 		{"ErrStreamActive", wasabi.ErrStreamActive},
 		{"ErrStreamAfterInstantiate", wasabi.ErrStreamAfterInstantiate},
+		{"ErrFabricClosed", wasabi.ErrFabricClosed},
+		{"ErrSubscriptionClosed", wasabi.ErrSubscriptionClosed},
+		{"ErrCorruptSegment", wasabi.ErrCorruptSegment},
+		{"ErrSinkClosed", wasabi.ErrSinkClosed},
 	}
 	for _, tc := range sentinels {
 		t.Run(tc.name, func(t *testing.T) {
@@ -76,6 +83,25 @@ func TestTypedErrorsMatchAsAndIs(t *testing.T) {
 		}
 		if typed.Name != "wasabi_hooks" {
 			t.Errorf("Name = %q", typed.Name)
+		}
+	})
+	t.Run("CorruptSegmentError", func(t *testing.T) {
+		// The real path: replaying a file that is not a segment at all.
+		p := filepath.Join(t.TempDir(), "not-a-segment.evlog")
+		if err := os.WriteFile(p, []byte("definitely not an event log"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := sink.Open(p)
+		wrapped := fmt.Errorf("replay: %w", err)
+		if !errors.Is(wrapped, wasabi.ErrCorruptSegment) {
+			t.Fatalf("got %v, want ErrCorruptSegment", err)
+		}
+		var typed *wasabi.CorruptSegmentError
+		if !errors.As(wrapped, &typed) {
+			t.Fatal("errors.As failed for *CorruptSegmentError")
+		}
+		if typed.Path != p || typed.Reason == "" {
+			t.Errorf("CorruptSegmentError carries Path=%q Reason=%q", typed.Path, typed.Reason)
 		}
 	})
 }

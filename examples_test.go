@@ -56,6 +56,12 @@ func TestExamples(t *testing.T) {
 			"main(4) = 135 on both surfaces",
 			"callback and stream traces match (148 events)",
 		}},
+		{"analysis-service", []string{
+			"tenant m1: main(10) = 285, 229 instructions over 2 funcs",
+			"durable replay matches (285 records)",
+			"runaway tenant contained: fuel exhausted",
+			"analysis service: upload, contained fan-out analysis, and durable replay verified over HTTP",
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -1,0 +1,151 @@
+package wasabi
+
+// The fan-out surface of the event-stream API: one producer session, N
+// concurrent subscribers over the same record stream. Session.Fanout opens
+// the session's stream like Session.Stream does, but instead of a single
+// consumer end it returns a Fabric that hands out Subscriptions — each with
+// the familiar Next/Serve surface — and broadcasts every batch to all of
+// them by reference (no per-subscriber copy; see internal/fabric for the
+// refcounted hand-off).
+//
+//	sess, _ := compiled.NewSession(wasabi.StreamCaps(wasabi.AllCaps))
+//	fab, _ := sess.Fanout()
+//	for _, tenant := range tenants {
+//	    sub, _ := fab.Subscribe()
+//	    go sub.Serve(tenant.analysis)        // each on its own goroutine
+//	}
+//	inst, _ := sess.Instantiate("app", imports)
+//	inst.Invoke("main")
+//	fab.Close()                              // flush + end of stream
+//
+// Backpressure is per subscriber: a Subscription is lossless by default
+// (Block — once its queue and the emitter's ring fill, the instrumented
+// program stalls until it catches up), or opts out of the guarantee with
+// SubscribeBackpressure(BackpressureDrop), in which case a full queue loses
+// batches for that subscriber only (Subscription.Dropped counts them) and
+// never delays the producer or its peers.
+
+import (
+	"wasabi/internal/analysis"
+	"wasabi/internal/fabric"
+)
+
+// DefaultSubscriberQueue is the default per-subscriber queue depth, in
+// batches (override engine-wide with WithSubscriberQueue, per subscriber
+// with SubscribeQueue).
+const DefaultSubscriberQueue = 8
+
+// Subscription is one subscriber's end of a Fabric: Next/Serve like a
+// Stream, plus Close to unsubscribe early and Dropped for its own loss
+// count. Exactly one goroutine may consume a subscription.
+type Subscription = fabric.Subscription
+
+// Fabric broadcasts a session's event stream to any number of
+// subscriptions. The producer-side calls (Flush, Close) follow the same
+// rules as a Stream's: call them only while no instrumented code of the
+// session runs.
+type Fabric struct {
+	st    *Stream
+	inner *fabric.Fabric
+	queue int // engine-default queue depth for new subscriptions
+}
+
+// SubscribeOption configures one Subscription.
+type SubscribeOption func(*subscribeConfig)
+
+type subscribeConfig struct {
+	queue int
+	drop  bool
+}
+
+// SubscribeQueue overrides the subscription's queue depth: how many batches
+// may be in flight to this subscriber before its backpressure policy kicks
+// in.
+func SubscribeQueue(n int) SubscribeOption {
+	return func(c *subscribeConfig) { c.queue = n }
+}
+
+// SubscribeBackpressure overrides the subscription's backpressure policy:
+// BackpressureBlock (default, lossless — a full queue stalls the
+// distributor and transitively the producer) or BackpressureDrop (lossy —
+// a full queue skips batches for this subscriber only).
+func SubscribeBackpressure(mode Backpressure) SubscribeOption {
+	return func(c *subscribeConfig) { c.drop = mode == BackpressureDrop }
+}
+
+// Fanout switches the session to stream delivery like Session.Stream, but
+// fans the stream out: the returned Fabric broadcasts every batch to every
+// Subscription. Same preconditions as Stream (before the first Instantiate,
+// at most one stream per session); the analysis value is typically a
+// StreamCaps anchor, since the actual consumers attach per subscription.
+//
+// Delivery starts immediately — subscribe before invoking instrumented
+// code to observe the complete record sequence.
+func (s *Session) Fanout(opts ...StreamOption) (*Fabric, error) {
+	st, err := s.openStream("Fanout", opts)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fabric{st: st, inner: fabric.New(st.em), queue: s.compiled.engine.subQueue}
+	s.fanout = f
+	return f, nil
+}
+
+// Subscribe adds a subscriber and returns its consumption end. Subscribers
+// added while the producer is already running join mid-stream (they see
+// batches flushed from now on); subscribing after the stream ended fails
+// with ErrFabricClosed.
+func (f *Fabric) Subscribe(opts ...SubscribeOption) (*Subscription, error) {
+	cfg := subscribeConfig{queue: f.queue}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.queue < 1 {
+		return nil, badOption("SubscribeQueue", cfg.queue, "a subscription queues at least one batch")
+	}
+	return f.inner.Subscribe(cfg.queue, cfg.drop)
+}
+
+// Table returns the decode table shared by every subscription of this
+// fabric (see Stream.Table).
+func (f *Fabric) Table() *EventTable { return f.st.tbl }
+
+// Flush hands the partially filled batch to the subscribers now.
+// Producer-side: call it between invocations.
+func (f *Fabric) Flush() { f.st.Flush() }
+
+// Close flushes pending records and ends the stream, then waits for the
+// distributor to hand the last batch over: when Close returns, every
+// record is either enqueued on a subscription or (for Drop subscribers
+// that lagged) counted dropped, and subscribers' Next/Serve wind down with
+// ok == false. Producer-side. Block subscribers must keep draining until
+// their subscription ends, exactly like a single-consumer Block stream.
+func (f *Fabric) Close() {
+	f.st.Close()
+	<-f.inner.Done()
+}
+
+// Dropped returns the producer-side loss count of the underlying stream
+// (events dropped before distribution — emitter backpressure, teardown).
+// Per-subscriber losses are counted on each Subscription instead.
+func (f *Fabric) Dropped() uint64 { return f.st.Dropped() }
+
+// Err returns the terminal error of a fabric torn down by a guest failure,
+// nil while live or after a clean Close — Stream.Err's contract, shared by
+// every subscription: when a subscription ends, the error (if any) is
+// already visible.
+func (f *Fabric) Err() error { return f.st.Err() }
+
+// StreamCaps returns an analysis anchor for fan-out sessions: a value
+// whose only capability is streaming the given event classes. Pass it to
+// CompiledAnalysis.NewSession when the session's events are consumed by
+// fabric subscribers (attached later, each with its own analysis) rather
+// than by the session's own analysis value.
+func StreamCaps(caps Cap) any { return capsAnchor{caps: caps} }
+
+type capsAnchor struct{ caps Cap }
+
+// StreamCaps implements EventStreamer.
+func (a capsAnchor) StreamCaps() Cap { return a.caps }
+
+var _ analysis.EventStreamer = capsAnchor{}

@@ -1,0 +1,351 @@
+// Package fabric broadcasts one session's event stream to N subscribers.
+//
+// A Fabric sits between the per-session Emitter (one producer, one stream of
+// filled batch buffers) and any number of Subscriptions. One distributor
+// goroutine pulls each batch off the emitter with the retain/recycle
+// Exchange hand-off and enqueues a refcounted reference to it on every
+// subscriber's ring — no per-subscriber copy: all subscribers read the same
+// batch memory, and the buffer returns to circulation when the last holder
+// releases it.
+//
+// Backpressure is per subscriber. A Block subscription makes the distributor
+// wait for room in that subscriber's queue — lossless, and (transitively,
+// once the emitter's own ring fills) it stalls the producer exactly like a
+// lagging single-consumer Block stream. A Drop subscription never delays
+// anyone: when its queue is full the batch is skipped for that subscriber
+// and the miss is counted on it. A slow Drop subscriber therefore cannot
+// stall the producer or its peers; only Block subscribers buy losslessness
+// with shared backpressure.
+//
+// Buffer economy: for every batch it retains, the distributor feeds a spare
+// buffer back into the emitter's free ring (Exchange does both in one step),
+// so the producer's ring population — and its 0 allocs/op steady state — is
+// unaffected by how long subscribers hold batches. Released buffers land in
+// the fabric's spare pool and become the replacement for a later batch;
+// after warm-up the pool reaches the working-set size and distribution
+// allocates nothing either.
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"wasabi/internal/analysis"
+)
+
+// ErrClosed reports Fabric.Subscribe after the producer side ended the
+// stream (Close, session teardown, or a terminal stream error): a late
+// subscriber could only ever observe silence, which is never what the
+// caller meant.
+var ErrClosed = errors.New("wasabi: fabric is closed to new subscribers")
+
+// ErrSubscriptionClosed reports a second Subscription.Close: the first
+// Close already released the subscription's in-flight batches, so a double
+// close is a lifecycle bug on the caller's side, not a no-op.
+var ErrSubscriptionClosed = errors.New("wasabi: subscription is already closed")
+
+// Source is the producer-side hand-off a Fabric distributes from,
+// satisfied by *runtime.Emitter.
+type Source interface {
+	// Exchange feeds spare into the free ring and returns the next filled
+	// batch, retained, blocking until one is flushed or the stream ends
+	// (ok == false).
+	Exchange(spare []analysis.Event) ([]analysis.Event, bool)
+	// BatchSize is the capacity replacement buffers must be created with.
+	BatchSize() int
+}
+
+// batchRef is one retained batch in flight: the buffer plus the number of
+// holders (enqueued subscriptions, the distributor while it enqueues, a
+// consumer between Next calls). The last release returns the buffer to the
+// fabric's spare pool.
+type batchRef struct {
+	buf  []analysis.Event
+	refs atomic.Int32
+	f    *Fabric
+}
+
+func (r *batchRef) release() {
+	if r.refs.Add(-1) == 0 {
+		r.f.recycle(r)
+	}
+}
+
+// Fabric fans one emitter's batch stream out to N subscriptions.
+type Fabric struct {
+	src Source
+
+	mu     sync.Mutex
+	subs   []*Subscription
+	spares [][]analysis.Event // released buffers, future Exchange replacements
+	refs   []*batchRef        // released refs, reused for later batches
+	closed bool               // no new subscribers
+
+	stop    chan struct{} // Kill: abandon distribution without draining
+	stopped atomic.Bool
+	done    chan struct{} // closed when the distributor has exited
+}
+
+// New starts distributing src. Batches flushed while no subscription exists
+// are retained and immediately released (the stream does not wait for its
+// first subscriber); subscribe before running the producer to observe a
+// complete sequence.
+func New(src Source) *Fabric {
+	f := &Fabric{
+		src:  src,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go f.run()
+	return f
+}
+
+// Subscribe adds a subscriber with its own queue of up to queue batches and
+// its own backpressure policy (drop == false blocks the distributor when
+// the queue is full; drop == true skips and counts). Fails with ErrClosed
+// once the stream has ended.
+func (f *Fabric) Subscribe(queue int, drop bool) (*Subscription, error) {
+	if queue < 1 {
+		queue = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	s := &Subscription{
+		f:    f,
+		ch:   make(chan *batchRef, queue),
+		drop: drop,
+		gone: make(chan struct{}),
+	}
+	f.subs = append(f.subs, s)
+	return s, nil
+}
+
+// Kill abandons distribution without draining: the distributor releases
+// what it holds and exits, and every subscription's channel is closed
+// (consumers still drain what was already queued). The teardown path —
+// Session.Close uses it so closing a session cannot hang on a subscriber
+// that stopped draining. Idempotent; waits for the distributor to exit, so
+// the source must already be closed (or closing) when Kill is called.
+func (f *Fabric) Kill() {
+	if f.stopped.CompareAndSwap(false, true) {
+		close(f.stop)
+	}
+	<-f.done
+}
+
+// Done is closed when the distributor has exited: every batch the stream
+// will ever carry is either enqueued on the surviving subscriptions or
+// released.
+func (f *Fabric) Done() <-chan struct{} { return f.done }
+
+// run is the distributor: one batch in, one reference out per subscriber.
+func (f *Fabric) run() {
+	defer close(f.done)
+	// The eager first spare keeps the emitter's ring population intact from
+	// the very first retained batch (Exchange pushes it before receiving).
+	spare := make([]analysis.Event, 0, f.src.BatchSize())
+	var scratch []*Subscription
+	for {
+		buf, ok := f.src.Exchange(spare)
+		if !ok {
+			f.finish()
+			return
+		}
+		spare = f.takeSpare()
+
+		f.mu.Lock()
+		scratch = append(scratch[:0], f.subs...)
+		f.mu.Unlock()
+
+		ref := f.newRef(buf)
+		// Holders: every subscriber we will try, plus the distributor itself
+		// (released after the loop). Counting up front — not incrementally as
+		// sends succeed — keeps the count correct even when a consumer
+		// receives and releases before the loop finishes.
+		ref.refs.Store(int32(len(scratch)) + 1)
+		aborted := false
+		for i, s := range scratch {
+			if s.drop {
+				select {
+				case s.ch <- ref:
+				default:
+					s.dropped.Add(uint64(len(buf)))
+					ref.release()
+				}
+				continue
+			}
+			select {
+			case s.ch <- ref:
+			case <-s.gone:
+				ref.release()
+			case <-f.stop:
+				// Teardown while blocked on a subscriber that stopped
+				// draining: drop this delivery and the remaining ones.
+				for range scratch[i:] {
+					ref.release()
+				}
+				aborted = true
+			}
+			if aborted {
+				break
+			}
+		}
+		ref.release()
+		if aborted {
+			f.finish()
+			return
+		}
+	}
+}
+
+// finish ends the subscriber side: no new subscriptions, and every
+// subscription channel is closed so consumers observe end-of-stream once
+// they drain what is queued.
+func (f *Fabric) finish() {
+	f.mu.Lock()
+	f.closed = true
+	subs := f.subs
+	f.subs = nil
+	f.mu.Unlock()
+	for _, s := range subs {
+		close(s.ch)
+	}
+}
+
+// takeSpare pops a released buffer for the next Exchange, falling back to an
+// allocation while the pool is below the stream's working-set size.
+func (f *Fabric) takeSpare() []analysis.Event {
+	f.mu.Lock()
+	if n := len(f.spares); n > 0 {
+		buf := f.spares[n-1]
+		f.spares = f.spares[:n-1]
+		f.mu.Unlock()
+		return buf
+	}
+	f.mu.Unlock()
+	return make([]analysis.Event, 0, f.src.BatchSize())
+}
+
+func (f *Fabric) newRef(buf []analysis.Event) *batchRef {
+	f.mu.Lock()
+	if n := len(f.refs); n > 0 {
+		r := f.refs[n-1]
+		f.refs = f.refs[:n-1]
+		f.mu.Unlock()
+		r.buf = buf //borrowcheck:ignore -- refcounted retention IS the fabric's job; the buffer returns via release/recycle
+		return r
+	}
+	f.mu.Unlock()
+	return &batchRef{buf: buf, f: f} //borrowcheck:ignore -- see above
+}
+
+// recycle returns a fully released batch to the pools.
+func (f *Fabric) recycle(r *batchRef) {
+	buf := r.buf
+	r.buf = nil
+	f.mu.Lock()
+	f.spares = append(f.spares, buf)
+	f.refs = append(f.refs, r)
+	f.mu.Unlock()
+}
+
+// removeSub unlinks a closed subscription so the distributor stops
+// delivering to it.
+func (f *Fabric) removeSub(s *Subscription) {
+	f.mu.Lock()
+	for i, x := range f.subs {
+		if x == s {
+			f.subs = append(f.subs[:i], f.subs[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Subscription is one subscriber's end of a Fabric: the same Next/Serve
+// consumption surface as a single-consumer Stream. Exactly one goroutine
+// may consume a subscription, and Close belongs to that goroutine too.
+type Subscription struct {
+	f       *Fabric
+	ch      chan *batchRef
+	drop    bool
+	gone    chan struct{} // closed by Close; unblocks a blocked distributor
+	closed  bool
+	prev    *batchRef // batch last handed out by Next
+	dropped atomic.Uint64
+}
+
+// Next returns the next batch, blocking until the distributor delivers one
+// or the stream ends (ok == false). The batch is BORROWED and read-only: it
+// is shared with every other subscriber and recycled after the next Next
+// call releases this subscription's hold on it.
+func (s *Subscription) Next() ([]analysis.Event, bool) {
+	if s.prev != nil {
+		s.prev.release()
+		s.prev = nil
+	}
+	if s.closed {
+		return nil, false
+	}
+	ref, ok := <-s.ch
+	if !ok {
+		return nil, false
+	}
+	s.prev = ref
+	return ref.buf, true
+}
+
+// Serve pulls batches and hands each to sink until the stream ends or the
+// subscription is closed.
+func (s *Subscription) Serve(sink analysis.EventSink) {
+	for {
+		batch, ok := s.Next()
+		if !ok {
+			return
+		}
+		sink.Events(batch)
+	}
+}
+
+// Close unsubscribes: queued batches are released unseen and the
+// distributor stops delivering here (a Block subscription stops exerting
+// backpressure). Consumer-side, like Next. A second Close fails with
+// ErrSubscriptionClosed. Closing is optional for subscriptions consumed to
+// end-of-stream; it exists so a subscriber can leave early without wedging
+// a Block fabric.
+func (s *Subscription) Close() error {
+	if s.closed {
+		return ErrSubscriptionClosed
+	}
+	s.closed = true
+	if s.prev != nil {
+		s.prev.release()
+		s.prev = nil
+	}
+	close(s.gone)
+	s.f.removeSub(s)
+	// Release what was queued. A delivery racing the removal above can slip
+	// one more reference into the channel after this drain; its buffer is
+	// reclaimed by the GC and replaced in the pool by an allocation — a
+	// bounded, harmless leak, never a stall.
+	for {
+		select {
+		case ref, ok := <-s.ch:
+			if !ok {
+				return nil
+			}
+			ref.release()
+		default:
+			return nil
+		}
+	}
+}
+
+// Dropped returns how many event records the distributor skipped for this
+// subscription because its queue was full (always 0 for Block
+// subscriptions).
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }

@@ -1,0 +1,249 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"wasabi/internal/analysis"
+)
+
+// fakeSource feeds scripted batches through the Exchange contract and
+// counts the spares handed back, so tests can assert the buffer economy
+// without a real emitter.
+type fakeSource struct {
+	mu      sync.Mutex
+	batches [][]analysis.Event
+	next    int
+	spares  int
+	closed  chan struct{}
+}
+
+func newFakeSource(batches ...[]analysis.Event) *fakeSource {
+	return &fakeSource{batches: batches, closed: make(chan struct{})}
+}
+
+func (s *fakeSource) Exchange(spare []analysis.Event) ([]analysis.Event, bool) {
+	s.mu.Lock()
+	if spare != nil {
+		s.spares++
+	}
+	if s.next < len(s.batches) {
+		b := s.batches[s.next]
+		s.next++
+		s.mu.Unlock()
+		return b, true
+	}
+	s.mu.Unlock()
+	<-s.closed
+	return nil, false
+}
+
+func (s *fakeSource) BatchSize() int { return 8 }
+
+func (s *fakeSource) end() { close(s.closed) }
+
+// sparesFed returns how many replacement buffers the distributor handed
+// back.
+func (s *fakeSource) sparesFed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spares
+}
+
+// mkBatch builds a batch whose records carry seq in Aux, so delivery order
+// and identity are checkable.
+func mkBatch(seq uint32, n int) []analysis.Event {
+	b := make([]analysis.Event, n)
+	for i := range b {
+		b[i].Aux = seq
+		b[i].Instr = int32(i)
+	}
+	return b
+}
+
+func collect(t *testing.T, sub *Subscription) []analysis.Event {
+	t.Helper()
+	var got []analysis.Event
+	for {
+		batch, ok := sub.Next()
+		if !ok {
+			return got
+		}
+		got = append(got, batch...)
+	}
+}
+
+func TestBroadcastParity(t *testing.T) {
+	const batches, perBatch = 16, 4
+	src := newFakeSource()
+	var want []analysis.Event
+	for i := 0; i < batches; i++ {
+		b := mkBatch(uint32(i), perBatch)
+		src.batches = append(src.batches, b)
+		want = append(want, b...)
+	}
+	f := New(src)
+	const subscribers = 4
+	subs := make([]*Subscription, subscribers)
+	for i := range subs {
+		var err error
+		if subs[i], err = f.Subscribe(2, false); err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+	}
+	results := make([][]analysis.Event, subscribers)
+	var wg sync.WaitGroup
+	for i, sub := range subs {
+		wg.Add(1)
+		go func(i int, sub *Subscription) {
+			defer wg.Done()
+			results[i] = collect(t, sub)
+		}(i, sub)
+	}
+	src.end()
+	wg.Wait()
+	for i, got := range results {
+		if len(got) != len(want) {
+			t.Fatalf("subscriber %d: %d records, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("subscriber %d: record %d = %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+		if d := subs[i].Dropped(); d != 0 {
+			t.Errorf("subscriber %d: Dropped() = %d on a Block subscription", i, d)
+		}
+	}
+	<-f.Done()
+}
+
+func TestSlowDropSubscriberNeverStalls(t *testing.T) {
+	const batches = 32
+	src := newFakeSource()
+	for i := 0; i < batches; i++ {
+		src.batches = append(src.batches, mkBatch(uint32(i), 4))
+	}
+	f := New(src)
+	// The Drop subscriber has a 1-batch queue and no consumer at all.
+	slow, err := f.Subscribe(1, true)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	fast, err := f.Subscribe(2, false)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	done := make(chan []analysis.Event, 1)
+	go func() {
+		var got []analysis.Event
+		for {
+			batch, ok := fast.Next()
+			if !ok {
+				done <- got
+				return
+			}
+			got = append(got, batch...)
+		}
+	}()
+	src.end()
+	select {
+	case got := <-done:
+		if len(got) != batches*4 {
+			t.Fatalf("block peer saw %d records, want %d", len(got), batches*4)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("block peer stalled behind an undrained Drop subscriber")
+	}
+	if slow.Dropped() == 0 {
+		t.Error("undrained 1-deep Drop subscription reported no drops")
+	}
+	// The undrained queue still holds references; Close releases them.
+	if err := slow.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestSubscribeAfterCloseFails(t *testing.T) {
+	src := newFakeSource()
+	f := New(src)
+	src.end()
+	<-f.Done()
+	if _, err := f.Subscribe(1, false); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Subscribe after end = %v, want ErrClosed", err)
+	}
+}
+
+func TestDoubleSubscriptionClose(t *testing.T) {
+	src := newFakeSource(mkBatch(0, 2))
+	f := New(src)
+	sub, err := f.Subscribe(1, false)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := sub.Close(); !errors.Is(err, ErrSubscriptionClosed) {
+		t.Fatalf("second Close = %v, want ErrSubscriptionClosed", err)
+	}
+	if _, ok := sub.Next(); ok {
+		t.Fatal("Next after Close delivered a batch")
+	}
+	src.end()
+	<-f.Done()
+}
+
+// TestKillUnwedgesBlockedDistributor covers the teardown path: a Block
+// subscriber that stops draining wedges the distributor mid-delivery, and
+// Kill must still return promptly.
+func TestKillUnwedgesBlockedDistributor(t *testing.T) {
+	src := newFakeSource()
+	for i := 0; i < 8; i++ {
+		src.batches = append(src.batches, mkBatch(uint32(i), 2))
+	}
+	f := New(src)
+	if _, err := f.Subscribe(1, false); err != nil { // never drained
+		t.Fatalf("Subscribe: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		f.Kill()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Kill did not unwedge the distributor")
+	}
+	src.end() // release the fake source's end channel for cleanliness
+}
+
+// TestBufferEconomy pins the retain/replace contract: every retained batch
+// is compensated by a spare fed back through Exchange.
+func TestBufferEconomy(t *testing.T) {
+	const batches = 12
+	src := newFakeSource()
+	for i := 0; i < batches; i++ {
+		src.batches = append(src.batches, mkBatch(uint32(i), 2))
+	}
+	f := New(src)
+	sub, err := f.Subscribe(2, false)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	go func() {
+		src.end()
+	}()
+	if got := collect(t, sub); len(got) != batches*2 {
+		t.Fatalf("got %d records, want %d", len(got), batches*2)
+	}
+	<-f.Done()
+	// One spare per Exchange call that returned a batch, plus the eager
+	// first spare: every call fed one back.
+	if fed := src.sparesFed(); fed < batches {
+		t.Errorf("distributor fed %d spares for %d retained batches", fed, batches)
+	}
+}

@@ -48,9 +48,10 @@ const emitterDepth = 2
 
 // Emitter is the producer/consumer pair of one event stream.
 type Emitter struct {
-	cur  []analysis.Event // batch being filled (producer-owned)
-	full chan []analysis.Event
-	free chan []analysis.Event
+	cur       []analysis.Event // batch being filled (producer-owned)
+	full      chan []analysis.Event
+	free      chan []analysis.Event
+	batchSize int
 
 	drop    bool
 	closed  bool
@@ -80,10 +81,11 @@ func NewEmitter(batchSize int, mode Backpressure) *Emitter {
 		batchSize = 1
 	}
 	em := &Emitter{
-		full:  make(chan []analysis.Event, emitterDepth),
-		free:  make(chan []analysis.Event, emitterDepth+2),
-		drop:  mode == Drop,
-		stopc: make(chan struct{}),
+		full:      make(chan []analysis.Event, emitterDepth),
+		free:      make(chan []analysis.Event, emitterDepth+2),
+		drop:      mode == Drop,
+		stopc:     make(chan struct{}),
+		batchSize: batchSize,
 	}
 	em.cur = make([]analysis.Event, 0, batchSize)
 	for i := 0; i < emitterDepth+1; i++ {
@@ -142,7 +144,7 @@ func (em *Emitter) Flush() {
 	if em.drop {
 		select {
 		case em.full <- em.cur:
-			em.cur = <-em.free // non-blocking by the buffer-count invariant
+			em.refill() // non-blocking by the buffer-count invariant
 		default:
 			em.dropped.Add(uint64(len(em.cur)))
 			em.cur = em.cur[:0]
@@ -155,16 +157,40 @@ func (em *Emitter) Flush() {
 	// next containment guard), or the interruption could never take effect.
 	select {
 	case em.full <- em.cur:
-		em.cur = <-em.free
+		em.refill()
 		return
 	default:
 	}
 	select {
 	case em.full <- em.cur:
-		em.cur = <-em.free
+		em.refill()
 	case <-em.stopc:
 		em.dropped.Add(uint64(len(em.cur)))
 		em.cur = em.cur[:0]
+	}
+}
+
+// refill takes a free buffer for cur after a successful hand-off. The
+// buffer-count invariant keeps the free ring non-empty here as long as every
+// consumer returns what it borrows (Next's recycle, Exchange's swap), so the
+// fallback never fires on a well-behaved stream; it exists so a consumer
+// that fails to return a buffer degrades into an allocation instead of a
+// producer stall — which Drop mode promises never to do, and which Block
+// mode must at least abandon on Interrupt.
+func (em *Emitter) refill() {
+	select {
+	case em.cur = <-em.free:
+		return
+	default:
+	}
+	if em.drop {
+		em.cur = make([]analysis.Event, 0, em.batchSize)
+		return
+	}
+	select {
+	case em.cur = <-em.free:
+	case <-em.stopc:
+		em.cur = make([]analysis.Event, 0, em.batchSize)
 	}
 }
 
@@ -280,6 +306,35 @@ func (em *Emitter) Next() ([]analysis.Event, bool) {
 	em.prev = batch
 	return batch, true
 }
+
+// Exchange is the retain variant of Next, for consumers that broadcast
+// batches instead of processing them in place (internal/fabric): the
+// returned batch is RETAINED — the emitter will not recycle it — and the
+// caller compensates by handing a replacement buffer into the free ring in
+// the same call, keeping the ring population (and with it the backpressure
+// accounting and the producer's 0-alloc steady state) intact. The spare is
+// pushed before the receive, so the ring never dips below its invariant
+// count; pass a fresh buffer of BatchSize capacity on the first call and a
+// fully released retained buffer afterwards. A nil spare is accepted (the
+// ring runs one buffer short until the next call). Consumer-side, same
+// single-goroutine contract as Next; do not mix Exchange and Next consumers.
+func (em *Emitter) Exchange(spare []analysis.Event) ([]analysis.Event, bool) {
+	if spare != nil {
+		select {
+		case em.free <- spare[:0]: //borrowcheck:ignore -- feeding a released buffer back into the ring is the recycle contract
+		default: // ring already at capacity; let the spare go to the GC
+		}
+	}
+	batch, ok := <-em.full
+	if !ok {
+		return nil, false
+	}
+	return batch, true
+}
+
+// BatchSize returns the record capacity batches are created with, so an
+// Exchange consumer can size the replacement buffers it feeds back.
+func (em *Emitter) BatchSize() int { return em.batchSize }
 
 // Release drops the producer-side buffers so a closed stream does not pin
 // its batch memory (Session.Close calls it, after Close). Producer-side: it

@@ -26,7 +26,8 @@ type Session struct {
 	rt       *wruntime.Runtime
 
 	names        []string // instance names this session registered
-	stream       *Stream  // non-nil after Stream()
+	stream       *Stream  // non-nil after Stream() or Fanout()
+	fanout       *Fabric  // non-nil after Fanout(); broadcasts stream
 	instantiated bool
 	closed       bool
 
@@ -163,6 +164,13 @@ func (s *Session) Close() error {
 	s.names = nil
 	if s.stream != nil {
 		s.stream.release()
+	}
+	// With a fabric on top of the stream, also stop its distributor: the
+	// emitter is closed and drained by release above, so the distributor
+	// exits promptly, and Kill additionally unwedges it from a Block
+	// subscriber that stopped draining. Subscribers observe end-of-stream.
+	if s.fanout != nil {
+		s.fanout.inner.Kill()
 	}
 	return nil
 }

@@ -109,8 +109,15 @@ type Stream struct {
 // analysis would observe). If the analysis implements EventTableReceiver it
 // receives the decode table now.
 func (s *Session) Stream(opts ...StreamOption) (*Stream, error) {
+	return s.openStream("Stream", opts)
+}
+
+// openStream is the shared construction behind Session.Stream (one
+// consumer) and Session.Fanout (N subscribers over the same emitter): it
+// validates, builds the emitter, and wires the session's stream hooks.
+func (s *Session) openStream(method string, opts []StreamOption) (*Stream, error) {
 	if s.closed {
-		return nil, fmt.Errorf("%w: Stream", ErrSessionClosed)
+		return nil, fmt.Errorf("%w: %s", ErrSessionClosed, method)
 	}
 	if s.stream != nil {
 		return nil, ErrStreamActive
